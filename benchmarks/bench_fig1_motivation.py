@@ -1,0 +1,16 @@
+"""Regenerates paper Figure 1: the motivating look-alike distributions.
+
+Expected shape: Age/Rank and Test-Score/Temperature have near-identical
+histograms, yet Gem places same-type column pairs closer than the
+look-alike cross-type pairs.
+"""
+
+from repro.experiments import run_experiment
+
+
+def bench_fig1_motivation(benchmark, archive):
+    result = benchmark.pedantic(
+        lambda: run_experiment("figure1"), rounds=1, iterations=1
+    )
+    archive(result)
+    assert result.extras["same_type_mean"] > result.extras["cross_type_mean"]

@@ -1,0 +1,23 @@
+"""Regenerates paper Figure 3: the D/S/C feature ablation on WDC and GDS.
+
+Expected shape (paper §4.3): distributional features compose well — D+S
+beats D and S alone, D+C beats D and C alone; the full D+C+S stays ahead of
+both two-family combinations that include values (D+S, C+S).
+"""
+
+from repro.experiments import run_experiment
+
+
+def bench_fig3_ablation(benchmark, archive):
+    result = benchmark.pedantic(
+        lambda: run_experiment("figure3", fast=True), rounds=1, iterations=1
+    )
+    archive(result)
+    s = result.extras["scores"]
+    for dataset in ("wdc", "gds"):
+        # D composes well with both S and C (the paper's observation 2).
+        assert s["D+S"][dataset] >= max(s["D"][dataset], s["S"][dataset]) - 0.02
+        assert s["D+C"][dataset] >= max(s["D"][dataset], s["C"][dataset]) - 0.02
+        # The full combination beats the value-bearing pairs (observation 3).
+        assert s["D+C+S"][dataset] >= s["D+S"][dataset]
+        assert s["D+C+S"][dataset] >= s["C+S"][dataset]

@@ -1,0 +1,26 @@
+"""Regenerates paper Figure 4: precision vs number of GMM components.
+
+Expected shape (paper §4.4): precision is stable across the component sweep
+on every dataset — no dramatic spikes or collapses.
+
+The bench sweeps a four-point subset of the paper's 5-100 range by default;
+the full grid is available via ``python -m repro.experiments figure4``.
+"""
+
+from repro.experiments import run_experiment
+
+SWEEP = (5, 20, 50, 100)
+
+
+def bench_fig4_components(benchmark, archive):
+    result = benchmark.pedantic(
+        lambda: run_experiment("figure4", fast=True, components=SWEEP),
+        rounds=1,
+        iterations=1,
+    )
+    archive(result)
+    for dataset, spread in result.extras["spreads"].items():
+        assert spread <= 0.15, f"{dataset} precision varies too much: {spread:.3f}"
+    # No collapse at either end of the sweep.
+    for series in result.extras["series"].values():
+        assert min(series) > 0.2

@@ -1,0 +1,33 @@
+"""Regenerates paper Figure 5: runtime scaling from 200 to 1800 columns.
+
+Expected shape (paper §4.5): PLE stays near-zero and almost flat; the KS
+statistic grows linearly (it fits seven distributions per column); Gem and
+Squashing GMM grow gently with column count.
+"""
+
+import numpy as np
+
+from repro.experiments import run_experiment
+
+SIZES = (200, 600, 1000)
+
+
+def bench_fig5_scalability(benchmark, archive):
+    result = benchmark.pedantic(
+        lambda: run_experiment("figure5", sizes=SIZES, n_repeats=1, fast=True),
+        rounds=1,
+        iterations=1,
+    )
+    archive(result)
+    series = result.extras["series"]
+    slopes = result.extras["slopes"]
+    # PLE is the cheapest method at every size.
+    for i in range(len(SIZES)):
+        assert series["PLE"][i] <= min(
+            series["Gem"][i], series["Squashing GMM"][i], series["KS statistic"][i]
+        )
+    # KS scales linearly with columns: cost per column is roughly constant.
+    per_column = [t / n for t, n in zip(series["KS statistic"], SIZES)]
+    assert max(per_column) < 4 * min(per_column)
+    # PLE's slope is the flattest.
+    assert slopes["PLE"] <= min(slopes.values()) + 1e-6

@@ -1,0 +1,75 @@
+"""Micro-benchmarks of the hot primitives (multi-round timings).
+
+These complement the one-shot experiment benches with statistically
+meaningful pytest-benchmark timings of the operations that dominate the
+Figure-5 runtime profile: the EM fit, the signature E-step, PLE encoding,
+KS distribution fitting and header hashing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import KSFeaturesEmbedder, PLEEmbedder
+from repro.core.signature import mean_component_probabilities
+from repro.data.corpora import make_corpus
+from repro.data.synthesis import default_type_library
+from repro.gmm import GaussianMixture
+from repro.text import HashingTextEmbedder
+
+
+@pytest.fixture(scope="module")
+def stack():
+    rng = np.random.default_rng(0)
+    return np.concatenate(
+        [rng.normal(50, 10, 6000), rng.lognormal(3, 1, 3000), rng.uniform(0, 5, 3000)]
+    )
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return make_corpus(
+        "bench", default_type_library()[:20], 60, random_state=0
+    )
+
+
+@pytest.fixture(scope="module")
+def fitted_gmm(stack):
+    return GaussianMixture(20, n_init=1, random_state=0).fit(stack)
+
+
+def bench_gmm_fit_12k_values_20_components(benchmark, stack):
+    benchmark.pedantic(
+        lambda: GaussianMixture(20, n_init=1, random_state=0).fit(stack),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def bench_gmm_responsibilities(benchmark, stack, fitted_gmm):
+    X = stack.reshape(-1, 1)
+    out = benchmark(lambda: fitted_gmm.predict_proba(X))
+    assert out.shape == (stack.size, 20)
+
+
+def bench_signature_mean_probabilities(benchmark, corpus, fitted_gmm):
+    values = corpus.value_lists()
+    out = benchmark(lambda: mean_component_probabilities(fitted_gmm, values))
+    assert out.shape == (len(corpus), 20)
+
+
+def bench_ple_transform(benchmark, corpus):
+    ple = PLEEmbedder(n_bins=50).fit(corpus)
+    out = benchmark(lambda: ple.transform(corpus))
+    assert out.shape == (len(corpus), 50)
+
+
+def bench_ks_features_transform(benchmark, corpus):
+    ks = KSFeaturesEmbedder().fit(corpus)
+    out = benchmark(lambda: ks.transform(corpus))
+    assert out.shape == (len(corpus), 7)
+
+
+def bench_header_embedding(benchmark, corpus):
+    embedder = HashingTextEmbedder()
+    out = benchmark(lambda: embedder.encode(corpus.headers))
+    assert out.shape == (len(corpus), 256)

@@ -1,0 +1,22 @@
+"""Regenerates paper Table 1: dataset statistics.
+
+Expected shape: four corpora; GDS and WDC refine coarse labels into strictly
+more fine labels; Sato and GitTables have a single granularity.
+"""
+
+from repro.experiments import run_experiment
+
+
+def bench_table1_dataset_statistics(benchmark, archive):
+    result = benchmark.pedantic(
+        lambda: run_experiment("table1"), rounds=1, iterations=1
+    )
+    archive(result)
+    assert len(result.rows) == 4
+    # Fine >= coarse everywhere; strict refinement on GDS and WDC.
+    for row in result.rows:
+        assert row[3] >= row[2]
+    assert result.cell("WDC", "# Fine clusters") > result.cell("WDC", "# Coarse clusters")
+    assert result.cell("GDS", "# Fine clusters") > result.cell("GDS", "# Coarse clusters")
+    assert result.cell("Sato Tables", "# Fine clusters") == 12
+    assert result.cell("Git Tables", "# Fine clusters") == 19

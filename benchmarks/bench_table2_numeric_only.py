@@ -1,0 +1,24 @@
+"""Regenerates paper Table 2: numeric-only average precision, 6 methods x 4
+datasets.
+
+Expected shape (paper §4.2.1): Gem (D+S) achieves the highest average
+precision on every dataset; the KS statistic is the weakest feature set.
+"""
+
+from repro.experiments import run_experiment
+
+
+def bench_table2_numeric_only(benchmark, archive):
+    result = benchmark.pedantic(
+        lambda: run_experiment("table2", fast=True), rounds=1, iterations=1
+    )
+    archive(result)
+    scores = result.extras["scores"]
+    # Headline claim: Gem wins everywhere.
+    assert result.extras["gem_wins_everywhere"], scores
+    # Secondary claim: the KS statistic is the weakest method overall.
+    ks_mean = sum(scores["KS statistic"].values()) / 4
+    for method, per_dataset in scores.items():
+        if method == "KS statistic":
+            continue
+        assert sum(per_dataset.values()) / 4 >= ks_mean

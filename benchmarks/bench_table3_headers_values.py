@@ -1,0 +1,28 @@
+"""Regenerates paper Table 3: headers + values on fine-grained GDS and WDC.
+
+Expected shape (paper §4.2.2): concatenation is the best composition; Gem
+D+S+C beats the headers-only baseline on both datasets; headers alone are
+far stronger on GDS (distinct headers) than on WDC (ambiguous headers); the
+supervised single-column baselines trail Gem D+S+C.
+"""
+
+from repro.experiments import run_experiment
+
+
+def bench_table3_headers_values(benchmark, archive):
+    result = benchmark.pedantic(
+        lambda: run_experiment("table3", fast=True), rounds=1, iterations=1
+    )
+    archive(result)
+    s = result.extras["scores"]
+    concat = s["Gem D+S+C (concatenation)"]
+    # Concatenation >= aggregation and >= AE on both datasets.
+    for dataset in ("wdc", "gds"):
+        assert concat[dataset] >= s["Gem D+S+C (aggregation)"][dataset] - 1e-9
+        assert concat[dataset] >= s["Gem D+S+C (AE)"][dataset] - 1e-9
+        # D+S+C beats headers-only and the supervised SC baselines.
+        assert concat[dataset] > s["SBERT (headers only)"][dataset]
+        for sc in ("Pythagoras_SC", "Sherlock_SC", "Sato_SC"):
+            assert concat[dataset] > s[sc][dataset]
+    # GDS headers are far more informative than WDC headers.
+    assert s["SBERT (headers only)"]["gds"] > s["SBERT (headers only)"]["wdc"] + 0.2

@@ -1,0 +1,38 @@
+"""Regenerates paper Table 4: deep-clustering ARI/ACC on GDS and WDC.
+
+Expected shape (paper §4.6): Gem embeddings beat Squashing_SOM embeddings on
+average; headers + values beats values only; GDS clusters better than WDC
+for Gem (headers are discriminative there).
+"""
+
+import numpy as np
+
+from repro.experiments import run_experiment
+
+
+def bench_table4_clustering(benchmark, archive):
+    result = benchmark.pedantic(
+        lambda: run_experiment("table4", fast=True), rounds=1, iterations=1
+    )
+    archive(result)
+    scores = result.extras["scores"]
+
+    def mean_ari(embedding: str, config: str | None = None) -> float:
+        vals = [
+            v["ari"]
+            for (e, c, d, a), v in scores.items()
+            if e == embedding and (config is None or c == config)
+        ]
+        return float(np.mean(vals))
+
+    # Gem > Squashing_SOM on mean ARI (comparable configs: values-based).
+    assert mean_ari("Gem", "Values only") + mean_ari("Gem", "Headers + Values") > (
+        mean_ari("Squashing_SOM", "Values only")
+        + mean_ari("Squashing_SOM", "Headers + Values")
+    ) - 0.05
+    # Headers + values beats values only for Gem on both datasets.
+    for dataset in ("gds", "wdc"):
+        for algorithm in ("TableDC", "SDCN"):
+            hv = scores[("Gem", "Headers + Values", dataset, algorithm)]["ari"]
+            v = scores[("Gem", "Values only", dataset, algorithm)]["ari"]
+            assert hv > v

@@ -1,0 +1,38 @@
+"""Shared benchmark fixtures.
+
+Each ``bench_*`` module regenerates one table or figure of the paper through
+the :mod:`repro.experiments` runners, asserts the headline *shape* the paper
+reports, and archives the rendered artefact under ``benchmarks/results/`` so
+``pytest benchmarks/ --benchmark-only`` leaves a reviewable trail.
+
+Scale: corpora default to the laptop profile; set ``REPRO_SCALE=paper`` for
+Table-1-scale corpora (substantially slower).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def archive(results_dir):
+    """Callable that writes an ExperimentResult (and extras) to disk."""
+
+    def _archive(result) -> None:
+        body = result.to_text()
+        for key in ("charts", "histograms"):
+            if key in result.extras:
+                body += "\n\n" + result.extras[key]
+        (results_dir / f"{result.experiment_id}.txt").write_text(body + "\n")
+
+    return _archive

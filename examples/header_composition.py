@@ -1,0 +1,45 @@
+"""Composing value and header evidence on an ambiguous-header corpus (paper
+Table 3 / §4.2.2 observation 4 in miniature).
+
+WDC-style e-commerce setting: columns like Rating_Movie, Rating_Book and
+Rating_Hotel all carry the header "rating", so header embeddings collapse
+them — but their value distributions differ (constant 10s vs a 1-5 grid vs
+zero-inflated). Gem's distributional block separates what headers cannot.
+
+Run:  python examples/header_composition.py
+"""
+
+from repro import GemConfig, GemEmbedder, average_precision_at_k, make_wdc
+from repro.utils.reporting import format_table
+
+
+def main() -> None:
+    corpus = make_wdc()
+    labels = corpus.labels("fine")
+    print(f"corpus: {corpus}")
+    ratings = [c for c in corpus if c.coarse_label == "rating"][:6]
+    print("\nthe ambiguity: same header family, different fine types")
+    for col in ratings:
+        print(f"  header={col.name!r:12s} fine type={col.fine_label:14s} "
+              f"values={col.values[:5].tolist()}")
+
+    gem = GemEmbedder(config=GemConfig.fast(use_contextual=True, random_state=0))
+    gem.fit(corpus)
+
+    headers_only = gem.contextual_embeddings(corpus)
+    values_only = gem.signature(corpus)
+    combined = gem.transform(corpus)
+
+    rows = [
+        ["headers only (SBERT substitute)", average_precision_at_k(headers_only, labels)],
+        ["values only (Gem D+S)", average_precision_at_k(values_only, labels)],
+        ["headers + values (Gem D+S+C)", average_precision_at_k(combined, labels)],
+    ]
+    print()
+    print(format_table(["evidence", "avg precision (fine labels)"], rows,
+                       title="WDC, fine-grained semantic types"))
+    print("\nheaders alone cannot split coarse groups; the combination wins.")
+
+
+if __name__ == "__main__":
+    main()

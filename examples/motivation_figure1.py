@@ -1,0 +1,27 @@
+"""The paper's Figure 1, regenerated: four look-alike distributions.
+
+Age and Rank are both ~N(30, .); Test Score and Temperature are both
+~N(75, .). The histograms look interchangeable within each pair, yet Gem
+separates the semantic types by their fine distributional structure.
+
+Run:  python examples/motivation_figure1.py
+"""
+
+from repro.experiments import run_experiment
+
+
+def main() -> None:
+    result = run_experiment("figure1")
+    print(result.extras["histograms"])
+    print()
+    print(result.to_text())
+    same = result.extras["same_type_mean"]
+    cross = result.extras["cross_type_mean"]
+    print(
+        f"\nGem: same-type similarity {same:.3f} > look-alike cross-type "
+        f"similarity {cross:.3f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Semantic type detection on a data-lake style corpus (paper Table 2 in
+miniature).
+
+GitTables-style setting: numeric columns with uninformative headers, where
+the only evidence is the value distribution. Compares Gem (D+S) against the
+unsupervised baselines.
+
+Run:  python examples/semantic_type_detection.py
+"""
+
+from repro import GemConfig, GemEmbedder, average_precision_at_k, make_git_tables
+from repro.baselines import (
+    KSFeaturesEmbedder,
+    PAFEmbedder,
+    PLEEmbedder,
+    SquashingGMMEmbedder,
+    SquashingSOMEmbedder,
+)
+from repro.utils.reporting import format_table
+
+
+def main() -> None:
+    corpus = make_git_tables()
+    labels = corpus.labels("coarse")
+    print(f"corpus: {corpus}")
+    print(f"headers are deliberately generic: {sorted({c.name for c in corpus})}\n")
+
+    rows = []
+    for embedder in (
+        SquashingGMMEmbedder(n_components=50, random_state=0),
+        SquashingSOMEmbedder(n_units=50, random_state=0),
+        PLEEmbedder(n_bins=50),
+        PAFEmbedder(n_frequencies=50),
+        KSFeaturesEmbedder(),
+    ):
+        score = average_precision_at_k(embedder.fit_transform(corpus), labels)
+        rows.append([embedder.name, score])
+
+    gem = GemEmbedder(config=GemConfig.fast(random_state=0))
+    rows.append(["Gem (D+S)", average_precision_at_k(gem.fit_transform(corpus), labels)])
+
+    print(format_table(["method", "avg precision"], rows, title="GitTables, numeric only"))
+    best = max(rows, key=lambda r: r[1])
+    print(f"\nbest method: {best[0]} ({best[1]:.3f})")
+
+    # Show one concrete win: a 'duration vs height vs length' style confusion.
+    example = corpus[0]
+    print(
+        f"\nexample column {example.name!r} with values "
+        f"{example.values[:6].tolist()} ... is a {example.fine_label!r}"
+    )
+
+
+if __name__ == "__main__":
+    main()

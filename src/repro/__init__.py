@@ -1,0 +1,59 @@
+"""Gem: Gaussian Mixture Model embeddings for numerical feature distributions.
+
+A complete, from-scratch reproduction of Rauf et al., EDBT 2025. The public
+surface:
+
+* :class:`repro.core.GemEmbedder` / :class:`repro.core.GemConfig` — the
+  paper's contribution;
+* :mod:`repro.data` — corpora (``make_gds``/``make_wdc``/``make_sato_tables``
+  /``make_git_tables``), tabular types and CSV I/O;
+* :mod:`repro.baselines` — every comparator of the evaluation;
+* :mod:`repro.evaluation` — precision@k, clustering ACC/ARI;
+* :mod:`repro.clustering` — SDCN and TableDC deep clustering;
+* :mod:`repro.experiments` — runners regenerating every table and figure.
+
+Quickstart::
+
+    from repro import GemEmbedder, make_gds, average_precision_at_k
+
+    corpus = make_gds()
+    gem = GemEmbedder(n_components=50, n_init=2, random_state=0)
+    embeddings = gem.fit_transform(corpus)
+    print(average_precision_at_k(embeddings, corpus.labels("coarse")))
+"""
+
+from repro.core import GemConfig, GemEmbedder
+from repro.data import (
+    ColumnCorpus,
+    NumericColumn,
+    Table,
+    make_gds,
+    make_git_tables,
+    make_sato_tables,
+    make_wdc,
+)
+from repro.evaluation import (
+    adjusted_rand_index,
+    average_precision_at_k,
+    clustering_accuracy,
+    precision_recall_at_k,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "GemEmbedder",
+    "GemConfig",
+    "ColumnCorpus",
+    "NumericColumn",
+    "Table",
+    "make_gds",
+    "make_wdc",
+    "make_sato_tables",
+    "make_git_tables",
+    "average_precision_at_k",
+    "precision_recall_at_k",
+    "clustering_accuracy",
+    "adjusted_rand_index",
+    "__version__",
+]

@@ -1,0 +1,71 @@
+"""The common column-embedder protocol.
+
+Every method in the comparison — Gem and all baselines — maps a
+:class:`~repro.data.ColumnCorpus` to an ``(n_columns, dim)`` embedding
+matrix. Unsupervised embedders ignore ``labels``; the supervised ``_SC``
+baselines (Sherlock/Sato/Pythagoras) train on them, as their originals do.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.data.table import ColumnCorpus
+
+
+def stratified_train_mask(
+    labels: list[str] | np.ndarray,
+    fraction: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Boolean mask selecting ~``fraction`` of items per label.
+
+    Every label keeps at least one training item, so supervised baselines
+    can represent all classes. The complementary items act as the held-out
+    columns the trained network must generalise to — the paper's supervised
+    baselines (Sherlock/Sato/Pythagoras) are trained models evaluated on
+    unseen columns, not on their own training labels.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    y = np.asarray(labels)
+    mask = np.zeros(y.shape[0], dtype=bool)
+    for label in np.unique(y):
+        idx = np.flatnonzero(y == label)
+        n_train = max(1, int(round(fraction * idx.size)))
+        chosen = rng.choice(idx, size=n_train, replace=False)
+        mask[chosen] = True
+    return mask
+
+
+class ColumnEmbedder(abc.ABC):
+    """Abstract base: fit on a corpus, transform columns to vectors."""
+
+    #: Human-readable method name used in experiment reports.
+    name: str = "embedder"
+
+    @abc.abstractmethod
+    def fit(self, corpus: ColumnCorpus, labels: list[str] | None = None) -> "ColumnEmbedder":
+        """Fit on ``corpus``; supervised embedders require ``labels``."""
+
+    @abc.abstractmethod
+    def transform(self, corpus: ColumnCorpus) -> np.ndarray:
+        """Embed every column; shape ``(len(corpus), dim)``."""
+
+    def fit_transform(
+        self, corpus: ColumnCorpus, labels: list[str] | None = None
+    ) -> np.ndarray:
+        """Fit on ``corpus`` and embed it."""
+        return self.fit(corpus, labels).transform(corpus)
+
+    def _require_corpus(self, corpus: ColumnCorpus) -> ColumnCorpus:
+        if not isinstance(corpus, ColumnCorpus):
+            raise TypeError(
+                f"{type(self).__name__} expects a ColumnCorpus, got {type(corpus).__name__}"
+            )
+        return corpus
+
+
+__all__ = ["ColumnEmbedder", "stratified_train_mask"]

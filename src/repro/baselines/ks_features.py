@@ -1,0 +1,58 @@
+"""KS-statistic baseline [19] (paper §4.1.3).
+
+Each column is described by its Kolmogorov-Smirnov distances to seven fitted
+reference families (normal, uniform, exponential, beta, gamma, log-normal,
+logistic): "different semantic types exhibit unique distributional patterns,
+and the KS statistic helps identify these patterns".
+
+The cost is per-column distribution *fitting* — seven fits per column —
+which is why the paper's Figure 5 shows KS as the steepest-scaling method.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import ColumnEmbedder
+from repro.data.table import ColumnCorpus
+from repro.distributions.ks import ks_statistic_against
+from repro.distributions.univariate import REFERENCE_FAMILIES, Distribution
+
+
+class KSFeaturesEmbedder(ColumnEmbedder):
+    """Seven KS distances per column, one per reference family.
+
+    Parameters
+    ----------
+    families:
+        Distribution families to fit; defaults to the paper's seven.
+    """
+
+    name = "KS statistic"
+
+    def __init__(self, families: tuple[type[Distribution], ...] = REFERENCE_FAMILIES) -> None:
+        if not families:
+            raise ValueError("families must not be empty")
+        self.families = tuple(families)
+
+    def fit(self, corpus: ColumnCorpus, labels: list[str] | None = None) -> "KSFeaturesEmbedder":
+        """Stateless: the per-column fits happen at transform time."""
+        self._require_corpus(corpus)
+        return self
+
+    def transform(self, corpus: ColumnCorpus) -> np.ndarray:
+        """KS-distance vector per column, family order fixed."""
+        corpus = self._require_corpus(corpus)
+        out = np.empty((len(corpus), len(self.families)))
+        for i, col in enumerate(corpus):
+            distances = ks_statistic_against(col.values, self.families)
+            out[i] = [distances[f.name] for f in self.families]
+        return out
+
+    @property
+    def feature_names(self) -> list[str]:
+        """Family names, in embedding-column order."""
+        return [f.name for f in self.families]
+
+
+__all__ = ["KSFeaturesEmbedder"]

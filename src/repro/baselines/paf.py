@@ -1,0 +1,84 @@
+"""Periodic Activation Functions (PAF) — Gorishniy et al. [7].
+
+Values are mapped through sinusoids at ``n_frequencies`` scales:
+``[sin(2*pi*c_k v), cos(2*pi*c_k v)]``. The original learns the frequencies;
+the paper's unsupervised comparison uses fixed frequencies (50 of them,
+§4.1.4), reproduced here as a geometric ladder spanning coarse-to-fine
+scales of the standardised value range. The column embedding is the mean
+over its values' encodings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import ColumnEmbedder
+from repro.data.table import ColumnCorpus
+from repro.utils.validation import check_array_1d, check_fitted, check_positive_int
+
+
+class PAFEmbedder(ColumnEmbedder):
+    """Sinusoidal value encoding, mean-pooled per column.
+
+    Parameters
+    ----------
+    n_frequencies:
+        Number of frequency scales; embedding dim is ``2 * n_frequencies``.
+    min_frequency / max_frequency:
+        Geometric ladder bounds, in cycles per standard deviation of the
+        stacked corpus values.
+
+    Attributes
+    ----------
+    frequencies_ : numpy.ndarray of shape (n_frequencies,)
+    center_ / scale_ : float
+        Standardisation of the stacked values fitted on the corpus.
+    """
+
+    name = "PAF"
+
+    def __init__(
+        self,
+        n_frequencies: int = 50,
+        *,
+        min_frequency: float = 1e-2,
+        max_frequency: float = 1e2,
+    ) -> None:
+        self.n_frequencies = check_positive_int(n_frequencies, "n_frequencies")
+        if min_frequency <= 0 or max_frequency <= min_frequency:
+            raise ValueError(
+                f"need 0 < min_frequency < max_frequency, got {min_frequency}, {max_frequency}"
+            )
+        self.min_frequency = float(min_frequency)
+        self.max_frequency = float(max_frequency)
+        self.frequencies_: np.ndarray | None = None
+        self.center_: float | None = None
+        self.scale_: float | None = None
+
+    def fit(self, corpus: ColumnCorpus, labels: list[str] | None = None) -> "PAFEmbedder":
+        """Standardise the stacked values and lay out the frequency ladder."""
+        corpus = self._require_corpus(corpus)
+        stacked = corpus.stacked_values()
+        self.center_ = float(np.mean(stacked))
+        self.scale_ = float(np.std(stacked)) or 1.0
+        self.frequencies_ = np.geomspace(
+            self.min_frequency, self.max_frequency, self.n_frequencies
+        )
+        return self
+
+    def encode_values(self, values: np.ndarray) -> np.ndarray:
+        """Sin/cos features per value: shape ``(n_values, 2 * n_frequencies)``."""
+        check_fitted(self, "frequencies_")
+        v = check_array_1d(values, "values")
+        z = (v - self.center_) / self.scale_
+        phases = 2.0 * np.pi * z[:, None] * self.frequencies_[None, :]
+        return np.hstack([np.sin(phases), np.cos(phases)])
+
+    def transform(self, corpus: ColumnCorpus) -> np.ndarray:
+        """Mean sinusoidal encoding per column."""
+        corpus = self._require_corpus(corpus)
+        check_fitted(self, "frequencies_")
+        return np.stack([self.encode_values(c.values).mean(axis=0) for c in corpus])
+
+
+__all__ = ["PAFEmbedder"]

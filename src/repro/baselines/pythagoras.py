@@ -1,0 +1,123 @@
+"""Pythagoras_SC — single-column re-implementation of Pythagoras [17] (§4.1.3).
+
+The original builds a heterogeneous graph over tables (column nodes, table
+nodes, metadata edges) and trains a GNN. The paper's context-reduced variant
+keeps "only header data ... excluding table names and neighboring columns"
+and "the same statistical features selected for Gem". Reproduced here as:
+
+* node features — Gem's seven statistical features + header embedding;
+* graph — k-NN over header-embedding cosine similarity (the only context
+  left is headers, so headers define the neighbourhood structure);
+* model — a two-layer GCN trained to classify semantic types; hidden-layer
+  activations are the column embedding.
+
+The paper finds this baseline brittle exactly because its graph rests on
+header similarity alone (§4.2.2, observation 5); the same failure mode
+emerges here on corpora with ambiguous headers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import ColumnEmbedder, stratified_train_mask
+from repro.core.statistics import column_statistics
+from repro.data.table import ColumnCorpus
+from repro.nn.gcn import GCNClassifier, knn_graph
+from repro.text.embedder import HashingTextEmbedder
+from repro.utils.rng import RandomState, check_random_state
+from repro.utils.validation import check_positive_int
+
+
+class PythagorasSCEmbedder(ColumnEmbedder):
+    """GCN over a header-similarity graph with statistical node features.
+
+    Parameters
+    ----------
+    hidden_dim:
+        GCN hidden width (the embedding dimensionality).
+    k_neighbors:
+        Header-graph connectivity.
+    epochs, lr, header_dim, random_state:
+        Training controls.
+    """
+
+    name = "Pythagoras_SC"
+
+    def __init__(
+        self,
+        *,
+        hidden_dim: int = 64,
+        k_neighbors: int = 5,
+        epochs: int = 120,
+        lr: float = 1e-2,
+        header_dim: int = 128,
+        train_fraction: float = 0.6,
+        random_state: RandomState = 0,
+    ) -> None:
+        self.hidden_dim = check_positive_int(hidden_dim, "hidden_dim")
+        self.k_neighbors = check_positive_int(k_neighbors, "k_neighbors")
+        self.epochs = epochs
+        self.lr = lr
+        self.header_dim = header_dim
+        self.train_fraction = train_fraction
+        self.random_state = random_state
+        self._header_embedder = HashingTextEmbedder(dim=header_dim)
+        self.gcn_: GCNClassifier | None = None
+        self._feat_mean: np.ndarray | None = None
+        self._feat_std: np.ndarray | None = None
+        self._train_embeddings: np.ndarray | None = None
+
+    def _node_features(self, corpus: ColumnCorpus) -> tuple[np.ndarray, np.ndarray]:
+        stats = np.stack([column_statistics(c.values) for c in corpus])
+        headers = self._header_embedder.encode(corpus.headers)
+        return stats, headers
+
+    def fit(
+        self, corpus: ColumnCorpus, labels: list[str] | None = None
+    ) -> "PythagorasSCEmbedder":
+        """Build the header graph and train the GCN on ground-truth types.
+
+        GCNs are transductive: fit computes embeddings for exactly the
+        columns it was trained on, and ``transform`` must receive the same
+        corpus.
+        """
+        corpus = self._require_corpus(corpus)
+        if labels is None:
+            raise ValueError(f"{self.name} is supervised: labels are required in fit()")
+        if len(labels) != len(corpus):
+            raise ValueError(f"{len(labels)} labels for {len(corpus)} columns")
+        stats, headers = self._node_features(corpus)
+        self._feat_mean = stats.mean(axis=0)
+        std = stats.std(axis=0)
+        self._feat_std = np.where(std == 0, 1.0, std)
+        X = np.hstack([(stats - self._feat_mean) / self._feat_std, headers])
+        adjacency = knn_graph(headers, k=min(self.k_neighbors, len(corpus) - 1))
+        # Semi-supervised transductive training: all nodes propagate, only a
+        # stratified subset contributes labels (no leakage on eval columns).
+        rng = check_random_state(self.random_state)
+        mask = stratified_train_mask(labels, self.train_fraction, rng)
+        self.gcn_ = GCNClassifier(
+            hidden_dim=self.hidden_dim,
+            epochs=self.epochs,
+            lr=self.lr,
+            random_state=self.random_state,
+        ).fit(X, adjacency, np.asarray(labels), train_mask=mask)
+        self._train_embeddings = self.gcn_.embed(X)
+        self._n_train = len(corpus)
+        return self
+
+    def transform(self, corpus: ColumnCorpus) -> np.ndarray:
+        """Hidden GCN activations for the training corpus."""
+        corpus = self._require_corpus(corpus)
+        if self.gcn_ is None or self._train_embeddings is None:
+            raise RuntimeError(f"{self.name} is not fitted yet; call fit() first")
+        if len(corpus) != self._n_train:
+            raise ValueError(
+                f"{self.name} is transductive: transform() must receive the fit corpus "
+                f"({self._n_train} columns), got {len(corpus)}"
+            )
+        return self._train_embeddings
+
+
+__all__ = ["PythagorasSCEmbedder"]

@@ -1,0 +1,111 @@
+"""Sato_SC — single-column re-implementation of Sato [31] (§4.1.3).
+
+Sato extends Sherlock with topic-aware context; its single-column adaptation
+in the paper keeps "the same statistical features as Sherlock ... combined
+with SBERT embeddings from the headers ... processed in Sato's neural
+network model", dropping the table-level topic/CRF context entirely. The
+architectural remnant modelled here is the narrow mid-network *topic layer*:
+a deeper funnel (wide → narrow bottleneck → wide) whose bottleneck
+activations serve as the column embedding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import ColumnEmbedder, stratified_train_mask
+from repro.baselines.sherlock import sherlock_statistical_features
+from repro.data.table import ColumnCorpus
+from repro.nn.mlp import MLPClassifier
+from repro.text.embedder import HashingTextEmbedder
+from repro.utils.rng import RandomState, check_random_state
+
+
+class SatoSCEmbedder(ColumnEmbedder):
+    """Sherlock features through Sato's deeper topic-bottleneck network.
+
+    Parameters
+    ----------
+    hidden_sizes:
+        Funnel widths; the middle entry is the topic bottleneck the
+        embedding is read from.
+    topic_layer:
+        Index into ``hidden_sizes`` of the bottleneck.
+    dropout, epochs, lr, header_dim, random_state:
+        Training controls.
+    """
+
+    name = "Sato_SC"
+
+    def __init__(
+        self,
+        *,
+        hidden_sizes: tuple[int, ...] = (256, 32, 64),
+        topic_layer: int = 1,
+        dropout: float = 0.3,
+        epochs: int = 60,
+        lr: float = 1e-3,
+        header_dim: int = 128,
+        train_fraction: float = 0.6,
+        random_state: RandomState = 0,
+    ) -> None:
+        if not 0 <= topic_layer < len(hidden_sizes):
+            raise ValueError(
+                f"topic_layer must index hidden_sizes {hidden_sizes}, got {topic_layer}"
+            )
+        self.hidden_sizes = hidden_sizes
+        self.topic_layer = topic_layer
+        self.dropout = dropout
+        self.epochs = epochs
+        self.lr = lr
+        self.header_dim = header_dim
+        self.train_fraction = train_fraction
+        self.random_state = random_state
+        self._header_embedder = HashingTextEmbedder(dim=header_dim)
+        self.classifier_: MLPClassifier | None = None
+        self._feat_mean: np.ndarray | None = None
+        self._feat_std: np.ndarray | None = None
+
+    def _features(self, corpus: ColumnCorpus) -> np.ndarray:
+        stats = np.stack([sherlock_statistical_features(c.values) for c in corpus])
+        if self._feat_mean is None:
+            self._feat_mean = stats.mean(axis=0)
+            std = stats.std(axis=0)
+            self._feat_std = np.where(std == 0, 1.0, std)
+        headers = self._header_embedder.encode(corpus.headers)
+        return np.hstack([(stats - self._feat_mean) / self._feat_std, headers])
+
+    def fit(self, corpus: ColumnCorpus, labels: list[str] | None = None) -> "SatoSCEmbedder":
+        """Train the topic-funnel classifier on ground-truth types."""
+        corpus = self._require_corpus(corpus)
+        if labels is None:
+            raise ValueError(f"{self.name} is supervised: labels are required in fit()")
+        if len(labels) != len(corpus):
+            raise ValueError(f"{len(labels)} labels for {len(corpus)} columns")
+        self._feat_mean = None  # refresh standardisation on refit
+        X = self._features(corpus)
+        rng = check_random_state(self.random_state)
+        mask = stratified_train_mask(labels, self.train_fraction, rng)
+        self.classifier_ = MLPClassifier(
+            self.hidden_sizes,
+            dropout=self.dropout,
+            epochs=self.epochs,
+            lr=self.lr,
+            random_state=self.random_state,
+        ).fit(X[mask], np.asarray(labels)[mask])
+        return self
+
+    def transform(self, corpus: ColumnCorpus) -> np.ndarray:
+        """Topic-bottleneck activations per column."""
+        corpus = self._require_corpus(corpus)
+        if self.classifier_ is None:
+            raise RuntimeError(f"{self.name} is not fitted yet; call fit() first")
+        X = self._features(corpus)
+        # Layers per hidden block: Dense, ReLU, (Dropout). Walk to the end of
+        # the topic block and read its activations.
+        per_block = 3 if self.dropout > 0 else 2
+        n_layers = per_block * (self.topic_layer + 1) - (1 if self.dropout > 0 else 0)
+        return self.classifier_.model_.forward_until(X, n_layers)
+
+
+__all__ = ["SatoSCEmbedder"]

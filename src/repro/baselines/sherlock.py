@@ -1,0 +1,149 @@
+"""Sherlock_SC — single-column re-implementation of Sherlock [10] (§4.1.3).
+
+Per the paper's adaptation: statistical features extracted from the numeric
+column (mean, variance, skewness, kurtosis, ...) are augmented with
+SBERT-substitute header embeddings and processed by "dense layers with
+dropout and a softmax layer". The trained network's penultimate activations
+are the column embedding. Trained supervised on the ground-truth semantic
+types, as the original is.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import ColumnEmbedder, stratified_train_mask
+from repro.data.table import ColumnCorpus
+from repro.nn.mlp import MLPClassifier
+from repro.text.embedder import HashingTextEmbedder
+from repro.utils.rng import RandomState, check_random_state
+from repro.utils.validation import check_array_1d
+
+#: Names of the numeric features, in vector order.
+SHERLOCK_FEATURE_NAMES: tuple[str, ...] = (
+    "count",
+    "unique_count",
+    "mean",
+    "variance",
+    "skewness",
+    "kurtosis",
+    "min",
+    "max",
+    "median",
+    "sum",
+)
+
+
+def sherlock_statistical_features(values: np.ndarray) -> np.ndarray:
+    """Sherlock's numeric feature vector for one column.
+
+    Skewness and kurtosis are the standardised central moments with an
+    epsilon-guarded denominator (constant columns get 0 skew / -3 excess
+    kurtosis like a point mass).
+    """
+    v = check_array_1d(values, "values")
+    mean = float(np.mean(v))
+    var = float(np.var(v))
+    std = np.sqrt(var)
+    if std > 0:
+        z = (v - mean) / std
+        skew = float(np.mean(z**3))
+        kurt = float(np.mean(z**4) - 3.0)
+    else:
+        skew, kurt = 0.0, -3.0
+    return np.array(
+        [
+            float(v.size),
+            float(np.unique(v).size),
+            mean,
+            var,
+            skew,
+            kurt,
+            float(np.min(v)),
+            float(np.max(v)),
+            float(np.median(v)),
+            float(np.sum(v)),
+        ]
+    )
+
+
+class SherlockSCEmbedder(ColumnEmbedder):
+    """Statistical + header features through a dense softmax network.
+
+    Parameters
+    ----------
+    hidden_sizes, dropout, epochs, lr:
+        MLP hyper-parameters (defaults follow Sherlock's dense-dropout
+        architecture at reduced scale).
+    header_dim:
+        Width of the header-embedding block.
+    random_state:
+        Seed.
+    """
+
+    name = "Sherlock_SC"
+
+    def __init__(
+        self,
+        *,
+        hidden_sizes: tuple[int, ...] = (128, 64),
+        dropout: float = 0.2,
+        epochs: int = 60,
+        lr: float = 1e-3,
+        header_dim: int = 128,
+        train_fraction: float = 0.6,
+        random_state: RandomState = 0,
+    ) -> None:
+        self.hidden_sizes = hidden_sizes
+        self.dropout = dropout
+        self.epochs = epochs
+        self.lr = lr
+        self.header_dim = header_dim
+        self.train_fraction = train_fraction
+        self.random_state = random_state
+        self._header_embedder = HashingTextEmbedder(dim=header_dim)
+        self.classifier_: MLPClassifier | None = None
+        self._feat_mean: np.ndarray | None = None
+        self._feat_std: np.ndarray | None = None
+
+    def _features(self, corpus: ColumnCorpus) -> tuple[np.ndarray, np.ndarray]:
+        stats = np.stack([sherlock_statistical_features(c.values) for c in corpus])
+        headers = self._header_embedder.encode(corpus.headers)
+        return stats, headers
+
+    def fit(self, corpus: ColumnCorpus, labels: list[str] | None = None) -> "SherlockSCEmbedder":
+        """Train the classifier on ground-truth semantic types."""
+        corpus = self._require_corpus(corpus)
+        if labels is None:
+            raise ValueError(f"{self.name} is supervised: labels are required in fit()")
+        if len(labels) != len(corpus):
+            raise ValueError(f"{len(labels)} labels for {len(corpus)} columns")
+        stats, headers = self._features(corpus)
+        self._feat_mean = stats.mean(axis=0)
+        std = stats.std(axis=0)
+        self._feat_std = np.where(std == 0, 1.0, std)
+        X = np.hstack([(stats - self._feat_mean) / self._feat_std, headers])
+        # Train on a stratified subset so embeddings are judged on columns
+        # the network never saw labels for (no label leakage).
+        rng = check_random_state(self.random_state)
+        mask = stratified_train_mask(labels, self.train_fraction, rng)
+        self.classifier_ = MLPClassifier(
+            self.hidden_sizes,
+            dropout=self.dropout,
+            epochs=self.epochs,
+            lr=self.lr,
+            random_state=self.random_state,
+        ).fit(X[mask], np.asarray(labels)[mask])
+        return self
+
+    def transform(self, corpus: ColumnCorpus) -> np.ndarray:
+        """Penultimate-layer activations per column."""
+        corpus = self._require_corpus(corpus)
+        if self.classifier_ is None:
+            raise RuntimeError(f"{self.name} is not fitted yet; call fit() first")
+        stats, headers = self._features(corpus)
+        X = np.hstack([(stats - self._feat_mean) / self._feat_std, headers])
+        return self.classifier_.embed(X)
+
+
+__all__ = ["SherlockSCEmbedder", "sherlock_statistical_features", "SHERLOCK_FEATURE_NAMES"]

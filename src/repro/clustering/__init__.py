@@ -1,0 +1,31 @@
+"""Deep clustering algorithms for column embeddings (paper Table 4).
+
+The paper evaluates Gem embeddings under two deep-clustering algorithms:
+SDCN [2] (autoencoder + graph module with dual self-supervision) and TableDC
+[21] (autoencoder with Mahalanobis/Cauchy soft assignments, designed for
+data-management embeddings). Both are implemented on the numpy NN substrate:
+
+* :mod:`repro.clustering.deep` — the shared DEC-style machinery: student-t /
+  Cauchy soft assignments, target-distribution sharpening, KL gradients and
+  the pretrain + self-train loop;
+* :class:`~repro.clustering.sdcn.SDCN`;
+* :class:`~repro.clustering.tabledc.TableDC`.
+"""
+
+from repro.clustering.deep import (
+    DeepClusteringBase,
+    kl_divergence,
+    student_t_assignments,
+    target_distribution,
+)
+from repro.clustering.sdcn import SDCN
+from repro.clustering.tabledc import TableDC
+
+__all__ = [
+    "DeepClusteringBase",
+    "student_t_assignments",
+    "target_distribution",
+    "kl_divergence",
+    "SDCN",
+    "TableDC",
+]

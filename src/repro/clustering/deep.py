@@ -1,0 +1,230 @@
+"""Shared deep-clustering machinery (DEC-style self-training).
+
+Both SDCN and TableDC inherit the same skeleton (Xie et al.'s DEC recipe):
+
+1. pretrain an autoencoder on the embeddings;
+2. initialise cluster centres with k-means on the latent codes;
+3. alternate: compute soft assignments ``Q`` of latents to centres, sharpen
+   them into a target distribution ``P = q² / f`` (periodically), and descend
+   the combined loss  ``L = L_reconstruction + gamma * KL(P || Q)``
+   through the encoder and the centres.
+
+The KL gradients with respect to latents and centres are the closed forms of
+the DEC paper (verified against finite differences in the test suite);
+subclasses choose the assignment kernel (student-t for SDCN, Mahalanobis
+Cauchy for TableDC) and may add extra modules (SDCN's GCN branch).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gmm.kmeans import KMeans
+from repro.nn.autoencoder import Autoencoder
+from repro.nn.losses import MSELoss
+from repro.nn.optim import Adam
+from repro.utils.rng import RandomState, check_random_state, spawn_seeds
+from repro.utils.validation import check_array_2d, check_positive_int
+
+
+def student_t_assignments(
+    z: np.ndarray, centers: np.ndarray, *, alpha: float = 1.0
+) -> np.ndarray:
+    """Soft assignments ``q_ij ∝ (1 + ||z_i - mu_j||² / alpha)^-(alpha+1)/2``.
+
+    The student-t kernel of DEC/SDCN; rows sum to one.
+    """
+    dist_sq = (
+        np.sum(z**2, axis=1, keepdims=True)
+        - 2 * z @ centers.T
+        + np.sum(centers**2, axis=1)
+    )
+    np.maximum(dist_sq, 0.0, out=dist_sq)
+    q = (1.0 + dist_sq / alpha) ** (-(alpha + 1.0) / 2.0)
+    return q / q.sum(axis=1, keepdims=True)
+
+
+def target_distribution(q: np.ndarray) -> np.ndarray:
+    """DEC's sharpened targets ``p_ij = (q_ij² / f_j) / sum_j'(...)``.
+
+    ``f_j`` is the soft cluster frequency; squaring emphasises confident
+    assignments, the division prevents large clusters from dominating.
+    """
+    weight = q**2 / np.maximum(q.sum(axis=0), 1e-12)
+    return weight / weight.sum(axis=1, keepdims=True)
+
+
+def kl_divergence(p: np.ndarray, q: np.ndarray) -> float:
+    """``KL(P || Q)`` averaged over rows (both row-stochastic)."""
+    eps = 1e-12
+    return float(np.mean(np.sum(p * (np.log(p + eps) - np.log(q + eps)), axis=1)))
+
+
+class DeepClusteringBase:
+    """Template for autoencoder-based deep clustering.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of clusters.
+    latent_dim, ae_hidden:
+        Autoencoder bottleneck and hidden widths.
+    pretrain_epochs, finetune_epochs:
+        Reconstruction pretraining and self-training schedule.
+    gamma:
+        Weight of the clustering KL term against reconstruction.
+    update_interval:
+        Epochs between target-distribution refreshes.
+    lr, random_state:
+        Optimiser and seeding controls.
+
+    Attributes
+    ----------
+    autoencoder_ : Autoencoder
+    centers_ : numpy.ndarray of shape (n_clusters, latent_dim)
+    labels_ : numpy.ndarray
+        Final hard assignments from :meth:`fit_predict`.
+    history_ : list[dict]
+        Per-epoch loss components.
+    """
+
+    name = "deep-clustering"
+
+    def __init__(
+        self,
+        n_clusters: int,
+        *,
+        latent_dim: int = 16,
+        ae_hidden: tuple[int, ...] = (128, 64),
+        pretrain_epochs: int = 60,
+        finetune_epochs: int = 60,
+        gamma: float = 0.5,
+        update_interval: int = 5,
+        lr: float = 1e-3,
+        random_state: RandomState = 0,
+    ) -> None:
+        self.n_clusters = check_positive_int(n_clusters, "n_clusters", minimum=2)
+        self.latent_dim = check_positive_int(latent_dim, "latent_dim")
+        self.ae_hidden = tuple(ae_hidden)
+        self.pretrain_epochs = check_positive_int(pretrain_epochs, "pretrain_epochs")
+        self.finetune_epochs = check_positive_int(finetune_epochs, "finetune_epochs")
+        self.gamma = float(gamma)
+        self.update_interval = check_positive_int(update_interval, "update_interval")
+        self.lr = float(lr)
+        self.random_state = random_state
+        self.autoencoder_: Autoencoder | None = None
+        self.centers_: np.ndarray | None = None
+        self.labels_: np.ndarray | None = None
+        self.history_: list[dict] = []
+
+    # ------------------------------------------------------ subclass hooks
+
+    def _soft_assign(self, z: np.ndarray) -> np.ndarray:
+        """Row-stochastic soft assignments of latents to centres."""
+        return student_t_assignments(z, self.centers_)
+
+    def _student_t_coeff(self, z: np.ndarray, q: np.ndarray, p: np.ndarray) -> np.ndarray:
+        """Shared coefficient ``2 (1+d²)^-1 (p - q) / n`` of the DEC gradients."""
+        dist_sq = (
+            np.sum(z**2, axis=1, keepdims=True)
+            - 2 * z @ self.centers_.T
+            + np.sum(self.centers_**2, axis=1)
+        )
+        inv = 1.0 / (1.0 + np.maximum(dist_sq, 0.0))
+        return 2.0 * inv * (p - q) / z.shape[0]
+
+    def _kl_grad_z(self, z: np.ndarray, q: np.ndarray, p: np.ndarray) -> np.ndarray:
+        """dKL/dz for the student-t kernel: ``sum_j coeff_ij (z_i - mu_j)``."""
+        coeff = self._student_t_coeff(z, q, p)
+        return coeff.sum(axis=1, keepdims=True) * z - coeff @ self.centers_
+
+    def _kl_grad_centers(self, z: np.ndarray, q: np.ndarray, p: np.ndarray) -> np.ndarray:
+        """dKL/dmu for the student-t kernel: ``-sum_i coeff_ij (z_i - mu_j)``."""
+        coeff = self._student_t_coeff(z, q, p)
+        return -(coeff.T @ z - coeff.sum(axis=0)[:, None] * self.centers_)
+
+    def _refresh_statistics(self, z: np.ndarray) -> None:
+        """Hook for per-interval statistics (TableDC's covariance refresh)."""
+
+    def _extra_setup(self, X: np.ndarray, rng: np.random.Generator) -> None:
+        """Hook for extra modules (SDCN's graph branch)."""
+
+    def _extra_step(self, X: np.ndarray, p: np.ndarray) -> dict[str, float]:
+        """Hook: one training step of extra modules; returns loss entries."""
+        return {}
+
+    def _predict_assignments(self, X: np.ndarray, q: np.ndarray) -> np.ndarray:
+        """Final hard labels from the trained model."""
+        return np.argmax(q, axis=1)
+
+    # -------------------------------------------------------------- fitting
+
+    def fit_predict(self, X: np.ndarray) -> np.ndarray:
+        """Cluster the rows of ``X``; returns integer labels."""
+        X = check_array_2d(X, "X")
+        if X.shape[0] < self.n_clusters:
+            raise ValueError(
+                f"n_samples={X.shape[0]} must be >= n_clusters={self.n_clusters}"
+            )
+        rng = check_random_state(self.random_state)
+        seeds = spawn_seeds(rng, 4)
+        # Standardise inputs; embeddings arrive at wildly different scales.
+        mu = X.mean(axis=0)
+        sigma = X.std(axis=0)
+        sigma = np.where(sigma == 0, 1.0, sigma)
+        Xs = (X - mu) / sigma
+
+        self.autoencoder_ = Autoencoder(
+            latent_dim=self.latent_dim,
+            hidden_sizes=self.ae_hidden,
+            epochs=self.pretrain_epochs,
+            lr=self.lr,
+            random_state=seeds[0],
+        ).fit(Xs)
+        z = self.autoencoder_.encode(Xs)
+        km = KMeans(self.n_clusters, n_init=5, random_state=seeds[1])
+        km.fit(z)
+        self.centers_ = km.cluster_centers_.copy()
+        self._refresh_statistics(z)
+        self._extra_setup(Xs, check_random_state(seeds[2]))
+
+        encoder = self.autoencoder_.encoder_
+        decoder = self.autoencoder_.decoder_
+        optimizer = Adam(encoder.parameters() + decoder.parameters(), lr=self.lr)
+        mse = MSELoss()
+        p = target_distribution(self._soft_assign(z))
+        self.history_ = []
+        for epoch in range(self.finetune_epochs):
+            z = encoder.forward(Xs, training=True)
+            recon = decoder.forward(z, training=True)
+            q = self._soft_assign(z)
+            if epoch % self.update_interval == 0:
+                self._refresh_statistics(z)
+                q = self._soft_assign(z)
+                p = target_distribution(q)
+            losses = {
+                "reconstruction": mse.forward(recon, Xs),
+                "kl": kl_divergence(p, q),
+            }
+            optimizer.zero_grad()
+            grad_recon = mse.backward(recon, Xs)
+            grad_z = decoder.backward(grad_recon)
+            grad_z = grad_z + self.gamma * self._kl_grad_z(z, q, p)
+            encoder.backward(grad_z)
+            optimizer.step()
+            # Centres follow their own gradient (plain SGD keeps them stable).
+            self.centers_ -= self.lr * 10.0 * self.gamma * self._kl_grad_centers(z, q, p)
+            losses.update(self._extra_step(Xs, p))
+            self.history_.append(losses)
+        z = encoder.forward(Xs, training=False)
+        q = self._soft_assign(z)
+        self.labels_ = self._predict_assignments(Xs, q)
+        return self.labels_
+
+
+__all__ = [
+    "student_t_assignments",
+    "target_distribution",
+    "kl_divergence",
+    "DeepClusteringBase",
+]

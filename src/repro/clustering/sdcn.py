@@ -1,0 +1,93 @@
+"""SDCN — Structural Deep Clustering Network (Bo et al., WWW 2020) [2].
+
+SDCN couples an autoencoder with a GCN over a k-NN graph of the inputs and
+trains both under *dual self-supervision*: the sharpened target distribution
+``P`` supervises the autoencoder's soft assignments ``Q`` (KL(P||Q)) *and*
+the GCN's cluster-distribution output ``Z`` (KL(P||Z)). This reproduction
+keeps that structure on the numpy substrate:
+
+* autoencoder branch — inherited from :class:`DeepClusteringBase`
+  (student-t assignments, DEC gradients);
+* graph branch — a two-layer GCN over the k-NN graph of the embeddings
+  whose softmax output is pushed towards ``P`` each epoch;
+* prediction — the average of ``Q`` and ``Z`` (the paper's fused view).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.clustering.deep import DeepClusteringBase, kl_divergence
+from repro.nn.gcn import GraphConvolution, knn_graph, normalized_adjacency
+from repro.nn.layers import ReLU, Sequential
+from repro.nn.losses import SoftmaxCrossEntropy
+from repro.nn.optim import Adam
+from repro.utils.rng import RandomState, spawn_seeds
+from repro.utils.validation import check_positive_int
+
+
+class SDCN(DeepClusteringBase):
+    """Autoencoder + GCN with dual self-supervision.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of clusters.
+    k_neighbors:
+        Connectivity of the k-NN graph the GCN propagates over.
+    gcn_hidden:
+        GCN hidden width.
+    beta:
+        Weight of the GCN KL term (the autoencoder KL term uses ``gamma``).
+    (remaining parameters as in :class:`DeepClusteringBase`)
+    """
+
+    name = "SDCN"
+
+    def __init__(
+        self,
+        n_clusters: int,
+        *,
+        k_neighbors: int = 5,
+        gcn_hidden: int = 32,
+        beta: float = 0.3,
+        **kwargs: object,
+    ) -> None:
+        super().__init__(n_clusters, **kwargs)
+        self.k_neighbors = check_positive_int(k_neighbors, "k_neighbors")
+        self.gcn_hidden = check_positive_int(gcn_hidden, "gcn_hidden")
+        self.beta = float(beta)
+        self.gcn_: Sequential | None = None
+        self._gcn_optimizer: Adam | None = None
+
+    def _extra_setup(self, X: np.ndarray, rng: np.random.Generator) -> None:
+        adjacency = knn_graph(X, k=min(self.k_neighbors, X.shape[0] - 1))
+        a_hat = normalized_adjacency(adjacency)
+        seeds = spawn_seeds(rng, 2)
+        gc1 = GraphConvolution(X.shape[1], self.gcn_hidden, random_state=seeds[0])
+        gc2 = GraphConvolution(self.gcn_hidden, self.n_clusters, random_state=seeds[1])
+        gc1.adjacency = a_hat
+        gc2.adjacency = a_hat
+        self.gcn_ = Sequential(gc1, ReLU(), gc2)
+        self._gcn_optimizer = Adam(self.gcn_.parameters(), lr=self.lr)
+
+    def _extra_step(self, X: np.ndarray, p: np.ndarray) -> dict[str, float]:
+        assert self.gcn_ is not None and self._gcn_optimizer is not None
+        logits = self.gcn_.forward(X, training=True)
+        z_dist = SoftmaxCrossEntropy.softmax(logits)
+        loss = kl_divergence(p, z_dist)
+        # dKL(P||softmax(logits))/dlogits = (Z - P) / n
+        grad = (z_dist - p) / X.shape[0]
+        self._gcn_optimizer.zero_grad()
+        self.gcn_.backward(self.beta * grad)
+        self._gcn_optimizer.step()
+        return {"gcn_kl": loss}
+
+    def _predict_assignments(self, X: np.ndarray, q: np.ndarray) -> np.ndarray:
+        assert self.gcn_ is not None
+        logits = self.gcn_.forward(X, training=False)
+        z_dist = SoftmaxCrossEntropy.softmax(logits)
+        return np.argmax(0.5 * q + 0.5 * z_dist, axis=1)
+
+
+__all__ = ["SDCN"]

@@ -1,0 +1,38 @@
+"""Gem: Gaussian Mixture Model embeddings for numerical columns.
+
+The paper's primary contribution (§3). The pipeline, per Algorithm 1:
+
+1. stack all column values into one 1-D array and fit a GMM
+   (:mod:`repro.gmm`) with ``m`` components, EM tolerance ``1e-3`` and 10
+   restarts (§3.1, §4.1.4);
+2. **signature mechanism** — for every column, average the per-value
+   component responsibilities into a mean-probability vector (§3.2);
+3. compute seven statistical features per column, z-standardised across the
+   corpus (Eq. 7);
+4. concatenate mean probabilities with standardised features (Eq. 8) and
+   L1-normalise (Eq. 9) — the distributional+statistical signature ``P_i``;
+5. optionally embed headers (:mod:`repro.text`, Eq. 10) and compose
+   ``C_i = [P_i || S_i]`` (Eq. 11) or the aggregated variant (Eq. 13).
+
+:class:`~repro.core.gem.GemEmbedder` is the public entry point.
+"""
+
+from repro.core.composition import compose
+from repro.core.config import GemConfig
+from repro.core.gem import GemEmbedder
+from repro.core.persistence import load_gem, save_gem
+from repro.core.signature import mean_component_probabilities, signature_matrix
+from repro.core.statistics import STATISTICAL_FEATURE_NAMES, column_statistics, statistics_matrix
+
+__all__ = [
+    "GemEmbedder",
+    "GemConfig",
+    "compose",
+    "save_gem",
+    "load_gem",
+    "mean_component_probabilities",
+    "signature_matrix",
+    "column_statistics",
+    "statistics_matrix",
+    "STATISTICAL_FEATURE_NAMES",
+]

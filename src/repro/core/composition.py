@@ -1,0 +1,99 @@
+"""Composition of distributional / statistical / contextual embedding blocks.
+
+Table 3 compares three ways of merging Gem's value embeddings with header
+embeddings (§4.2.2):
+
+* **concatenation** — blocks joined side by side (Eqs. 11/13); preserves
+  every block intact and wins in the paper;
+* **aggregation** — blocks summarised into one vector of common width
+  (each block is resampled to the widest block's length by linear
+  interpolation, then averaged); loses detail by construction;
+* **autoencoder** — the concatenated vector compressed to a latent space by
+  :class:`~repro.nn.Autoencoder`; captures high-level structure but drops
+  fine distributional detail.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.autoencoder import Autoencoder
+from repro.utils.rng import RandomState
+from repro.utils.validation import check_array_2d
+
+_METHODS = ("concatenation", "aggregation", "autoencoder")
+
+
+def compose(
+    blocks: list[np.ndarray],
+    method: str = "concatenation",
+    *,
+    latent_dim: int = 64,
+    ae_epochs: int = 150,
+    random_state: RandomState = 0,
+) -> np.ndarray:
+    """Merge embedding blocks into the final per-column embedding matrix.
+
+    Parameters
+    ----------
+    blocks:
+        Non-empty list of ``(n, d_k)`` matrices sharing the row count.
+    method:
+        ``"concatenation"``, ``"aggregation"`` or ``"autoencoder"``.
+    latent_dim, ae_epochs:
+        Autoencoder-composition bottleneck width and training epochs.
+    random_state:
+        Seed for the autoencoder.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n, sum d_k)`` for concatenation, ``(n, max d_k)`` for
+        aggregation, ``(n, latent_dim)`` for autoencoder.
+    """
+    if method not in _METHODS:
+        raise ValueError(f"method must be one of {_METHODS}, got {method!r}")
+    if not blocks:
+        raise ValueError("blocks must not be empty")
+    blocks = [check_array_2d(b, f"blocks[{i}]") for i, b in enumerate(blocks)]
+    n = blocks[0].shape[0]
+    for i, b in enumerate(blocks):
+        if b.shape[0] != n:
+            raise ValueError(f"blocks[{i}] has {b.shape[0]} rows, expected {n}")
+
+    if len(blocks) == 1 and method != "autoencoder":
+        return blocks[0]
+
+    if method == "concatenation":
+        return np.hstack(blocks)
+
+    if method == "aggregation":
+        width = max(b.shape[1] for b in blocks)
+        resized = [_resample_rows(b, width) for b in blocks]
+        return np.mean(resized, axis=0)
+
+    concat = np.hstack(blocks)
+    latent_dim = min(latent_dim, max(2, concat.shape[1]))
+    ae = Autoencoder(
+        latent_dim=latent_dim,
+        hidden_sizes=(max(latent_dim * 2, 32),),
+        epochs=ae_epochs,
+        random_state=random_state,
+    )
+    return ae.fit_transform(concat)
+
+
+def _resample_rows(block: np.ndarray, width: int) -> np.ndarray:
+    """Resample each row to ``width`` points by linear interpolation."""
+    n, d = block.shape
+    if d == width:
+        return block
+    src = np.linspace(0.0, 1.0, d)
+    dst = np.linspace(0.0, 1.0, width)
+    out = np.empty((n, width))
+    for i in range(n):
+        out[i] = np.interp(dst, src, block[i])
+    return out
+
+
+__all__ = ["compose"]

@@ -1,0 +1,341 @@
+"""The Gem embedder: end-to-end pipeline of paper §3 / Algorithm 1.
+
+Typical use::
+
+    from repro.core import GemEmbedder
+    from repro.data import make_gds
+
+    corpus = make_gds()
+    gem = GemEmbedder(n_components=50, n_init=10, random_state=0)
+    embeddings = gem.fit_transform(corpus)          # (n_columns, dim)
+
+The embedder is corpus-level by design: the GMM is fitted on the stack of
+*all* column values (§3.2) and the statistical features are standardised
+across the corpus (Eq. 7), so embeddings of different columns are mutually
+comparable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.composition import compose
+from repro.core.config import GemConfig
+from repro.core.signature import mean_component_probabilities, signature_matrix
+from repro.core.statistics import column_statistics, statistics_matrix
+from repro.data.table import ColumnCorpus
+from repro.gmm.model import GaussianMixture
+from repro.gmm.selection import select_n_components_bic
+from repro.text.embedder import HashingTextEmbedder
+from repro.utils.preprocessing import l1_normalize
+from repro.utils.rng import check_random_state
+from repro.utils.validation import check_fitted
+
+
+def _balance(block: np.ndarray) -> np.ndarray:
+    """Scale a block to unit mean row L2-norm (see GemConfig.balance_blocks)."""
+    norms = np.linalg.norm(block, axis=1)
+    mean_norm = float(norms.mean())
+    if mean_norm == 0:
+        return block
+    return block / mean_norm
+
+
+def log_squash(values: np.ndarray) -> np.ndarray:
+    """Sign-preserving log squash ``sign(x) * log(1 + |x|)``.
+
+    The transform Jiang et al. [11] apply before prototype induction;
+    exposed here because :class:`GemConfig` offers it as an ablation
+    (``value_transform="log_squash"``).
+    """
+    v = np.asarray(values, dtype=float)
+    return np.sign(v) * np.log1p(np.abs(v))
+
+
+class GemEmbedder:
+    """Gaussian Mixture Model embeddings for numerical columns.
+
+    Parameters
+    ----------
+    n_components:
+        Number of Gaussian components; overrides the config value.
+    config:
+        A full :class:`~repro.core.config.GemConfig`; defaults to the
+        paper's settings.
+    **overrides:
+        Any :class:`GemConfig` field as a keyword (e.g. ``n_init=2``,
+        ``use_contextual=True``).
+
+    Attributes
+    ----------
+    gmm_ : GaussianMixture
+        The shared mixture fitted on the stacked values (``fit_mode =
+        "stacked"``).
+    config : GemConfig
+        The resolved configuration.
+    """
+
+    def __init__(
+        self,
+        n_components: int | None = None,
+        *,
+        config: GemConfig | None = None,
+        **overrides: object,
+    ) -> None:
+        cfg = config if config is not None else GemConfig()
+        fields = {f.name for f in dataclasses.fields(GemConfig)}
+        unknown = set(overrides) - fields
+        if unknown:
+            raise TypeError(f"unknown GemConfig overrides: {sorted(unknown)}")
+        if n_components is not None:
+            overrides["n_components"] = n_components
+        if overrides:
+            cfg = dataclasses.replace(cfg, **overrides)  # type: ignore[arg-type]
+        self.config = cfg
+        self._header_embedder = HashingTextEmbedder(dim=cfg.header_dim)
+        self.gmm_: GaussianMixture | None = None
+        self.bic_scores_: dict[int, float] | None = None
+        self._transform_stats: tuple[float, float] | None = None
+        self._feature_mean: np.ndarray | None = None
+        self._feature_std: np.ndarray | None = None
+
+    # ------------------------------------------------------------------ fit
+
+    def fit(self, corpus: ColumnCorpus) -> "GemEmbedder":
+        """Fit the value model on a corpus (Algorithm 1, lines 1-9).
+
+        Fits the shared GMM on the stacked (optionally transformed) values
+        and freezes the statistical-feature standardisation so ``transform``
+        can embed unseen columns consistently.
+        """
+        if not isinstance(corpus, ColumnCorpus):
+            raise TypeError(f"corpus must be a ColumnCorpus, got {type(corpus).__name__}")
+        cfg = self.config
+        stacked = corpus.stacked_values()
+        stacked = self._fit_value_transform(stacked)
+        n_components = cfg.n_components
+        if cfg.auto_components and cfg.fit_mode == "stacked":
+            n_components = self._select_components(stacked)
+        if cfg.fit_mode == "stacked":
+            self.gmm_ = GaussianMixture(
+                n_components=min(n_components, stacked.size),
+                tol=cfg.tol,
+                n_init=cfg.n_init,
+                max_iter=cfg.max_iter,
+                reg_covar=cfg.covariance_floor,
+                init=cfg.gmm_init,
+                random_state=cfg.random_state,
+            ).fit(stacked.reshape(-1, 1))
+        else:
+            self.gmm_ = None  # per-column mode fits at transform time
+        raw_feats = np.stack([column_statistics(c.values) for c in corpus])
+        self._feature_mean = raw_feats.mean(axis=0)
+        std = raw_feats.std(axis=0)
+        self._feature_std = np.where(std == 0, 1.0, std)
+        self._fitted = True
+        return self
+
+    def _select_components(self, stacked: np.ndarray) -> int:
+        """BIC sweep over the configured candidates (paper §4.1.4).
+
+        Runs on a 10k-value subsample: BIC rankings on stacked 1-D value
+        data stabilise well below that, and the full fit follows anyway.
+        """
+        cfg = self.config
+        sample = stacked
+        if sample.size > 10_000:
+            rng = check_random_state(cfg.random_state)
+            sample = rng.choice(sample, size=10_000, replace=False)
+        try:
+            best, scores = select_n_components_bic(
+                sample,
+                candidates=cfg.bic_candidates,
+                n_init=1,
+                max_iter=min(cfg.max_iter, 100),
+                random_state=cfg.random_state,
+            )
+        except ValueError:
+            return cfg.n_components
+        self.bic_scores_ = scores
+        return best
+
+    def _fit_value_transform(self, stacked: np.ndarray) -> np.ndarray:
+        cfg = self.config
+        if cfg.value_transform == "none":
+            self._transform_stats = None
+            return stacked
+        if cfg.value_transform == "log_squash":
+            self._transform_stats = None
+            return log_squash(stacked)
+        mu, sigma = float(np.mean(stacked)), float(np.std(stacked)) or 1.0
+        self._transform_stats = (mu, sigma)
+        return (stacked - mu) / sigma
+
+    def _apply_value_transform(self, values: np.ndarray) -> np.ndarray:
+        cfg = self.config
+        if cfg.value_transform == "none":
+            return values
+        if cfg.value_transform == "log_squash":
+            return log_squash(values)
+        assert self._transform_stats is not None
+        mu, sigma = self._transform_stats
+        return (values - mu) / sigma
+
+    # ------------------------------------------------------------ transform
+
+    def transform(self, corpus: ColumnCorpus) -> np.ndarray:
+        """Embed every column of ``corpus`` per the configured D/S/C mix."""
+        self._check_fitted()
+        cfg = self.config
+        blocks: list[np.ndarray] = []
+        if cfg.use_distributional and cfg.use_statistical:
+            # Paper pipeline: joint normalisation of [m_i || f~_i] (Eqs. 8-9).
+            blocks.append(
+                signature_matrix(
+                    self.mean_probabilities(corpus),
+                    self.statistical_embeddings(corpus),
+                    normalization=cfg.normalization,
+                )
+            )
+        elif cfg.use_distributional:
+            blocks.append(
+                signature_matrix(
+                    self.mean_probabilities(corpus), normalization=cfg.normalization
+                )
+            )
+        elif cfg.use_statistical:
+            blocks.append(self.statistical_embeddings(corpus))
+        if cfg.use_contextual:
+            blocks.append(self.contextual_embeddings(corpus))
+        if cfg.balance_blocks and len(blocks) > 1:
+            blocks = [_balance(b) for b in blocks]
+        return compose(
+            blocks,
+            cfg.composition,
+            latent_dim=cfg.ae_latent_dim,
+            ae_epochs=cfg.ae_epochs,
+            random_state=cfg.random_state,
+        )
+
+    def fit_transform(self, corpus: ColumnCorpus) -> np.ndarray:
+        """Fit on ``corpus`` and embed it."""
+        return self.fit(corpus).transform(corpus)
+
+    # ----------------------------------------------------- embedding blocks
+
+    def mean_probabilities(self, corpus: ColumnCorpus) -> np.ndarray:
+        """Raw mean component probabilities per column (pre-normalisation)."""
+        self._check_fitted()
+        cfg = self.config
+        values = [self._apply_value_transform(c.values) for c in corpus]
+        if cfg.fit_mode == "stacked":
+            assert self.gmm_ is not None
+            return mean_component_probabilities(self.gmm_, values, kind=cfg.signature_kind)
+        return self._per_column_parameters(values)
+
+    def _per_column_parameters(self, values: list[np.ndarray]) -> np.ndarray:
+        """Per-column GMM parameter embedding (the ``fit_mode='per_column'``
+        ablation): sorted (weight, mean, std) triplets of a small mixture
+        fitted to each column alone."""
+        cfg = self.config
+        k = min(5, cfg.n_components)
+        out = np.zeros((len(values), 3 * k))
+        for i, v in enumerate(values):
+            n_comp = max(1, min(k, np.unique(v).size))
+            gmm = GaussianMixture(
+                n_components=n_comp,
+                tol=cfg.tol,
+                n_init=1,
+                max_iter=cfg.max_iter,
+                reg_covar=cfg.covariance_floor,
+                random_state=cfg.random_state,
+            ).fit(v.reshape(-1, 1))
+            order = np.argsort(gmm.means_.ravel())
+            weights = gmm.weights_[order]
+            means = gmm.means_.ravel()[order]
+            stds = np.sqrt(gmm.covariances_[order, 0, 0])
+            out[i, :n_comp] = weights
+            out[i, k : k + n_comp] = means
+            out[i, 2 * k : 2 * k + n_comp] = stds
+        return out
+
+    def statistical_embeddings(self, corpus: ColumnCorpus) -> np.ndarray:
+        """Standardised statistical features (Eq. 7), using fit-time moments.
+
+        Z-scores are winsorised at ``config.feature_clip`` so heavy-tailed
+        columns cannot monopolise the jointly normalised signature.
+        """
+        self._check_fitted()
+        raw = np.stack([column_statistics(c.values) for c in corpus])
+        z = (raw - self._feature_mean) / self._feature_std
+        clip = self.config.feature_clip
+        if np.isfinite(clip):
+            z = np.clip(z, -clip, clip)
+        return z
+
+    def contextual_embeddings(self, corpus: ColumnCorpus) -> np.ndarray:
+        """L1-normalised header embeddings (Eq. 10)."""
+        return l1_normalize(self._header_embedder.encode(corpus.headers))
+
+    def distributional_embeddings(self, corpus: ColumnCorpus) -> np.ndarray:
+        """Normalised distributional-only signature (the ablation's D block)."""
+        self._check_fitted()
+        return signature_matrix(
+            self.mean_probabilities(corpus), normalization=self.config.normalization
+        )
+
+    def signature(self, corpus: ColumnCorpus) -> np.ndarray:
+        """The paper's probability matrix ``P_i`` — D+S, jointly normalised."""
+        self._check_fitted()
+        return signature_matrix(
+            self.mean_probabilities(corpus),
+            self.statistical_embeddings(corpus),
+            normalization=self.config.normalization,
+        )
+
+    # ------------------------------------------------------------ clustering
+
+    def cluster(self, corpus: ColumnCorpus) -> np.ndarray:
+        """Hard component assignment per column (Eq. 12).
+
+        Eq. 12 takes the argmax over the combined embedding; the only
+        dimensions that are component likelihoods are the distributional
+        ones, so the argmax is taken there — each column is assigned to the
+        Gaussian component most responsible for its values.
+        """
+        probs = self.mean_probabilities(corpus)
+        return np.argmax(probs, axis=1)
+
+    # -------------------------------------------------------------- helpers
+
+    def _check_fitted(self) -> None:
+        if getattr(self, "_fitted", False) is not True:
+            raise RuntimeError("GemEmbedder is not fitted yet; call fit() first")
+
+    @property
+    def embedding_dim(self) -> int:
+        """Dimensionality of transform output under the current config."""
+        cfg = self.config
+        if cfg.fit_mode == "stacked":
+            d_dim = self.gmm_.n_components if self.gmm_ is not None else cfg.n_components
+        else:
+            d_dim = 3 * min(5, cfg.n_components)
+        block_dims: list[int] = []
+        if cfg.use_distributional and cfg.use_statistical:
+            block_dims.append(d_dim + 7)
+        elif cfg.use_distributional:
+            block_dims.append(d_dim)
+        elif cfg.use_statistical:
+            block_dims.append(7)
+        if cfg.use_contextual:
+            block_dims.append(cfg.header_dim)
+        if cfg.composition == "autoencoder":
+            return min(cfg.ae_latent_dim, max(2, sum(block_dims)))
+        if cfg.composition == "aggregation" and len(block_dims) > 1:
+            return max(block_dims)
+        return sum(block_dims)
+
+
+__all__ = ["GemEmbedder", "log_squash"]

@@ -1,0 +1,80 @@
+"""Persistence for fitted Gem embedders.
+
+A fitted :class:`~repro.core.gem.GemEmbedder` is a corpus-level model (GMM
+parameters + feature standardisation + config); deployments fit once over a
+data lake and embed new columns later. ``save_gem`` / ``load_gem`` round-trip
+everything through a single ``.npz`` archive (config as embedded JSON,
+arrays natively).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import GemConfig
+from repro.core.gem import GemEmbedder
+from repro.gmm.model import GaussianMixture
+
+
+def save_gem(gem: GemEmbedder, path: str | Path) -> None:
+    """Serialise a fitted embedder to ``path`` (.npz archive).
+
+    Raises
+    ------
+    RuntimeError
+        If the embedder has not been fitted.
+    """
+    if getattr(gem, "_fitted", False) is not True:
+        raise RuntimeError("cannot save an unfitted GemEmbedder; call fit() first")
+    cfg = dataclasses.asdict(gem.config)
+    cfg["bic_candidates"] = list(cfg["bic_candidates"])
+    arrays: dict[str, np.ndarray] = {
+        "config_json": np.frombuffer(json.dumps(cfg).encode("utf-8"), dtype=np.uint8),
+        "feature_mean": gem._feature_mean,
+        "feature_std": gem._feature_std,
+    }
+    if gem._transform_stats is not None:
+        arrays["transform_stats"] = np.asarray(gem._transform_stats)
+    if gem.gmm_ is not None:
+        arrays["gmm_weights"] = gem.gmm_.weights_
+        arrays["gmm_means"] = gem.gmm_.means_
+        arrays["gmm_covariances"] = gem.gmm_.covariances_
+    np.savez(Path(path), **arrays)
+
+
+def load_gem(path: str | Path) -> GemEmbedder:
+    """Load an embedder previously written by :func:`save_gem`.
+
+    The returned embedder is ready to ``transform`` new corpora; the fitted
+    GMM and feature standardisation are restored exactly.
+    """
+    with np.load(Path(path)) as payload:
+        cfg_dict = json.loads(bytes(payload["config_json"]).decode("utf-8"))
+        cfg_dict["bic_candidates"] = tuple(cfg_dict["bic_candidates"])
+        config = GemConfig(**cfg_dict)
+        gem = GemEmbedder(config=config)
+        gem._feature_mean = payload["feature_mean"]
+        gem._feature_std = payload["feature_std"]
+        if "transform_stats" in payload:
+            stats = payload["transform_stats"]
+            gem._transform_stats = (float(stats[0]), float(stats[1]))
+        if "gmm_weights" in payload:
+            gmm = GaussianMixture(
+                n_components=int(payload["gmm_weights"].shape[0]),
+                tol=config.tol,
+                reg_covar=config.covariance_floor,
+            )
+            gmm.weights_ = payload["gmm_weights"]
+            gmm.means_ = payload["gmm_means"]
+            gmm.covariances_ = payload["gmm_covariances"]
+            gmm.converged_ = True
+            gem.gmm_ = gmm
+    gem._fitted = True
+    return gem
+
+
+__all__ = ["save_gem", "load_gem"]

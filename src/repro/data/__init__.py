@@ -1,0 +1,61 @@
+"""Tabular data substrate and benchmark corpora.
+
+The paper evaluates on four table corpora — GDS, WDC, Sato Tables and
+GitTables — consumed purely as triples of (numeric column values, header
+string, ground-truth semantic type), at both coarse and fine annotation
+granularity. Those corpora cannot be redistributed offline, so this
+subpackage provides:
+
+* :class:`~repro.data.table.NumericColumn` / :class:`~repro.data.table.Table`
+  / :class:`~repro.data.table.ColumnCorpus` — the in-memory representation;
+* :mod:`repro.data.io` — CSV and corpus (de)serialisation;
+* :mod:`repro.data.synthesis` — a library of ~70 fine-grained semantic-type
+  generators (distribution family + parameter jitter + header vocabulary);
+* :mod:`repro.data.corpora` — seeded builders ``make_gds`` / ``make_wdc`` /
+  ``make_sato_tables`` / ``make_git_tables`` whose column counts, cluster
+  counts, header ambiguity and coarse→fine refinement mirror paper Table 1;
+* :mod:`repro.data.annotation` — the coarse→fine label refinement logic of
+  paper §4.1.1.
+"""
+
+from repro.data.annotation import coarsen_labels, refinement_report
+from repro.data.corpora import (
+    CORPUS_BUILDERS,
+    corpus_statistics,
+    make_corpus,
+    make_gds,
+    make_git_tables,
+    make_sato_tables,
+    make_wdc,
+)
+from repro.data.io import load_corpus, read_csv_table, save_corpus, write_csv_table
+from repro.data.synthesis import (
+    SemanticType,
+    default_type_library,
+    make_column,
+    motivation_columns,
+)
+from repro.data.table import ColumnCorpus, NumericColumn, Table
+
+__all__ = [
+    "NumericColumn",
+    "Table",
+    "ColumnCorpus",
+    "SemanticType",
+    "default_type_library",
+    "make_column",
+    "motivation_columns",
+    "make_corpus",
+    "make_gds",
+    "make_wdc",
+    "make_sato_tables",
+    "make_git_tables",
+    "CORPUS_BUILDERS",
+    "corpus_statistics",
+    "coarsen_labels",
+    "refinement_report",
+    "read_csv_table",
+    "write_csv_table",
+    "save_corpus",
+    "load_corpus",
+]

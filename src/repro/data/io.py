@@ -1,0 +1,133 @@
+"""CSV and corpus (de)serialisation.
+
+Real deployments feed Gem from CSV files; the examples exercise this path.
+Non-numeric cells are tolerated on read: a column qualifies as numeric when
+at least ``numeric_threshold`` of its non-empty cells parse as floats, the
+rest are dropped — the usual data-lake hygiene step.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable
+
+import numpy as np
+
+from repro.data.table import ColumnCorpus, NumericColumn, Table
+
+
+def read_csv_table(
+    path: str | Path,
+    *,
+    name: str | None = None,
+    numeric_threshold: float = 0.8,
+) -> Table:
+    """Read a CSV file and keep its numeric columns as a :class:`Table`.
+
+    Parameters
+    ----------
+    path:
+        CSV file with a header row.
+    name:
+        Table name; defaults to the file stem.
+    numeric_threshold:
+        Minimum fraction of non-empty cells that must parse as numbers for a
+        column to be retained.
+    """
+    path = Path(path)
+    with path.open(newline="") as fh:
+        reader = csv.reader(fh)
+        try:
+            headers = next(reader)
+        except StopIteration:
+            raise ValueError(f"{path} is empty") from None
+        cells: list[list[str]] = [[] for _ in headers]
+        for row in reader:
+            for i in range(len(headers)):
+                cells[i].append(row[i] if i < len(row) else "")
+    columns: list[NumericColumn] = []
+    table_name = name or path.stem
+    for header, raw in zip(headers, cells):
+        parsed = _parse_numeric(raw, numeric_threshold)
+        if parsed is not None and parsed.size > 0:
+            columns.append(NumericColumn(name=header, values=parsed, table_id=table_name))
+    if not columns:
+        raise ValueError(f"{path} contains no numeric columns")
+    return Table(name=table_name, columns=tuple(columns))
+
+
+def write_csv_table(table: Table, path: str | Path) -> None:
+    """Write a :class:`Table` to CSV (columns padded to equal length)."""
+    path = Path(path)
+    n_rows = max(len(c) for c in table.columns)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(table.headers)
+        for i in range(n_rows):
+            writer.writerow(
+                [
+                    repr(float(c.values[i])) if i < len(c) else ""
+                    for c in table.columns
+                ]
+            )
+
+
+def save_corpus(corpus: ColumnCorpus, path: str | Path) -> None:
+    """Persist a corpus (values + headers + labels) as JSON.
+
+    JSON keeps the artefact human-inspectable; corpora here are small enough
+    that a binary format buys nothing.
+    """
+    payload = {
+        "name": corpus.name,
+        "columns": [
+            {
+                "name": c.name,
+                "values": [float(v) for v in c.values],
+                "fine_label": c.fine_label,
+                "coarse_label": c.coarse_label,
+                "table_id": c.table_id,
+            }
+            for c in corpus
+        ],
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_corpus(path: str | Path) -> ColumnCorpus:
+    """Load a corpus previously written by :func:`save_corpus`."""
+    payload = json.loads(Path(path).read_text())
+    columns = [
+        NumericColumn(
+            name=c["name"],
+            values=np.asarray(c["values"], dtype=float),
+            fine_label=c.get("fine_label"),
+            coarse_label=c.get("coarse_label"),
+            table_id=c.get("table_id"),
+        )
+        for c in payload["columns"]
+    ]
+    return ColumnCorpus(columns, name=payload.get("name", "corpus"))
+
+
+def _parse_numeric(raw: Iterable[str], threshold: float) -> np.ndarray | None:
+    values: list[float] = []
+    n_nonempty = 0
+    for cell in raw:
+        cell = cell.strip()
+        if not cell:
+            continue
+        n_nonempty += 1
+        try:
+            values.append(float(cell.replace(",", "")))
+        except ValueError:
+            continue
+    if n_nonempty == 0 or len(values) / n_nonempty < threshold:
+        return None
+    arr = np.asarray(values, dtype=float)
+    return arr[np.isfinite(arr)]
+
+
+__all__ = ["read_csv_table", "write_csv_table", "save_corpus", "load_corpus"]

@@ -1,0 +1,598 @@
+"""Synthetic semantic-type library: distribution models + header vocabulary.
+
+Each :class:`SemanticType` couples a fine-grained label ("score_cricket"),
+its coarse parent ("score") and a :class:`Sampler` that draws *column-level*
+distribution parameters first and then cell values — so two columns of the
+same type have similar-but-not-identical distributions, exactly the
+"temperature readings in different regions" phenomenon the paper's
+introduction motivates.
+
+The default library (~70 fine types over ~30 coarse groups) deliberately
+contains the hard cases the paper discusses:
+
+* types with overlapping value ranges but different shapes (age vs weight,
+  year vs duration, rating scales);
+* coarse groups whose children differ mainly in scale (score_cricket ≈
+  N(250, 50) vs score_rugby ≈ N(25, 10), §4.1.1);
+* near-constant columns (rating_movie), discrete grids (rating_book),
+  zero-inflated columns (rating_hotel), heavy tails (population, mileage)
+  and bimodal mixtures (width, per the §4.2.1 example).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.table import NumericColumn
+from repro.utils.rng import RandomState, check_random_state
+
+# --------------------------------------------------------------------------
+# Samplers: column-level parameter jitter + cell-value generation
+# --------------------------------------------------------------------------
+
+
+class Sampler:
+    """Base class: ``draw(rng, n)`` returns ``n`` cell values for one column."""
+
+    def draw(self, rng: np.random.Generator, n: int) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    @staticmethod
+    def _finish(
+        values: np.ndarray,
+        *,
+        integer: bool = False,
+        clip: tuple[float, float] | None = None,
+        decimals: int | None = None,
+    ) -> np.ndarray:
+        if clip is not None:
+            values = np.clip(values, clip[0], clip[1])
+        if integer:
+            values = np.round(values)
+        elif decimals is not None:
+            values = np.round(values, decimals)
+        return values.astype(float)
+
+
+@dataclass(frozen=True)
+class NormalSampler(Sampler):
+    """Gaussian values; per-column mean/std drawn from the given ranges."""
+
+    mu: tuple[float, float]
+    sigma: tuple[float, float]
+    integer: bool = False
+    clip: tuple[float, float] | None = None
+    decimals: int | None = 2
+
+    def draw(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        mu = rng.uniform(*self.mu)
+        sigma = rng.uniform(*self.sigma)
+        vals = rng.normal(mu, sigma, size=n)
+        return self._finish(vals, integer=self.integer, clip=self.clip, decimals=self.decimals)
+
+
+@dataclass(frozen=True)
+class UniformSampler(Sampler):
+    """Uniform values on a per-column interval."""
+
+    low: tuple[float, float]
+    span: tuple[float, float]
+    integer: bool = False
+    decimals: int | None = 2
+
+    def draw(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        low = rng.uniform(*self.low)
+        span = rng.uniform(*self.span)
+        vals = rng.uniform(low, low + span, size=n)
+        return self._finish(vals, integer=self.integer, decimals=self.decimals)
+
+
+@dataclass(frozen=True)
+class LogNormalSampler(Sampler):
+    """Heavy-tailed positive values (prices, populations, lengths)."""
+
+    log_mu: tuple[float, float]
+    log_sigma: tuple[float, float]
+    integer: bool = False
+    decimals: int | None = 2
+
+    def draw(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        mu = rng.uniform(*self.log_mu)
+        sigma = rng.uniform(*self.log_sigma)
+        vals = rng.lognormal(mu, sigma, size=n)
+        return self._finish(vals, integer=self.integer, decimals=self.decimals)
+
+
+@dataclass(frozen=True)
+class ExponentialSampler(Sampler):
+    """Exponential values with per-column scale and offset."""
+
+    scale: tuple[float, float]
+    loc: tuple[float, float] = (0.0, 0.0)
+    integer: bool = False
+    decimals: int | None = 2
+
+    def draw(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        scale = rng.uniform(*self.scale)
+        loc = rng.uniform(*self.loc)
+        vals = loc + rng.exponential(scale, size=n)
+        return self._finish(vals, integer=self.integer, decimals=self.decimals)
+
+
+@dataclass(frozen=True)
+class GammaSampler(Sampler):
+    """Gamma values (skewed positives: durations, speeds, areas)."""
+
+    shape: tuple[float, float]
+    scale: tuple[float, float]
+    integer: bool = False
+    decimals: int | None = 2
+
+    def draw(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        shape = rng.uniform(*self.shape)
+        scale = rng.uniform(*self.scale)
+        vals = rng.gamma(shape, scale, size=n)
+        return self._finish(vals, integer=self.integer, decimals=self.decimals)
+
+
+@dataclass(frozen=True)
+class BetaSampler(Sampler):
+    """Beta values rescaled to [low, high] (percentages, rates, scores)."""
+
+    a: tuple[float, float]
+    b: tuple[float, float]
+    low: float = 0.0
+    high: float = 1.0
+    integer: bool = False
+    decimals: int | None = 3
+
+    def draw(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        a = rng.uniform(*self.a)
+        b = rng.uniform(*self.b)
+        vals = self.low + rng.beta(a, b, size=n) * (self.high - self.low)
+        return self._finish(vals, integer=self.integer, decimals=self.decimals)
+
+
+@dataclass(frozen=True)
+class DiscreteSampler(Sampler):
+    """Values from a fixed grid with a per-column Dirichlet distribution.
+
+    Models rating scales and other low-cardinality columns; ``concentration``
+    below 1 yields spiky (few dominant values) columns.
+    """
+
+    grid: tuple[float, ...]
+    concentration: float = 1.0
+
+    def draw(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        probs = rng.dirichlet(np.full(len(self.grid), self.concentration))
+        return rng.choice(np.asarray(self.grid, dtype=float), size=n, p=probs)
+
+
+@dataclass(frozen=True)
+class SequentialSampler(Sampler):
+    """Near-sequential integers (order/index/year columns)."""
+
+    start: tuple[float, float]
+    step: tuple[float, float] = (1.0, 1.0)
+    jitter: float = 0.0
+    integer: bool = True
+
+    def draw(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        start = rng.uniform(*self.start)
+        step = rng.uniform(*self.step)
+        vals = start + step * np.arange(n, dtype=float)
+        if self.jitter > 0:
+            vals = vals + rng.normal(0.0, self.jitter, size=n)
+        if rng.random() < 0.5:
+            rng.shuffle(vals)
+        return self._finish(vals, integer=self.integer)
+
+
+@dataclass(frozen=True)
+class ConstantishSampler(Sampler):
+    """One dominant value with occasional small deviations (rating_movie)."""
+
+    value: tuple[float, float]
+    deviation: float = 0.0
+    p_deviate: float = 0.05
+
+    def draw(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        value = rng.uniform(*self.value)
+        vals = np.full(n, value)
+        if self.deviation > 0:
+            mask = rng.random(n) < self.p_deviate
+            vals[mask] += rng.normal(0.0, self.deviation, size=int(mask.sum()))
+        return np.round(vals, 2)
+
+
+@dataclass(frozen=True)
+class MixtureSampler(Sampler):
+    """Two-part mixtures (bimodal widths, small-or-huge mileage columns)."""
+
+    part_a: Sampler
+    part_b: Sampler
+    weight_a: tuple[float, float] = (0.3, 0.7)
+
+    def draw(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        w = rng.uniform(*self.weight_a)
+        take_a = rng.random(n) < w
+        n_a = int(take_a.sum())
+        out = np.empty(n)
+        if n_a:
+            out[take_a] = self.part_a.draw(rng, n_a)
+        if n - n_a:
+            out[~take_a] = self.part_b.draw(rng, n - n_a)
+        return out
+
+
+@dataclass(frozen=True)
+class ShiftedSampler(Sampler):
+    """Affine wrapper: generates paper-scale fine-type *variants*.
+
+    Paper-scale WDC has 325 fine types; the base library holds ~70, so
+    :func:`expand_with_variants` derives extra types by scaling/shifting a
+    base sampler — distinct distributions, same family.
+    """
+
+    base: Sampler
+    scale: float = 1.0
+    shift: float = 0.0
+
+    def draw(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return self.base.draw(rng, n) * self.scale + self.shift
+
+
+# --------------------------------------------------------------------------
+# Semantic types
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SemanticType:
+    """A fine-grained semantic type: label pair + value sampler + headers.
+
+    Attributes
+    ----------
+    fine / coarse:
+        Ground-truth labels at the two annotation granularities (§4.1.1).
+    sampler:
+        Cell-value generator.
+    n_values:
+        Per-column value-count range (inclusive bounds).
+    header_words:
+        Extra vocabulary mixed into generated fine-grained headers.
+    """
+
+    fine: str
+    coarse: str
+    sampler: Sampler
+    n_values: tuple[int, int] = (40, 300)
+    header_words: tuple[str, ...] = ()
+
+
+_SEPARATORS = ("_", " ", "")
+
+
+def render_header(words: Sequence[str], rng: np.random.Generator) -> str:
+    """Render label words as a plausibly messy header string.
+
+    Randomises separator and casing the way real tables do:
+    ``score_cricket`` / ``Score Cricket`` / ``ScoreCricket`` / ``SCORE_CRICKET``.
+    """
+    words = [w for w in words if w]
+    if not words:
+        return "column"
+    sep = _SEPARATORS[int(rng.integers(len(_SEPARATORS)))]
+    style = int(rng.integers(4))
+    if style == 0:
+        parts = [w.lower() for w in words]
+    elif style == 1:
+        parts = [w.capitalize() for w in words]
+    elif style == 2:
+        parts = [w.upper() for w in words]
+    else:  # CamelCase regardless of separator
+        parts = [w.capitalize() for w in words]
+        sep = ""
+    return sep.join(parts) if sep or style == 3 else "".join(parts)
+
+
+_GENERIC_DECORATORS = ("value", "total", "avg", "data", "col", "measured")
+
+
+def header_for(
+    semantic_type: SemanticType,
+    rng: np.random.Generator,
+    *,
+    granularity: str = "fine",
+    noise: float = 0.0,
+) -> str:
+    """Generate a header string for a column of ``semantic_type``.
+
+    ``granularity='fine'`` yields distinct, informative headers (GDS style:
+    "engine_power_car"); ``'coarse'`` yields ambiguous ones shared across the
+    whole coarse group (WDC style: "score" for cricket and rugby alike).
+
+    ``noise`` degrades fine headers the way real catalogues do: with
+    probability ``noise`` the header collapses to its coarse supertype, and
+    with probability ``noise/2`` a generic decorator token ("total", "avg")
+    is appended. Real GDS headers are informative but not perfect — the
+    paper's header-only baseline reaches 0.79, not 1.0.
+    """
+    if granularity == "coarse":
+        words = semantic_type.coarse.split("_")
+    elif granularity == "fine":
+        if noise > 0 and rng.random() < noise:
+            words = semantic_type.coarse.split("_")
+        else:
+            words = list(semantic_type.fine.split("_"))
+            if semantic_type.header_words and rng.random() < 0.3:
+                words.append(str(rng.choice(semantic_type.header_words)))
+        if noise > 0 and rng.random() < noise * 0.5:
+            words.append(_GENERIC_DECORATORS[int(rng.integers(len(_GENERIC_DECORATORS)))])
+    else:
+        raise ValueError(f"granularity must be 'fine' or 'coarse', got {granularity!r}")
+    return render_header(words, rng)
+
+
+def make_column(
+    semantic_type: SemanticType,
+    *,
+    random_state: RandomState = None,
+    header_granularity: str = "fine",
+    header_noise: float = 0.0,
+    n_values: int | None = None,
+    table_id: str | None = None,
+) -> NumericColumn:
+    """Sample one labelled numeric column of the given semantic type."""
+    rng = check_random_state(random_state)
+    if n_values is None:
+        lo, hi = semantic_type.n_values
+        n_values = int(rng.integers(lo, hi + 1))
+    values = semantic_type.sampler.draw(rng, n_values)
+    return NumericColumn(
+        name=header_for(
+            semantic_type, rng, granularity=header_granularity, noise=header_noise
+        ),
+        values=values,
+        fine_label=semantic_type.fine,
+        coarse_label=semantic_type.coarse,
+        table_id=table_id,
+    )
+
+
+# --------------------------------------------------------------------------
+# The default type library
+# --------------------------------------------------------------------------
+
+
+def default_type_library() -> tuple[SemanticType, ...]:
+    """The ~70 fine-grained semantic types used by the corpus builders.
+
+    The library enforces *range-band discipline*: parameters are chosen so
+    that many types share the same few value bands (0-10, 0-100, 0-1000,
+    1e3-1e6) while differing in distribution shape — normal vs uniform vs
+    discrete vs heavy-tailed vs bimodal within the same band. This is the
+    property the paper's evaluation rests on ("columns from different
+    semantic types share similar values", Figure 1): methods that only
+    capture value *ranges* (PLE, PAF, KS) confuse in-band types, while
+    distribution-shape methods can separate them. Large-unit quantities use
+    realistic scaled units (population in millions, GDP in billions) to stay
+    inside the bands.
+    """
+    types: list[SemanticType] = []
+
+    def add(fine: str, coarse: str, sampler: Sampler, **kwargs: object) -> None:
+        types.append(SemanticType(fine=fine, coarse=coarse, sampler=sampler, **kwargs))
+
+    # --- scores (the paper's running §4.1.1 example) ------------------------
+    add("score_cricket", "score", NormalSampler((220, 300), (30, 60), integer=True, clip=(0, 600)))
+    add("score_rugby", "score", NormalSampler((18, 35), (6, 12), integer=True, clip=(0, 90)))
+    add("score_football", "score", DiscreteSampler((0, 1, 2, 3, 4, 5, 6), concentration=2.0))
+    add("score_basketball", "score", NormalSampler((90, 115), (8, 14), integer=True, clip=(40, 160)))
+    add("score_exam", "score", NormalSampler((62, 80), (8, 14), clip=(0, 100), decimals=1))
+
+    # --- ratings (constant-ish / discrete / zero-inflated, §4.2.2) ----------
+    add("rating_movie", "rating", ConstantishSampler((8.0, 10.0), deviation=0.4, p_deviate=0.08))
+    add("rating_book", "rating", DiscreteSampler((1, 2, 3, 4, 5), concentration=1.5))
+    add(
+        "rating_hotel",
+        "rating",
+        MixtureSampler(
+            ConstantishSampler((0.0, 0.0)),
+            DiscreteSampler((1.0, 2.0, 3.0, 3.5, 4.0, 4.5, 5.0), concentration=2.0),
+            weight_a=(0.05, 0.25),
+        ),
+    )
+    add("rating_app", "rating", BetaSampler((4, 7), (1.2, 2.5), low=1, high=5, decimals=1))
+
+    # --- ages ---------------------------------------------------------------
+    add("age_person", "age", NormalSampler((28, 45), (8, 16), integer=True, clip=(0, 100)))
+    add("age_building", "age", ExponentialSampler((25, 60), integer=True))
+    add("age_tree", "age", GammaSampler((2, 4), (15, 40), integer=True))
+
+    # --- years (discrete, overlapping with duration/age ranges, §4.2.1) -----
+    add("year_publication", "year", UniformSampler((1950, 1995), (20, 70), integer=True))
+    add("year_birth", "year", NormalSampler((1970, 1990), (10, 20), integer=True, clip=(1900, 2025)))
+    add("year_founded", "year", UniformSampler((1850, 1950), (50, 150), integer=True))
+
+    # --- weights ------------------------------------------------------------
+    add("weight_human", "weight", NormalSampler((62, 85), (10, 18), clip=(30, 200), decimals=1))
+    add("weight_package", "weight", ExponentialSampler((0.8, 3.0), loc=(0.05, 0.3)))
+    add("weight_vehicle", "weight", NormalSampler((1200, 1900), (200, 400), integer=True, clip=(600, 4000)))
+    add("weight_animal", "weight", LogNormalSampler((1.0, 4.0), (0.6, 1.2)))
+    add("dry_weight", "weight", NormalSampler((900, 1500), (120, 260), integer=True, clip=(300, 3000)))
+
+    # --- heights / lengths / widths / depths --------------------------------
+    add("height_person", "height", NormalSampler((165, 178), (6, 11), integer=True, clip=(120, 220)))
+    add("height_mountain", "height", LogNormalSampler((7.0, 7.9), (0.4, 0.7), integer=True))
+    add("height_building", "height", GammaSampler((2, 4), (25, 60), integer=True))
+    add("length_river", "length", LogNormalSampler((4.5, 6.5), (0.8, 1.3), integer=True))
+    add("length_road", "length", GammaSampler((1.5, 3.0), (40, 120), decimals=1))
+    add(
+        "width_screen",
+        "width",
+        MixtureSampler(
+            DiscreteSampler((5.0, 5.12, 6.0, 6.1), concentration=2.0),
+            DiscreteSampler((256.0, 512.0, 1024.0), concentration=2.0),
+            weight_a=(0.4, 0.7),
+        ),
+    )
+    add("depth_ocean", "depth", GammaSampler((2, 4), (800, 1600), integer=True))
+
+    # --- temperatures (regional variants: same schema, different climate) ---
+    add("temperature_tropical", "temperature", NormalSampler((26, 31), (1.5, 3.5), decimals=1))
+    add("temperature_temperate", "temperature", NormalSampler((8, 18), (4, 9), decimals=1))
+    add("temperature_arctic", "temperature", NormalSampler((-18, -5), (4, 9), decimals=1))
+    add("temperature_body", "temperature", NormalSampler((36.5, 37.2), (0.3, 0.6), decimals=1))
+
+    # --- money --------------------------------------------------------------
+    add("price_house", "price", LogNormalSampler((12.0, 13.2), (0.3, 0.6), integer=True))
+    add("price_product", "price", LogNormalSampler((2.5, 4.0), (0.5, 1.0)))
+    add("price_stock", "price", GammaSampler((2, 5), (20, 80)))
+    add("salary_annual", "salary", LogNormalSampler((10.4, 11.2), (0.25, 0.5), integer=True))
+    add("market_value", "value", LogNormalSampler((4.0, 6.0), (0.6, 1.1), integer=True))
+    add("transaction_amount", "amount", LogNormalSampler((3.0, 5.0), (0.8, 1.4)))
+    add("sales_figure", "amount", GammaSampler((1.5, 3.5), (80, 250), integer=True))
+
+    # --- demographics / geography (scaled units keep bands overlapping) -----
+    add("population_city", "population", LogNormalSampler((3.5, 5.5), (0.8, 1.3), integer=True))
+    add("population_country", "population", LogNormalSampler((1.5, 4.0), (1.0, 1.6), decimals=1))
+    add("gdp_country", "gdp", LogNormalSampler((2.0, 5.5), (1.0, 1.8), decimals=1))
+    add("latitude_place", "latitude", UniformSampler((-60, 20), (30, 60), decimals=4))
+    add("longitude_place", "longitude", UniformSampler((-150, 60), (60, 120), decimals=4))
+    add("elevation_city", "elevation", GammaSampler((1.2, 2.5), (150, 500), integer=True))
+
+    # --- durations / counts / indices ---------------------------------------
+    add("duration_movie", "duration", NormalSampler((100, 125), (12, 22), integer=True, clip=(40, 260)))
+    add("duration_song", "duration", NormalSampler((190, 230), (25, 45), integer=True, clip=(60, 600)))
+    add("duration_flight", "duration", GammaSampler((2, 4), (60, 140), integer=True))
+    add("mileage_car", "mileage", MixtureSampler(
+        UniformSampler((0, 50), (300, 900), integer=True),
+        LogNormalSampler((10.8, 11.4), (0.3, 0.6), integer=True),
+        weight_a=(0.1, 0.3),
+    ))
+    add("rank_player", "rank", UniformSampler((1, 2), (40, 150), integer=True))
+    add("rank_university", "rank", UniformSampler((1, 2), (200, 500), integer=True))
+    add("position_race", "position", UniformSampler((1, 2), (10, 30), integer=True))
+    add("order_line_item", "order", SequentialSampler((1, 5), (1, 1)))
+    add("review_count", "count", LogNormalSampler((2.0, 4.5), (0.9, 1.5), integer=True))
+    add("follower_count", "count", LogNormalSampler((8.0, 10.5), (1.0, 1.6), integer=True))
+    add("stock_quantity", "quantity", GammaSampler((1.2, 2.5), (20, 90), integer=True))
+    add("goals_scored", "count", DiscreteSampler((0, 1, 2, 3, 4, 5), concentration=1.2))
+
+    # --- engineering / devices ----------------------------------------------
+    add("engine_power_car", "power", NormalSampler((95, 160), (25, 50), integer=True, clip=(30, 600)))
+    add("battery_power_device", "power", NormalSampler((2800, 4200), (400, 900), integer=True, clip=(500, 10000)))
+    add("engine_volume", "volume", DiscreteSampler((1.0, 1.2, 1.4, 1.6, 1.8, 2.0, 2.5, 3.0), concentration=2.0))
+    add("acceleration_car", "acceleration", NormalSampler((6.5, 11.0), (1.2, 2.4), decimals=1))
+    add("speed_car", "speed", NormalSampler((45, 75), (12, 24), integer=True, clip=(0, 250)))
+    add("speed_wind", "speed", GammaSampler((1.8, 3.0), (3.5, 8.0), decimals=1))
+    add("pressure_atmospheric", "pressure", NormalSampler((1008, 1018), (4, 10), decimals=1))
+    add("energy_consumption", "energy", GammaSampler((2, 4), (80, 250), integer=True))
+    add("screen_size_phone", "size", NormalSampler((5.8, 6.7), (0.25, 0.5), decimals=1))
+    add("battery_capacity", "capacity", DiscreteSampler((2000, 3000, 4000, 4500, 5000, 6000), concentration=2.0))
+
+    # --- rates / percentages -------------------------------------------------
+    add("percentage_generic", "percentage", UniformSampler((0, 5), (80, 100), decimals=1))
+    add("humidity_relative", "percentage", BetaSampler((3, 6), (2, 4), low=0, high=100, decimals=1))
+    add("tax_rate", "rate", BetaSampler((2, 4), (6, 12), low=0, high=50, decimals=2))
+    add("interest_rate", "rate", GammaSampler((1.5, 3.0), (0.8, 2.0), decimals=2))
+    add("discount_percent", "percentage", DiscreteSampler((0, 5, 10, 15, 20, 25, 50), concentration=1.5))
+
+    # --- areas / misc ---------------------------------------------------------
+    add("area_country", "area", LogNormalSampler((2.0, 5.5), (1.2, 1.9), decimals=1))
+    add("area_apartment", "area", NormalSampler((65, 110), (18, 35), integer=True, clip=(12, 400)))
+    add("telephone_prefix", "telephone", NormalSampler((13.5, 14.2), (0.1, 0.3), decimals=3))
+    add("id_record", "id", UniformSampler((10_000, 50_000), (100_000, 900_000), integer=True))
+
+    return tuple(types)
+
+
+def expand_with_variants(
+    types: Sequence[SemanticType],
+    n_total: int,
+    *,
+    random_state: RandomState = None,
+) -> tuple[SemanticType, ...]:
+    """Grow a type library to ``n_total`` fine types via affine variants.
+
+    Variant ``k`` of a base type becomes a new fine type ``{fine}_v{k}`` in
+    the same coarse group, with values scaled and shifted so the variant has
+    a genuinely different distribution (paper-scale corpora need hundreds of
+    fine types; the base library holds ~70).
+    """
+    if n_total <= len(types):
+        return tuple(types[:n_total])
+    rng = check_random_state(random_state)
+    out = list(types)
+    k = 1
+    while len(out) < n_total:
+        for base in types:
+            if len(out) >= n_total:
+                break
+            scale = float(rng.uniform(0.5, 2.0))
+            shift_span = abs(scale) * 10.0
+            shift = float(rng.uniform(-shift_span, shift_span))
+            out.append(
+                SemanticType(
+                    fine=f"{base.fine}_v{k}",
+                    coarse=base.coarse,
+                    sampler=ShiftedSampler(base.sampler, scale=scale, shift=shift),
+                    n_values=base.n_values,
+                    header_words=base.header_words,
+                )
+            )
+        k += 1
+    return tuple(out)
+
+
+def motivation_columns(random_state: RandomState = 0) -> list[NumericColumn]:
+    """The four Figure-1 columns: Age, Rank, Test Score, Temperature.
+
+    Age and Rank are both ≈ N(30, ·); Test Score and Temperature both
+    ≈ N(75, ·) — similar shapes, different semantics, the paper's motivating
+    challenge.
+    """
+    rng = check_random_state(random_state)
+    spec = [
+        ("Age", "age", NormalSampler((30, 30), (6, 6), integer=True, clip=(0, 100))),
+        ("Rank", "rank", NormalSampler((30, 30), (5, 5), integer=True, clip=(1, 100))),
+        ("Test Score", "score", NormalSampler((75, 75), (9, 9), clip=(0, 100), decimals=1)),
+        ("Temperature", "temperature", NormalSampler((75, 75), (8, 8), decimals=1)),
+    ]
+    return [
+        NumericColumn(
+            name=name,
+            values=sampler.draw(rng, 500),
+            fine_label=label,
+            coarse_label=label,
+        )
+        for name, label, sampler in spec
+    ]
+
+
+__all__ = [
+    "Sampler",
+    "NormalSampler",
+    "UniformSampler",
+    "LogNormalSampler",
+    "ExponentialSampler",
+    "GammaSampler",
+    "BetaSampler",
+    "DiscreteSampler",
+    "SequentialSampler",
+    "ConstantishSampler",
+    "MixtureSampler",
+    "ShiftedSampler",
+    "SemanticType",
+    "render_header",
+    "header_for",
+    "make_column",
+    "default_type_library",
+    "expand_with_variants",
+    "motivation_columns",
+]

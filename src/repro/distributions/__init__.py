@@ -1,0 +1,40 @@
+"""Univariate reference distributions and the Kolmogorov-Smirnov statistic.
+
+This subpackage is the substrate behind two parts of the reproduction:
+
+* the **KS-statistic baseline** (paper §4.1.3, [19]), which fits each numeric
+  column against seven reference families — normal, uniform, exponential,
+  beta, gamma, log-normal, logistic — and uses the KS distances as features;
+* the **synthetic corpus generators** (``repro.data``), which sample column
+  values from these families.
+
+Everything is implemented directly (pdf/cdf/ppf/sampling/moment fitting);
+``scipy.special`` supplies only the incomplete gamma/beta special functions.
+"""
+
+from repro.distributions.ks import ks_statistic, ks_statistic_against
+from repro.distributions.univariate import (
+    REFERENCE_FAMILIES,
+    Beta,
+    Distribution,
+    Exponential,
+    Gamma,
+    Logistic,
+    LogNormal,
+    Normal,
+    Uniform,
+)
+
+__all__ = [
+    "Distribution",
+    "Normal",
+    "Uniform",
+    "Exponential",
+    "Beta",
+    "Gamma",
+    "LogNormal",
+    "Logistic",
+    "REFERENCE_FAMILIES",
+    "ks_statistic",
+    "ks_statistic_against",
+]

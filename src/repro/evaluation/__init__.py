@@ -1,0 +1,32 @@
+"""Evaluation metrics for semantic type detection and column clustering.
+
+Implements the paper's protocols (§4.1.2):
+
+* **precision / recall at k** over cosine nearest neighbours, where k is the
+  size of the query column's ground-truth cluster; per-type averages are
+  macro-aggregated ("we calculate precision for each semantic type and then
+  aggregate", §4.2.2);
+* **clustering accuracy (ACC)** via an optimal cluster-to-label matching —
+  computed with a from-scratch Hungarian algorithm;
+* **Adjusted Rand Index (ARI)**.
+"""
+
+from repro.evaluation.cluster_metrics import adjusted_rand_index, clustering_accuracy
+from repro.evaluation.hungarian import hungarian_assignment
+from repro.evaluation.neighbors import cosine_similarity_matrix, top_k_neighbors
+from repro.evaluation.precision import (
+    EvaluationResult,
+    average_precision_at_k,
+    precision_recall_at_k,
+)
+
+__all__ = [
+    "cosine_similarity_matrix",
+    "top_k_neighbors",
+    "precision_recall_at_k",
+    "average_precision_at_k",
+    "EvaluationResult",
+    "hungarian_assignment",
+    "clustering_accuracy",
+    "adjusted_rand_index",
+]

@@ -1,0 +1,82 @@
+"""Clustering metrics: accuracy (ACC) and Adjusted Rand Index (ARI).
+
+Paper §4.1.2: "ACC measures the proportion of correctly clustered columns"
+under the best cluster-to-class matching [30]; "the ARI score ranges from −1
+to 1" [29]. Both are implemented directly: ACC on top of the from-scratch
+Hungarian solver, ARI from the contingency-table pair counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evaluation.hungarian import hungarian_assignment
+
+
+def _contingency(y_true: np.ndarray, y_pred: np.ndarray) -> np.ndarray:
+    true_classes, true_idx = np.unique(y_true, return_inverse=True)
+    pred_classes, pred_idx = np.unique(y_pred, return_inverse=True)
+    table = np.zeros((len(true_classes), len(pred_classes)), dtype=np.int64)
+    np.add.at(table, (true_idx, pred_idx), 1)
+    return table
+
+
+def clustering_accuracy(y_true: list | np.ndarray, y_pred: list | np.ndarray) -> float:
+    """Best-matching clustering accuracy in [0, 1].
+
+    Every predicted cluster is matched to at most one ground-truth class so
+    as to maximise the number of agreeing samples (Hungarian on the negated
+    contingency table); ACC is that count over n.
+    """
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape[0] != y_pred.shape[0]:
+        raise ValueError(
+            f"length mismatch: {y_true.shape[0]} true vs {y_pred.shape[0]} predicted labels"
+        )
+    if y_true.size == 0:
+        raise ValueError("labels must not be empty")
+    table = _contingency(y_true, y_pred)
+    rows, cols = hungarian_assignment(-table.astype(float))
+    matched = int(table[rows, cols].sum())
+    return matched / y_true.shape[0]
+
+
+def _comb2(x: np.ndarray) -> np.ndarray:
+    x = x.astype(np.float64)
+    return x * (x - 1) / 2.0
+
+
+def adjusted_rand_index(y_true: list | np.ndarray, y_pred: list | np.ndarray) -> float:
+    """Adjusted Rand Index in [-1, 1]; 0 for random labellings.
+
+    Computed from the contingency table:
+    ``ARI = (Index − Expected) / (Max − Expected)`` with the usual
+    pair-counting sums.
+    """
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape[0] != y_pred.shape[0]:
+        raise ValueError(
+            f"length mismatch: {y_true.shape[0]} true vs {y_pred.shape[0]} predicted labels"
+        )
+    n = y_true.shape[0]
+    if n == 0:
+        raise ValueError("labels must not be empty")
+    table = _contingency(y_true, y_pred)
+    sum_cells = float(_comb2(table).sum())
+    sum_rows = float(_comb2(table.sum(axis=1)).sum())
+    sum_cols = float(_comb2(table.sum(axis=0)).sum())
+    total = float(_comb2(np.asarray([n]))[0])
+    if total == 0:
+        return 1.0
+    expected = sum_rows * sum_cols / total
+    maximum = 0.5 * (sum_rows + sum_cols)
+    denom = maximum - expected
+    if denom == 0:
+        # Both partitions are trivial (all-one-cluster or all-singletons).
+        return 1.0 if sum_cells == expected else 0.0
+    return (sum_cells - expected) / denom
+
+
+__all__ = ["clustering_accuracy", "adjusted_rand_index"]

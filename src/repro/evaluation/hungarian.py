@@ -1,0 +1,95 @@
+"""Hungarian algorithm (minimum-cost assignment), from scratch.
+
+Clustering accuracy (ACC, [30]) requires the optimal one-to-one matching
+between predicted clusters and ground-truth classes. scipy ships
+``linear_sum_assignment``, but the assignment solver is squarely modelling
+logic for this reproduction, so it is implemented here — the classic O(n³)
+potentials-and-augmenting-paths formulation — and unit-tested against scipy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_array_2d
+
+
+def hungarian_assignment(cost: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Solve ``min sum cost[i, j]`` over one-to-one assignments.
+
+    Parameters
+    ----------
+    cost:
+        ``(n, m)`` cost matrix. When ``n > m`` the problem is transposed
+        internally; every row (or column, whichever is fewer) is assigned.
+
+    Returns
+    -------
+    (row_indices, col_indices):
+        Arrays of equal length ``min(n, m)`` such that the matched pairs
+        minimise total cost; rows are returned sorted.
+    """
+    C = check_array_2d(cost, "cost")
+    transposed = C.shape[0] > C.shape[1]
+    if transposed:
+        C = C.T
+    n, m = C.shape
+
+    # Potentials u, v and matching p over 1-based indices (0 is a sentinel).
+    u = np.zeros(n + 1)
+    v = np.zeros(m + 1)
+    p = np.zeros(m + 1, dtype=int)  # p[j] = row matched to column j
+    way = np.zeros(m + 1, dtype=int)
+
+    for i in range(1, n + 1):
+        p[0] = i
+        j0 = 0
+        minv = np.full(m + 1, np.inf)
+        used = np.zeros(m + 1, dtype=bool)
+        while True:
+            used[j0] = True
+            i0 = p[j0]
+            delta = np.inf
+            j1 = 0
+            for j in range(1, m + 1):
+                if used[j]:
+                    continue
+                cur = C[i0 - 1, j - 1] - u[i0] - v[j]
+                if cur < minv[j]:
+                    minv[j] = cur
+                    way[j] = j0
+                if minv[j] < delta:
+                    delta = minv[j]
+                    j1 = j
+            for j in range(m + 1):
+                if used[j]:
+                    u[p[j]] += delta
+                    v[j] -= delta
+                else:
+                    minv[j] -= delta
+            j0 = j1
+            if p[j0] == 0:
+                break
+        while j0 != 0:
+            j1 = way[j0]
+            p[j0] = p[j1]
+            j0 = j1
+
+    rows = []
+    cols = []
+    for j in range(1, m + 1):
+        if p[j] != 0:
+            rows.append(p[j] - 1)
+            cols.append(j - 1)
+    rows_arr = np.asarray(rows, dtype=int)
+    cols_arr = np.asarray(cols, dtype=int)
+    order = np.argsort(rows_arr)
+    rows_arr, cols_arr = rows_arr[order], cols_arr[order]
+    if transposed:
+        rows_arr, cols_arr = cols_arr, rows_arr
+        order = np.argsort(rows_arr)
+        rows_arr, cols_arr = rows_arr[order], cols_arr[order]
+    return rows_arr, cols_arr
+
+
+__all__ = ["hungarian_assignment"]

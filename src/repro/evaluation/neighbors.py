@@ -1,0 +1,68 @@
+"""Cosine similarity and nearest-neighbour retrieval.
+
+The paper's type-detection evaluation ranks all other columns by cosine
+similarity of their embeddings and inspects the top k (§4.1.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_array_2d, check_positive_int
+
+
+def cosine_similarity_matrix(embeddings: np.ndarray) -> np.ndarray:
+    """Pairwise cosine similarities of embedding rows.
+
+    Zero rows (possible for empty headers) are treated as orthogonal to
+    everything rather than producing NaNs.
+    """
+    X = check_array_2d(embeddings, "embeddings")
+    norms = np.linalg.norm(X, axis=1, keepdims=True)
+    norms = np.where(norms == 0, 1.0, norms)
+    unit = X / norms
+    sim = unit @ unit.T
+    return np.clip(sim, -1.0, 1.0)
+
+
+def top_k_neighbors(
+    similarity: np.ndarray,
+    k: int,
+    *,
+    exclude_self: bool = True,
+) -> np.ndarray:
+    """Indices of the top-k most similar rows per row.
+
+    Parameters
+    ----------
+    similarity:
+        Square similarity matrix.
+    k:
+        Neighbours per row; capped at ``n - 1`` when excluding self.
+    exclude_self:
+        Drop the diagonal ("excluding the column itself", §4.1.2).
+
+    Returns
+    -------
+    numpy.ndarray of shape (n, k)
+        Neighbour indices sorted by decreasing similarity.
+    """
+    sim = check_array_2d(similarity, "similarity").copy()
+    if sim.shape[0] != sim.shape[1]:
+        raise ValueError(f"similarity must be square, got {sim.shape}")
+    k = check_positive_int(k, "k")
+    n = sim.shape[0]
+    if exclude_self:
+        np.fill_diagonal(sim, -np.inf)
+        k = min(k, n - 1)
+    else:
+        k = min(k, n)
+    if k < 1:
+        raise ValueError("not enough rows for any neighbour")
+    part = np.argpartition(-sim, kth=k - 1, axis=1)[:, :k]
+    rows = np.arange(n)[:, None]
+    order = np.argsort(-sim[rows, part], axis=1)
+    return part[rows, order]
+
+
+__all__ = ["cosine_similarity_matrix", "top_k_neighbors"]

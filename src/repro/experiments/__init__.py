@@ -1,0 +1,17 @@
+"""Experiment runners: one per table and figure of the paper's evaluation.
+
+Each module exposes ``run(...) -> ExperimentResult`` and the registry maps
+experiment ids to runners, so every artefact of the paper can be regenerated
+with::
+
+    python -m repro.experiments table2
+    python -m repro.experiments figure4 --scale small
+
+Benchmarks under ``benchmarks/`` wrap the same runners with pytest-benchmark
+timing; EXPERIMENTS.md records the paper-vs-measured comparison.
+"""
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
+from repro.experiments.result import ExperimentResult
+
+__all__ = ["ExperimentResult", "EXPERIMENTS", "get_experiment", "run_experiment"]

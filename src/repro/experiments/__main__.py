@@ -1,0 +1,59 @@
+"""CLI: regenerate any table or figure of the paper.
+
+Usage::
+
+    python -m repro.experiments table2
+    python -m repro.experiments figure4 --scale paper --slow
+    python -m repro.experiments all --markdown
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*sorted(EXPERIMENTS), "all"],
+        help="experiment id, or 'all'",
+    )
+    parser.add_argument(
+        "--scale",
+        default=None,
+        choices=["tiny", "small", "paper", "full"],
+        help="corpus scale (default: REPRO_SCALE env var or 'small')",
+    )
+    parser.add_argument(
+        "--slow",
+        action="store_true",
+        help="use the paper-faithful EM profile (10 restarts) instead of the fast one",
+    )
+    parser.add_argument(
+        "--markdown", action="store_true", help="emit markdown instead of ASCII"
+    )
+    args = parser.parse_args(argv)
+
+    ids = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for experiment_id in ids:
+        result = run_experiment(experiment_id, scale=args.scale, fast=not args.slow)
+        print(result.to_markdown() if args.markdown else result.to_text())
+        if "charts" in result.extras:
+            print()
+            print(result.extras["charts"])
+        if "histograms" in result.extras:
+            print()
+            print(result.extras["histograms"])
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,108 @@
+"""Shared infrastructure for the experiment runners.
+
+Centralises corpus construction, the method registries used by Tables 2-3,
+and the fast-vs-paper execution profiles so every runner (and every bench)
+builds its pieces the same way.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.baselines import (
+    KSFeaturesEmbedder,
+    PAFEmbedder,
+    PLEEmbedder,
+    PythagorasSCEmbedder,
+    SatoSCEmbedder,
+    SherlockSCEmbedder,
+    SquashingGMMEmbedder,
+    SquashingSOMEmbedder,
+)
+from repro.core import GemConfig, GemEmbedder
+from repro.data import make_gds, make_git_tables, make_sato_tables, make_wdc
+from repro.data.table import ColumnCorpus
+
+#: Dataset display order of the paper's tables.
+DATASET_ORDER = ("git", "sato", "wdc", "gds")
+DATASET_TITLES = {
+    "git": "Git Tables",
+    "sato": "Sato Tables",
+    "wdc": "WDC",
+    "gds": "GDS",
+}
+
+
+def build_corpora(
+    scale: str | None = None, *, only: tuple[str, ...] = DATASET_ORDER
+) -> dict[str, ColumnCorpus]:
+    """The four benchmark corpora, keyed by short dataset id."""
+    builders = {
+        "git": make_git_tables,
+        "sato": make_sato_tables,
+        "wdc": make_wdc,
+        "gds": make_gds,
+    }
+    return {key: builders[key](scale=scale) for key in only}
+
+
+def gem_config(*, fast: bool = True, **overrides: object) -> GemConfig:
+    """The Gem configuration experiments use.
+
+    ``fast=True`` (default) keeps the paper's 50 components but trims EM
+    restarts so the whole harness runs on a laptop; ``fast=False`` restores
+    the paper's 10 restarts.
+    """
+    if fast:
+        return GemConfig.fast(**overrides)
+    return GemConfig(**overrides)  # type: ignore[arg-type]
+
+
+def numeric_only_methods(*, fast: bool = True) -> dict[str, Callable[[], object]]:
+    """Factories for the Table 2 comparison (unsupervised, numeric-only)."""
+    n_init = 1 if fast else 10
+    return {
+        "Squashing_GMM": lambda: SquashingGMMEmbedder(n_components=50, n_init=n_init),
+        "Squashing_SOM": lambda: SquashingSOMEmbedder(n_units=50),
+        "PLE": lambda: PLEEmbedder(n_bins=50),
+        "PAF": lambda: PAFEmbedder(n_frequencies=50),
+        "KS statistic": lambda: KSFeaturesEmbedder(),
+    }
+
+
+def supervised_sc_methods(*, fast: bool = True) -> dict[str, Callable[[], object]]:
+    """Factories for the Table 3 supervised single-column baselines."""
+    epochs = 40 if fast else 100
+    return {
+        "Pythagoras_SC": lambda: PythagorasSCEmbedder(epochs=2 * epochs),
+        "Sherlock_SC": lambda: SherlockSCEmbedder(epochs=epochs),
+        "Sato_SC": lambda: SatoSCEmbedder(epochs=epochs),
+    }
+
+
+def fitted_gem(
+    corpus: ColumnCorpus, *, fast: bool = True, **overrides: object
+) -> GemEmbedder:
+    """A Gem embedder fitted on ``corpus`` with the experiment profile."""
+    gem = GemEmbedder(config=gem_config(fast=fast, **overrides))
+    gem.fit(corpus)
+    return gem
+
+
+def seeded(seed: int) -> np.random.Generator:
+    """Shorthand for a seeded generator in runner code."""
+    return np.random.default_rng(seed)
+
+
+__all__ = [
+    "DATASET_ORDER",
+    "DATASET_TITLES",
+    "build_corpora",
+    "gem_config",
+    "numeric_only_methods",
+    "supervised_sc_methods",
+    "fitted_gem",
+    "seeded",
+]

@@ -1,0 +1,67 @@
+"""Figure 4 — precision vs number of GMM components (all four datasets).
+
+Sweeps the component count and reports Gem (D+S) precision per dataset.
+Expected shape: flat lines — "the number of Gaussian components does not
+significantly impact Gem's overall performance" (§4.4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evaluation import average_precision_at_k
+from repro.experiments.context import (
+    DATASET_ORDER,
+    DATASET_TITLES,
+    build_corpora,
+    fitted_gem,
+)
+from repro.experiments.result import ExperimentResult
+
+DEFAULT_COMPONENTS = (5, 10, 20, 30, 50, 75, 100)
+
+
+def run(
+    scale: str | None = None,
+    *,
+    fast: bool = True,
+    components: tuple[int, ...] = DEFAULT_COMPONENTS,
+    **_: object,
+) -> ExperimentResult:
+    """Refit Gem per component count and score precision@k (coarse labels)."""
+    corpora = build_corpora(scale)
+    series: dict[str, list[float]] = {DATASET_TITLES[k]: [] for k in DATASET_ORDER}
+    for m in components:
+        for key in DATASET_ORDER:
+            corpus = corpora[key]
+            labels = corpus.labels("coarse")
+            gem = fitted_gem(corpus, fast=fast, n_components=int(m))
+            series[DATASET_TITLES[key]].append(
+                average_precision_at_k(gem.signature(corpus), labels)
+            )
+
+    headers = ["# Components", *(DATASET_TITLES[k] for k in DATASET_ORDER)]
+    rows = [
+        [m, *(series[DATASET_TITLES[k]][i] for k in DATASET_ORDER)]
+        for i, m in enumerate(components)
+    ]
+    spreads = {
+        name: float(np.max(vals) - np.min(vals)) for name, vals in series.items()
+    }
+    stable = all(v <= 0.15 for v in spreads.values())
+    return ExperimentResult(
+        experiment_id="figure4",
+        title="Figure 4: precision vs number of GMM components",
+        headers=headers,
+        rows=rows,
+        notes=[
+            f"max precision spread across the sweep per dataset: "
+            + ", ".join(f"{k}={v:.3f}" for k, v in spreads.items()),
+            f"component count has limited impact (spread <= 0.15 everywhere): {stable}"
+            " (paper: stable across 5-100).",
+        ],
+        extras={"series": series, "components": list(components), "spreads": spreads},
+    )
+
+
+__all__ = ["run", "DEFAULT_COMPONENTS"]

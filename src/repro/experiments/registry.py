@@ -1,0 +1,49 @@
+"""Registry mapping experiment ids to their runners."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments import (
+    figure1,
+    figure3,
+    figure4,
+    figure5,
+    observations,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+from repro.experiments.result import ExperimentResult
+
+#: Every regenerable artefact of the paper's evaluation.
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "table1": table1.run,
+    "table2": table2.run,
+    "table3": table3.run,
+    "table4": table4.run,
+    "figure1": figure1.run,
+    "figure3": figure3.run,
+    "figure4": figure4.run,
+    "figure5": figure5.run,
+    "observations": observations.run,
+}
+
+
+def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
+    """Look up a runner; raises with the list of valid ids."""
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; choose from {sorted(EXPERIMENTS)}"
+        ) from None
+
+
+def run_experiment(experiment_id: str, **kwargs: object) -> ExperimentResult:
+    """Run one experiment by id."""
+    return get_experiment(experiment_id)(**kwargs)
+
+
+__all__ = ["EXPERIMENTS", "get_experiment", "run_experiment"]

@@ -1,0 +1,62 @@
+"""Structured experiment outcomes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.utils.reporting import format_markdown_table, format_table
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table or figure.
+
+    Attributes
+    ----------
+    experiment_id:
+        Paper artefact id ("table2", "figure4", ...).
+    title:
+        Human-readable description.
+    headers / rows:
+        The tabular payload (figures are rendered as series tables).
+    notes:
+        Free-form remarks (scale used, seeds, caveats).
+    extras:
+        Any additional structured data a bench or test wants to assert on.
+    """
+
+    experiment_id: str
+    title: str
+    headers: Sequence[str]
+    rows: list[Sequence[object]]
+    notes: list[str] = field(default_factory=list)
+    extras: dict = field(default_factory=dict)
+
+    def to_text(self) -> str:
+        """ASCII rendering (what the CLI prints)."""
+        body = format_table(self.headers, self.rows, title=self.title)
+        if self.notes:
+            body += "\n" + "\n".join(f"note: {n}" for n in self.notes)
+        return body
+
+    def to_markdown(self) -> str:
+        """Markdown rendering (for EXPERIMENTS.md)."""
+        body = f"### {self.title}\n\n" + format_markdown_table(self.headers, self.rows)
+        if self.notes:
+            body += "\n\n" + "\n".join(f"*{n}*" for n in self.notes)
+        return body
+
+    def cell(self, row_label: object, column: str) -> object:
+        """Look up a value by first-column label and column header."""
+        try:
+            col_idx = list(self.headers).index(column)
+        except ValueError:
+            raise KeyError(f"no column {column!r} in {list(self.headers)}") from None
+        for row in self.rows:
+            if row[0] == row_label:
+                return row[col_idx]
+        raise KeyError(f"no row labelled {row_label!r}")
+
+
+__all__ = ["ExperimentResult"]

@@ -1,0 +1,88 @@
+"""Table 3 — average precision with headers + values (fine-grained GDS/WDC).
+
+Reproduces the composition study: SBERT-substitute headers alone, the three
+supervised single-column baselines (Pythagoras_SC, Sherlock_SC, Sato_SC),
+Gem's value-only signature (D+S), and the three ways of composing Gem's
+value embeddings with header embeddings (aggregation, autoencoder,
+concatenation). Expected shape: concatenation wins; D+S+C beats headers
+alone on both datasets; headers alone are far stronger on GDS than WDC.
+"""
+
+from __future__ import annotations
+
+from repro.core.composition import compose
+from repro.evaluation import average_precision_at_k
+from repro.experiments.context import build_corpora, fitted_gem, supervised_sc_methods
+from repro.experiments.result import ExperimentResult
+
+_DATASETS = ("wdc", "gds")
+_TITLES = {"wdc": "WDC", "gds": "GDS"}
+
+
+def run(scale: str | None = None, *, fast: bool = True, **_: object) -> ExperimentResult:
+    """Score every header/value composition on fine-grained GDS and WDC."""
+    corpora = build_corpora(scale, only=_DATASETS)
+    methods_order = [
+        "SBERT (headers only)",
+        "Pythagoras_SC",
+        "Sherlock_SC",
+        "Sato_SC",
+        "Gem (D+S)",
+        "Gem D+S+C (aggregation)",
+        "Gem D+S+C (AE)",
+        "Gem D+S+C (concatenation)",
+    ]
+    scores: dict[str, dict[str, float]] = {m: {} for m in methods_order}
+    for key in _DATASETS:
+        corpus = corpora[key]
+        labels = corpus.labels("fine")
+        gem = fitted_gem(corpus, fast=fast)
+        context = gem.contextual_embeddings(corpus)
+        value_block = gem.signature(corpus)
+        scores["SBERT (headers only)"][key] = average_precision_at_k(context, labels)
+        scores["Gem (D+S)"][key] = average_precision_at_k(value_block, labels)
+        for name, factory in supervised_sc_methods(fast=fast).items():
+            embedder = factory()
+            embeddings = embedder.fit_transform(corpus, labels)
+            scores[name][key] = average_precision_at_k(embeddings, labels)
+        blocks = [value_block / _mean_norm(value_block), context / _mean_norm(context)]
+        for method, label in (
+            ("aggregation", "Gem D+S+C (aggregation)"),
+            ("autoencoder", "Gem D+S+C (AE)"),
+            ("concatenation", "Gem D+S+C (concatenation)"),
+        ):
+            composed = compose(blocks, method, latent_dim=32, ae_epochs=30, random_state=0)
+            scores[label][key] = average_precision_at_k(composed, labels)
+
+    headers = ["Method", *(_TITLES[k] for k in _DATASETS)]
+    rows = [[m, *(scores[m][k] for k in _DATASETS)] for m in methods_order]
+    concat_wins = all(
+        scores["Gem D+S+C (concatenation)"][k]
+        >= max(scores["Gem D+S+C (aggregation)"][k], scores["Gem D+S+C (AE)"][k])
+        for k in _DATASETS
+    )
+    beats_headers = all(
+        scores["Gem D+S+C (concatenation)"][k] >= scores["SBERT (headers only)"][k]
+        for k in _DATASETS
+    )
+    return ExperimentResult(
+        experiment_id="table3",
+        title="Table 3: average precision, headers + values (fine-grained GDS/WDC)",
+        headers=headers,
+        rows=rows,
+        notes=[
+            f"Concatenation is the best composition: {concat_wins} (paper: yes).",
+            f"D+S+C beats headers-only on both datasets: {beats_headers} (paper: yes).",
+        ],
+        extras={"scores": scores},
+    )
+
+
+def _mean_norm(block):
+    import numpy as np
+
+    norms = np.linalg.norm(block, axis=1)
+    return float(norms.mean()) or 1.0
+
+
+__all__ = ["run"]

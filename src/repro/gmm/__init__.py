@@ -1,0 +1,26 @@
+"""Gaussian Mixture Model substrate, implemented from scratch.
+
+The paper's core machinery (Eqs. 1-6) is the classic EM-fitted GMM
+[Dempster et al. 1977; Pearson 1894; Reynolds 2009]. scikit-learn is not
+available in this environment, so this subpackage provides a compatible,
+fully-tested implementation:
+
+* :class:`~repro.gmm.kmeans.KMeans` — Lloyd's algorithm with k-means++
+  seeding, used to initialise EM (and reusable as a clustering primitive);
+* :class:`~repro.gmm.model.GaussianMixture` — full-covariance GMM with
+  log-sum-exp-stabilised E-step, the M-step updates of Eqs. 3-5, ``n_init``
+  restarts and a covariance floor;
+* :func:`~repro.gmm.selection.select_n_components_bic` — the BIC sweep the
+  paper uses to argue component-count robustness (§4.1.4, Figure 4).
+"""
+
+from repro.gmm.kmeans import KMeans, kmeans_plus_plus_init
+from repro.gmm.model import GaussianMixture
+from repro.gmm.selection import select_n_components_bic
+
+__all__ = [
+    "KMeans",
+    "kmeans_plus_plus_init",
+    "GaussianMixture",
+    "select_n_components_bic",
+]

@@ -1,0 +1,172 @@
+"""K-means clustering with k-means++ seeding.
+
+Used to initialise the GMM's EM iterations (the standard trick to avoid the
+worst local optima of random-responsibility starts) and as a general
+clustering primitive elsewhere in the library.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import RandomState, check_random_state
+from repro.utils.validation import check_array_2d, check_fitted, check_positive_int
+
+
+def kmeans_plus_plus_init(
+    X: np.ndarray,
+    n_clusters: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Choose ``n_clusters`` seed centroids with the k-means++ strategy.
+
+    The first centre is uniform over points; each subsequent centre is drawn
+    with probability proportional to its squared distance to the nearest
+    centre already chosen (Arthur & Vassilvitskii, 2007).
+
+    Returns
+    -------
+    numpy.ndarray of shape (n_clusters, n_features)
+    """
+    X = check_array_2d(X, "X")
+    n_samples = X.shape[0]
+    if n_clusters > n_samples:
+        raise ValueError(f"n_clusters={n_clusters} exceeds n_samples={n_samples}")
+    centers = np.empty((n_clusters, X.shape[1]), dtype=np.float64)
+    first = int(rng.integers(n_samples))
+    centers[0] = X[first]
+    closest_sq = np.sum((X - centers[0]) ** 2, axis=1)
+    for k in range(1, n_clusters):
+        total = closest_sq.sum()
+        if total <= 0:
+            # All remaining points coincide with an existing centre; fall back
+            # to uniform sampling so we still return the requested count.
+            idx = int(rng.integers(n_samples))
+        else:
+            probs = closest_sq / total
+            idx = int(rng.choice(n_samples, p=probs))
+        centers[k] = X[idx]
+        dist_sq = np.sum((X - centers[k]) ** 2, axis=1)
+        closest_sq = np.minimum(closest_sq, dist_sq)
+    return centers
+
+
+class KMeans:
+    """Lloyd's k-means with k-means++ seeding and empty-cluster repair.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of centroids.
+    max_iter:
+        Maximum Lloyd iterations per run.
+    tol:
+        Convergence threshold on the decrease of inertia between iterations.
+    n_init:
+        Number of independent seeded runs; the run with the lowest inertia
+        wins.
+    random_state:
+        Seed or generator for reproducibility.
+
+    Attributes
+    ----------
+    cluster_centers_ : numpy.ndarray of shape (n_clusters, n_features)
+    labels_ : numpy.ndarray of shape (n_samples,)
+    inertia_ : float
+        Sum of squared distances of points to their assigned centre.
+    n_iter_ : int
+        Iterations used by the winning run.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int = 8,
+        *,
+        max_iter: int = 100,
+        tol: float = 1e-6,
+        n_init: int = 1,
+        random_state: RandomState = None,
+    ) -> None:
+        self.n_clusters = check_positive_int(n_clusters, "n_clusters")
+        self.max_iter = check_positive_int(max_iter, "max_iter")
+        self.tol = float(tol)
+        self.n_init = check_positive_int(n_init, "n_init")
+        self.random_state = random_state
+        self.cluster_centers_: np.ndarray | None = None
+        self.labels_: np.ndarray | None = None
+        self.inertia_: float | None = None
+        self.n_iter_: int | None = None
+
+    def fit(self, X: np.ndarray) -> "KMeans":
+        """Run ``n_init`` seeded k-means runs on ``X`` and keep the best."""
+        X = check_array_2d(X, "X")
+        rng = check_random_state(self.random_state)
+        best: tuple[float, np.ndarray, np.ndarray, int] | None = None
+        for _ in range(self.n_init):
+            inertia, centers, labels, n_iter = self._single_run(X, rng)
+            if best is None or inertia < best[0]:
+                best = (inertia, centers, labels, n_iter)
+        assert best is not None
+        self.inertia_, self.cluster_centers_, self.labels_, self.n_iter_ = best
+        return self
+
+    def fit_predict(self, X: np.ndarray) -> np.ndarray:
+        """Fit on ``X`` and return the winning run's labels."""
+        self.fit(X)
+        assert self.labels_ is not None
+        return self.labels_
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Assign each row of ``X`` to its nearest fitted centre."""
+        check_fitted(self, "cluster_centers_")
+        X = check_array_2d(X, "X")
+        return self._assign(X, self.cluster_centers_)[0]
+
+    def _single_run(
+        self, X: np.ndarray, rng: np.random.Generator
+    ) -> tuple[float, np.ndarray, np.ndarray, int]:
+        centers = kmeans_plus_plus_init(X, self.n_clusters, rng)
+        prev_inertia = np.inf
+        labels = np.zeros(X.shape[0], dtype=int)
+        n_iter = 0
+        for n_iter in range(1, self.max_iter + 1):
+            labels, dists = self._assign(X, centers)
+            inertia = float(dists.sum())
+            centers = self._update_centers(X, labels, centers, dists, rng)
+            if prev_inertia - inertia < self.tol:
+                prev_inertia = inertia
+                break
+            prev_inertia = inertia
+        labels, dists = self._assign(X, centers)
+        return float(dists.sum()), centers, labels, n_iter
+
+    @staticmethod
+    def _assign(X: np.ndarray, centers: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        # ||x - c||^2 computed via the expansion to avoid a (n, k, d) temporary.
+        sq = (
+            np.sum(X**2, axis=1, keepdims=True)
+            - 2 * X @ centers.T
+            + np.sum(centers**2, axis=1)
+        )
+        np.maximum(sq, 0.0, out=sq)
+        labels = np.argmin(sq, axis=1)
+        return labels, sq[np.arange(X.shape[0]), labels]
+
+    def _update_centers(
+        self,
+        X: np.ndarray,
+        labels: np.ndarray,
+        centers: np.ndarray,
+        dists: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        new_centers = centers.copy()
+        for k in range(self.n_clusters):
+            members = labels == k
+            if np.any(members):
+                new_centers[k] = X[members].mean(axis=0)
+            else:
+                # Empty cluster: restart it at the point farthest from its
+                # current assignment, the standard repair strategy.
+                new_centers[k] = X[int(np.argmax(dists))]
+        return new_centers

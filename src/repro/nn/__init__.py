@@ -1,0 +1,48 @@
+"""Minimal neural-network substrate on numpy.
+
+PyTorch is not available offline, yet several comparators in the paper are
+neural models: Sherlock_SC and Sato_SC (dense networks with dropout and a
+softmax head, §4.1.3), Pythagoras_SC (a graph convolutional network), the
+autoencoder composition of Table 3, and the SDCN / TableDC deep-clustering
+algorithms of Table 4. This subpackage implements exactly the pieces those
+models need:
+
+* :mod:`repro.nn.layers` — ``Dense``, ``Dropout``, activations, ``Sequential``
+  with reverse-mode gradients;
+* :mod:`repro.nn.losses` — mean-squared error and softmax cross-entropy;
+* :mod:`repro.nn.optim` — SGD (momentum) and Adam;
+* :mod:`repro.nn.mlp` — a supervised MLP classifier exposing penultimate-layer
+  embeddings;
+* :mod:`repro.nn.autoencoder` — tied encoder/decoder MLP autoencoder;
+* :mod:`repro.nn.gcn` — dense graph-convolution layers and a two-layer GCN.
+
+Everything is deterministic given ``random_state`` and is unit-tested against
+finite-difference gradients.
+"""
+
+from repro.nn.autoencoder import Autoencoder
+from repro.nn.gcn import GCNClassifier, GraphConvolution, knn_graph, normalized_adjacency
+from repro.nn.layers import Dense, Dropout, LeakyReLU, ReLU, Sequential, Sigmoid, Tanh
+from repro.nn.losses import MSELoss, SoftmaxCrossEntropy
+from repro.nn.mlp import MLPClassifier
+from repro.nn.optim import SGD, Adam
+
+__all__ = [
+    "Dense",
+    "Dropout",
+    "ReLU",
+    "LeakyReLU",
+    "Tanh",
+    "Sigmoid",
+    "Sequential",
+    "MSELoss",
+    "SoftmaxCrossEntropy",
+    "SGD",
+    "Adam",
+    "MLPClassifier",
+    "Autoencoder",
+    "GraphConvolution",
+    "GCNClassifier",
+    "normalized_adjacency",
+    "knn_graph",
+]

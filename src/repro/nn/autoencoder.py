@@ -1,0 +1,138 @@
+"""MLP autoencoder.
+
+Used twice in the reproduction: as the third embedding-composition method of
+Table 3 ("learning embeddings through autoencoders ... compresses the
+combined information into a lower-dimensional latent space", §4.2.2) and as
+the reconstruction backbone of the SDCN / TableDC deep-clustering algorithms
+(Table 4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Dense, ReLU, Sequential
+from repro.nn.losses import MSELoss
+from repro.nn.optim import Adam
+from repro.utils.rng import RandomState, check_random_state, spawn_seeds
+from repro.utils.validation import check_array_2d, check_fitted, check_positive_int
+
+
+class Autoencoder:
+    """Symmetric encoder/decoder with a linear bottleneck.
+
+    Encoder: ``in → hidden... → latent``; decoder mirrors it back. Hidden
+    layers use ReLU; the latent and the reconstruction are linear, the usual
+    choice when the latent feeds a clustering head.
+
+    Parameters
+    ----------
+    latent_dim:
+        Bottleneck width.
+    hidden_sizes:
+        Encoder hidden widths (decoder mirrors them).
+    lr, epochs, batch_size:
+        Adam learning rate and schedule.
+    random_state:
+        Seed for weight init and batch shuffling.
+
+    Attributes
+    ----------
+    encoder_ / decoder_ : Sequential
+    history_ : list[float]
+        Mean reconstruction loss per epoch.
+    """
+
+    def __init__(
+        self,
+        latent_dim: int = 16,
+        hidden_sizes: tuple[int, ...] = (128, 64),
+        *,
+        lr: float = 1e-3,
+        epochs: int = 100,
+        batch_size: int = 64,
+        random_state: RandomState = None,
+    ) -> None:
+        self.latent_dim = check_positive_int(latent_dim, "latent_dim")
+        self.hidden_sizes = tuple(check_positive_int(h, "hidden size") for h in hidden_sizes)
+        self.lr = float(lr)
+        self.epochs = check_positive_int(epochs, "epochs")
+        self.batch_size = check_positive_int(batch_size, "batch_size")
+        self.random_state = random_state
+        self.encoder_: Sequential | None = None
+        self.decoder_: Sequential | None = None
+        self.history_: list[float] = []
+
+    def _build(self, in_dim: int, rng: np.random.Generator) -> None:
+        dims_down = [in_dim, *self.hidden_sizes, self.latent_dim]
+        dims_up = list(reversed(dims_down))
+        seeds = spawn_seeds(rng, 2 * (len(dims_down) - 1))
+        enc_layers: list = []
+        si = 0
+        for a, b in zip(dims_down[:-1], dims_down[1:]):
+            enc_layers.append(Dense(a, b, random_state=seeds[si]))
+            si += 1
+            if b != self.latent_dim:
+                enc_layers.append(ReLU())
+        dec_layers: list = []
+        for a, b in zip(dims_up[:-1], dims_up[1:]):
+            dec_layers.append(Dense(a, b, random_state=seeds[si]))
+            si += 1
+            if b != in_dim:
+                dec_layers.append(ReLU())
+        self.encoder_ = Sequential(*enc_layers)
+        self.decoder_ = Sequential(*dec_layers)
+
+    def fit(self, X: np.ndarray) -> "Autoencoder":
+        """Train to reconstruct ``X``; returns self."""
+        X = check_array_2d(X, "X")
+        rng = check_random_state(self.random_state)
+        self._build(X.shape[1], rng)
+        loss = MSELoss()
+        optimizer = Adam(
+            self.encoder_.parameters() + self.decoder_.parameters(), lr=self.lr
+        )
+        n = X.shape[0]
+        self.history_ = []
+        for _ in range(self.epochs):
+            order = rng.permutation(n)
+            epoch_loss = 0.0
+            n_batches = 0
+            for start in range(0, n, self.batch_size):
+                idx = order[start : start + self.batch_size]
+                xb = X[idx]
+                z = self.encoder_.forward(xb, training=True)
+                recon = self.decoder_.forward(z, training=True)
+                epoch_loss += loss.forward(recon, xb)
+                n_batches += 1
+                optimizer.zero_grad()
+                grad = loss.backward(recon, xb)
+                grad = self.decoder_.backward(grad)
+                self.encoder_.backward(grad)
+                optimizer.step()
+            self.history_.append(epoch_loss / max(n_batches, 1))
+        return self
+
+    def encode(self, X: np.ndarray) -> np.ndarray:
+        """Latent representation of ``X``."""
+        check_fitted(self, "encoder_")
+        X = check_array_2d(X, "X")
+        return self.encoder_.forward(X, training=False)
+
+    def reconstruct(self, X: np.ndarray) -> np.ndarray:
+        """Round-trip ``X`` through the bottleneck."""
+        check_fitted(self, "encoder_")
+        X = check_array_2d(X, "X")
+        return self.decoder_.forward(self.encoder_.forward(X, training=False), training=False)
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        """Fit, then return the latent codes of ``X``."""
+        return self.fit(X).encode(X)
+
+    def reconstruction_error(self, X: np.ndarray) -> float:
+        """Mean squared reconstruction error on ``X``."""
+        X = check_array_2d(X, "X")
+        return float(np.mean((self.reconstruct(X) - X) ** 2))
+
+
+__all__ = ["Autoencoder"]

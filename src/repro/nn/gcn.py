@@ -1,0 +1,196 @@
+"""Graph convolution on dense adjacency matrices.
+
+Pythagoras represents tables as graphs and runs a GNN over them [17]; its
+single-column re-implementation (Pythagoras_SC, §4.1.3) keeps a GCN over a
+column-similarity graph built from header embeddings. SDCN's graph module
+(Table 4) uses the same propagation rule. Corpora here are a few thousand
+columns at most, so a dense ``(n, n)`` normalised adjacency is simpler and
+faster than sparse plumbing.
+
+Propagation rule (Kipf & Welling, 2017):  ``H' = act( Â H W )`` with
+``Â = D^{-1/2} (A + I) D^{-1/2}``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Dense, Layer, Parameter, ReLU, Sequential
+from repro.nn.losses import SoftmaxCrossEntropy
+from repro.nn.optim import Adam
+from repro.utils.rng import RandomState, check_random_state, spawn_seeds
+from repro.utils.validation import check_array_2d, check_fitted, check_positive_int
+
+
+def normalized_adjacency(adjacency: np.ndarray, *, add_self_loops: bool = True) -> np.ndarray:
+    """Symmetrically normalise an adjacency matrix: ``D^-1/2 (A+I) D^-1/2``."""
+    A = check_array_2d(adjacency, "adjacency")
+    if A.shape[0] != A.shape[1]:
+        raise ValueError(f"adjacency must be square, got {A.shape}")
+    if np.any(A < 0):
+        raise ValueError("adjacency weights must be non-negative")
+    if add_self_loops:
+        A = A + np.eye(A.shape[0])
+    deg = A.sum(axis=1)
+    inv_sqrt = np.where(deg > 0, deg**-0.5, 0.0)
+    return A * inv_sqrt[:, None] * inv_sqrt[None, :]
+
+
+def knn_graph(embeddings: np.ndarray, k: int = 5) -> np.ndarray:
+    """Symmetric k-nearest-neighbour graph under cosine similarity.
+
+    The standard construction for SDCN-style clustering and for
+    Pythagoras_SC's header-similarity graph.
+    """
+    X = check_array_2d(embeddings, "embeddings")
+    k = check_positive_int(k, "k")
+    norms = np.linalg.norm(X, axis=1, keepdims=True)
+    norms = np.where(norms == 0, 1.0, norms)
+    sim = (X / norms) @ (X / norms).T
+    np.fill_diagonal(sim, -np.inf)
+    n = X.shape[0]
+    k = min(k, n - 1)
+    A = np.zeros((n, n))
+    nearest = np.argpartition(-sim, kth=k - 1, axis=1)[:, :k]
+    rows = np.repeat(np.arange(n), k)
+    A[rows, nearest.ravel()] = 1.0
+    return np.maximum(A, A.T)
+
+
+class GraphConvolution(Layer):
+    """One GCN layer: ``H' = Â H W + b`` (activation applied separately)."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        *,
+        random_state: RandomState = None,
+    ) -> None:
+        rng = check_random_state(random_state)
+        limit = np.sqrt(6.0 / (in_features + out_features))
+        self.weight = Parameter(rng.uniform(-limit, limit, size=(in_features, out_features)))
+        self.bias = Parameter(np.zeros(out_features))
+        self.adjacency: np.ndarray | None = None  # set before forward
+        self._ah: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if self.adjacency is None:
+            raise RuntimeError("set .adjacency (normalised) before calling forward")
+        ah = self.adjacency @ x
+        self._ah = ah if training else None
+        return ah @ self.weight.value + self.bias.value
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._ah is None:
+            raise RuntimeError("backward called without a training forward pass")
+        self.weight.grad += self._ah.T @ grad_out
+        self.bias.grad += grad_out.sum(axis=0)
+        # d/dH of Â H W is Â^T G W^T; Â is symmetric by construction.
+        return self.adjacency.T @ (grad_out @ self.weight.value.T)
+
+    def parameters(self) -> list[Parameter]:
+        return [self.weight, self.bias]
+
+
+class GCNClassifier:
+    """Two-layer GCN node classifier with hidden-layer embeddings.
+
+    Transductive: ``fit`` trains on all nodes' features + adjacency with the
+    given labels, ``embed`` returns the hidden representation of every node.
+
+    Parameters
+    ----------
+    hidden_dim:
+        Width of the hidden graph-convolution layer.
+    lr, epochs:
+        Adam learning rate and full-batch epochs (GCN training is full-batch).
+    random_state:
+        Seed.
+    """
+
+    def __init__(
+        self,
+        hidden_dim: int = 64,
+        *,
+        lr: float = 1e-2,
+        epochs: int = 120,
+        random_state: RandomState = None,
+    ) -> None:
+        self.hidden_dim = check_positive_int(hidden_dim, "hidden_dim")
+        self.lr = float(lr)
+        self.epochs = check_positive_int(epochs, "epochs")
+        self.random_state = random_state
+        self.classes_: np.ndarray | None = None
+        self.model_: Sequential | None = None
+        self._gc_layers: list[GraphConvolution] = []
+        self.history_: list[float] = []
+
+    def fit(
+        self,
+        X: np.ndarray,
+        adjacency: np.ndarray,
+        y: np.ndarray,
+        *,
+        train_mask: np.ndarray | None = None,
+    ) -> "GCNClassifier":
+        """Train on node features ``X``, raw adjacency and labels ``y``.
+
+        ``train_mask`` selects the nodes whose labels contribute to the loss
+        — the standard semi-supervised transductive setting. All nodes still
+        participate in propagation and receive embeddings.
+        """
+        X = check_array_2d(X, "X")
+        y = np.asarray(y)
+        if y.shape[0] != X.shape[0]:
+            raise ValueError(f"X has {X.shape[0]} rows but y has {y.shape[0]} labels")
+        if train_mask is None:
+            train_mask = np.ones(X.shape[0], dtype=bool)
+        else:
+            train_mask = np.asarray(train_mask, dtype=bool)
+            if train_mask.shape[0] != X.shape[0]:
+                raise ValueError(
+                    f"train_mask has {train_mask.shape[0]} entries for {X.shape[0]} nodes"
+                )
+            if not np.any(train_mask):
+                raise ValueError("train_mask selects no nodes")
+        A_hat = normalized_adjacency(adjacency)
+        if A_hat.shape[0] != X.shape[0]:
+            raise ValueError(
+                f"adjacency is {A_hat.shape[0]}x{A_hat.shape[0]} but X has {X.shape[0]} rows"
+            )
+        self.classes_, y_idx = np.unique(y, return_inverse=True)
+        rng = check_random_state(self.random_state)
+        seeds = spawn_seeds(rng, 2)
+        gc1 = GraphConvolution(X.shape[1], self.hidden_dim, random_state=seeds[0])
+        gc2 = GraphConvolution(self.hidden_dim, len(self.classes_), random_state=seeds[1])
+        gc1.adjacency = A_hat
+        gc2.adjacency = A_hat
+        self._gc_layers = [gc1, gc2]
+        self.model_ = Sequential(gc1, ReLU(), gc2)
+        loss = SoftmaxCrossEntropy()
+        optimizer = Adam(self.model_.parameters(), lr=self.lr)
+        self.history_ = []
+        for _ in range(self.epochs):
+            logits = self.model_.forward(X, training=True)
+            self.history_.append(loss.forward(logits[train_mask], y_idx[train_mask]))
+            optimizer.zero_grad()
+            grad = np.zeros_like(logits)
+            grad[train_mask] = loss.backward(logits[train_mask], y_idx[train_mask])
+            self.model_.backward(grad)
+            optimizer.step()
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Labels for every node (same graph as fit)."""
+        check_fitted(self, "model_")
+        logits = self.model_.forward(check_array_2d(X, "X"), training=False)
+        return self.classes_[np.argmax(logits, axis=1)]
+
+    def embed(self, X: np.ndarray) -> np.ndarray:
+        """Hidden-layer node representations (post-ReLU)."""
+        check_fitted(self, "model_")
+        return self.model_.forward_until(check_array_2d(X, "X"), 2)
+
+
+__all__ = ["normalized_adjacency", "knn_graph", "GraphConvolution", "GCNClassifier"]

@@ -1,0 +1,215 @@
+"""Feed-forward layers with reverse-mode gradients.
+
+The layer protocol is intentionally tiny:
+
+* ``forward(x, training)`` — compute the output, caching what backward needs;
+* ``backward(grad_out)`` — accumulate parameter gradients, return the
+  gradient with respect to the input;
+* ``parameters()`` — list of :class:`Parameter` (value + grad) for optimisers.
+
+Shapes follow the row-convention ``(batch, features)`` throughout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import RandomState, check_random_state
+
+
+class Parameter:
+    """A trainable array with its accumulated gradient."""
+
+    __slots__ = ("value", "grad")
+
+    def __init__(self, value: np.ndarray) -> None:
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient to zero."""
+        self.grad[...] = 0.0
+
+
+class Layer:
+    """Base layer; stateless layers only override forward/backward."""
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    def parameters(self) -> list[Parameter]:
+        """Trainable parameters (empty for stateless layers)."""
+        return []
+
+
+class Dense(Layer):
+    """Affine layer ``y = x W + b`` with Glorot-uniform initialisation."""
+
+    def __init__(self, in_features: int, out_features: int, *, random_state: RandomState = None) -> None:
+        if in_features < 1 or out_features < 1:
+            raise ValueError(
+                f"in_features and out_features must be positive, got {in_features}, {out_features}"
+            )
+        rng = check_random_state(random_state)
+        limit = np.sqrt(6.0 / (in_features + out_features))
+        self.weight = Parameter(rng.uniform(-limit, limit, size=(in_features, out_features)))
+        self.bias = Parameter(np.zeros(out_features))
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._x = x if training else None
+        return x @ self.weight.value + self.bias.value
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called without a training forward pass")
+        self.weight.grad += self._x.T @ grad_out
+        self.bias.grad += grad_out.sum(axis=0)
+        return grad_out @ self.weight.value.T
+
+    def parameters(self) -> list[Parameter]:
+        return [self.weight, self.bias]
+
+
+class ReLU(Layer):
+    """Rectified linear unit."""
+
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        mask = x > 0
+        self._mask = mask if training else None
+        return np.where(mask, x, 0.0)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called without a training forward pass")
+        return grad_out * self._mask
+
+
+class LeakyReLU(Layer):
+    """Leaky ReLU with negative slope ``alpha``."""
+
+    def __init__(self, alpha: float = 0.01) -> None:
+        if alpha < 0:
+            raise ValueError(f"alpha must be >= 0, got {alpha}")
+        self.alpha = float(alpha)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        mask = x > 0
+        self._mask = mask if training else None
+        return np.where(mask, x, self.alpha * x)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called without a training forward pass")
+        return grad_out * np.where(self._mask, 1.0, self.alpha)
+
+
+class Tanh(Layer):
+    """Hyperbolic tangent."""
+
+    def __init__(self) -> None:
+        self._out: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out = np.tanh(x)
+        self._out = out if training else None
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward called without a training forward pass")
+        return grad_out * (1.0 - self._out**2)
+
+
+class Sigmoid(Layer):
+    """Logistic sigmoid."""
+
+    def __init__(self) -> None:
+        self._out: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out = 1.0 / (1.0 + np.exp(-np.clip(x, -500, 500)))
+        self._out = out if training else None
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward called without a training forward pass")
+        return grad_out * self._out * (1.0 - self._out)
+
+
+class Dropout(Layer):
+    """Inverted dropout: active only in training mode."""
+
+    def __init__(self, p: float = 0.5, *, random_state: RandomState = None) -> None:
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = float(p)
+        self._rng = check_random_state(random_state)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if not training or self.p == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.p
+        mask = (self._rng.random(x.shape) < keep) / keep
+        self._mask = mask
+        return x * mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_out
+        return grad_out * self._mask
+
+
+class Sequential(Layer):
+    """A chain of layers applied in order."""
+
+    def __init__(self, *layers: Layer) -> None:
+        if not layers:
+            raise ValueError("Sequential requires at least one layer")
+        self.layers = list(layers)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x, training=training)
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_out = layer.backward(grad_out)
+        return grad_out
+
+    def parameters(self) -> list[Parameter]:
+        return [p for layer in self.layers for p in layer.parameters()]
+
+    def forward_until(self, x: np.ndarray, n_layers: int) -> np.ndarray:
+        """Inference forward pass through only the first ``n_layers`` layers.
+
+        Used to read intermediate representations (e.g. the penultimate
+        hidden layer of a classifier as its embedding).
+        """
+        for layer in self.layers[:n_layers]:
+            x = layer.forward(x, training=False)
+        return x
+
+
+__all__ = [
+    "Parameter",
+    "Layer",
+    "Dense",
+    "ReLU",
+    "LeakyReLU",
+    "Tanh",
+    "Sigmoid",
+    "Dropout",
+    "Sequential",
+]

@@ -1,0 +1,57 @@
+"""Loss functions with analytic gradients."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class MSELoss:
+    """Mean squared error over all elements: ``mean((pred - target)^2)``."""
+
+    def forward(self, pred: np.ndarray, target: np.ndarray) -> float:
+        """Scalar loss."""
+        if pred.shape != target.shape:
+            raise ValueError(f"shape mismatch: pred {pred.shape} vs target {target.shape}")
+        return float(np.mean((pred - target) ** 2))
+
+    def backward(self, pred: np.ndarray, target: np.ndarray) -> np.ndarray:
+        """Gradient of the loss with respect to ``pred``."""
+        return 2.0 * (pred - target) / pred.size
+
+
+class SoftmaxCrossEntropy:
+    """Softmax over logits fused with cross-entropy against integer labels.
+
+    The fused formulation keeps the backward pass the numerically pleasant
+    ``softmax(logits) - onehot(labels)``.
+    """
+
+    @staticmethod
+    def softmax(logits: np.ndarray) -> np.ndarray:
+        """Row-wise softmax with max-shift stabilisation."""
+        z = logits - logits.max(axis=1, keepdims=True)
+        e = np.exp(z)
+        return e / e.sum(axis=1, keepdims=True)
+
+    def forward(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        """Mean negative log-likelihood of ``labels`` under the softmax."""
+        labels = np.asarray(labels, dtype=int)
+        if logits.shape[0] != labels.shape[0]:
+            raise ValueError(
+                f"batch mismatch: logits {logits.shape[0]} rows vs {labels.shape[0]} labels"
+            )
+        if labels.min(initial=0) < 0 or labels.max(initial=0) >= logits.shape[1]:
+            raise ValueError("labels out of range for the logits' class dimension")
+        z = logits - logits.max(axis=1, keepdims=True)
+        log_probs = z - np.log(np.exp(z).sum(axis=1, keepdims=True))
+        return float(-np.mean(log_probs[np.arange(len(labels)), labels]))
+
+    def backward(self, logits: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        """Gradient with respect to ``logits``."""
+        labels = np.asarray(labels, dtype=int)
+        probs = self.softmax(logits)
+        probs[np.arange(len(labels)), labels] -= 1.0
+        return probs / len(labels)
+
+
+__all__ = ["MSELoss", "SoftmaxCrossEntropy"]

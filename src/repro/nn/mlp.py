@@ -1,0 +1,139 @@
+"""Supervised MLP classifier with penultimate-layer embeddings.
+
+This is the training architecture behind the Sherlock_SC and Sato_SC
+baselines (§4.1.3): "dense layers with dropout and a softmax layer". Both
+baselines feed statistical features + header embeddings through the network
+and use the learned hidden representation as the column embedding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Dense, Dropout, ReLU, Sequential
+from repro.nn.losses import SoftmaxCrossEntropy
+from repro.nn.optim import Adam
+from repro.utils.rng import RandomState, check_random_state, spawn_seeds
+from repro.utils.validation import check_array_2d, check_fitted, check_positive_int
+
+
+class MLPClassifier:
+    """Multi-layer perceptron: Dense→ReLU→Dropout blocks + softmax head.
+
+    Parameters
+    ----------
+    hidden_sizes:
+        Widths of the hidden layers.
+    dropout:
+        Dropout probability applied after every hidden activation.
+    lr, epochs, batch_size:
+        Adam learning rate and training schedule.
+    random_state:
+        Seed for weight init, dropout masks and batch shuffling.
+
+    Attributes
+    ----------
+    classes_ : numpy.ndarray
+        Sorted distinct labels seen in fit.
+    model_ : Sequential
+        The trained network.
+    history_ : list[float]
+        Mean training loss per epoch.
+    """
+
+    def __init__(
+        self,
+        hidden_sizes: tuple[int, ...] = (128, 64),
+        *,
+        dropout: float = 0.2,
+        lr: float = 1e-3,
+        epochs: int = 60,
+        batch_size: int = 64,
+        random_state: RandomState = None,
+    ) -> None:
+        if not hidden_sizes:
+            raise ValueError("hidden_sizes must contain at least one layer width")
+        self.hidden_sizes = tuple(check_positive_int(h, "hidden size") for h in hidden_sizes)
+        self.dropout = float(dropout)
+        self.lr = float(lr)
+        self.epochs = check_positive_int(epochs, "epochs")
+        self.batch_size = check_positive_int(batch_size, "batch_size")
+        self.random_state = random_state
+        self.classes_: np.ndarray | None = None
+        self.model_: Sequential | None = None
+        self.history_: list[float] = []
+
+    # ----------------------------------------------------------------- fit
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "MLPClassifier":
+        """Train on features ``X`` and arbitrary hashable labels ``y``."""
+        X = check_array_2d(X, "X")
+        y = np.asarray(y)
+        if y.shape[0] != X.shape[0]:
+            raise ValueError(f"X has {X.shape[0]} rows but y has {y.shape[0]} labels")
+        self.classes_, y_idx = np.unique(y, return_inverse=True)
+        n_classes = len(self.classes_)
+        if n_classes < 2:
+            raise ValueError("need at least two classes to train a classifier")
+        rng = check_random_state(self.random_state)
+        seeds = spawn_seeds(rng, len(self.hidden_sizes) * 2 + 1)
+        layers: list = []
+        in_dim = X.shape[1]
+        si = 0
+        for width in self.hidden_sizes:
+            layers.append(Dense(in_dim, width, random_state=seeds[si]))
+            si += 1
+            layers.append(ReLU())
+            if self.dropout > 0:
+                layers.append(Dropout(self.dropout, random_state=seeds[si]))
+            si += 1
+            in_dim = width
+        layers.append(Dense(in_dim, n_classes, random_state=seeds[si]))
+        self.model_ = Sequential(*layers)
+        loss = SoftmaxCrossEntropy()
+        optimizer = Adam(self.model_.parameters(), lr=self.lr)
+        n = X.shape[0]
+        self.history_ = []
+        for _ in range(self.epochs):
+            order = rng.permutation(n)
+            epoch_loss = 0.0
+            n_batches = 0
+            for start in range(0, n, self.batch_size):
+                idx = order[start : start + self.batch_size]
+                xb, yb = X[idx], y_idx[idx]
+                logits = self.model_.forward(xb, training=True)
+                epoch_loss += loss.forward(logits, yb)
+                n_batches += 1
+                optimizer.zero_grad()
+                self.model_.backward(loss.backward(logits, yb))
+                optimizer.step()
+            self.history_.append(epoch_loss / max(n_batches, 1))
+        return self
+
+    # ------------------------------------------------------------ inference
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Class probabilities, rows aligned with ``classes_``."""
+        check_fitted(self, "model_")
+        X = check_array_2d(X, "X")
+        logits = self.model_.forward(X, training=False)
+        return SoftmaxCrossEntropy.softmax(logits)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Most probable class label per row."""
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Mean accuracy on (X, y)."""
+        return float(np.mean(self.predict(X) == np.asarray(y)))
+
+    def embed(self, X: np.ndarray) -> np.ndarray:
+        """Penultimate-layer activations — the learned column embedding."""
+        check_fitted(self, "model_")
+        X = check_array_2d(X, "X")
+        # Everything except the final Dense head.
+        return self.model_.forward_until(X, len(self.model_.layers) - 1)
+
+
+__all__ = ["MLPClassifier"]

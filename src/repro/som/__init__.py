@@ -1,0 +1,12 @@
+"""Self-Organising Map substrate.
+
+Jiang et al. [11] induce numeral prototypes with either a GMM or a SOM over
+log-squashed values; the paper compares against both (Squashing_GMM and
+Squashing_SOM, §4.1.3). This package provides the SOM half: a classic
+Kohonen map with Gaussian neighbourhood and exponential decay, plus a soft
+activation response used to build column signatures.
+"""
+
+from repro.som.som import SelfOrganizingMap
+
+__all__ = ["SelfOrganizingMap"]

@@ -1,0 +1,72 @@
+"""Header tokenisation and synonym canonicalisation.
+
+Table headers arrive in every imaginable convention — ``score_cricket``,
+``Score Cricket``, ``ScoreCricket``, ``SCORE-CRICKET``, ``scoreCricket1`` —
+and often abbreviate ("qty", "yr", "amt"). Tokenisation folds all of those
+to the same token sequence so the embedder sees through the formatting.
+"""
+
+from __future__ import annotations
+
+import re
+
+#: Common schema abbreviations folded to canonical tokens before hashing.
+SYNONYMS: dict[str, str] = {
+    "qty": "quantity",
+    "cnt": "count",
+    "yr": "year",
+    "amt": "amount",
+    "avg": "average",
+    "temp": "temperature",
+    "pct": "percentage",
+    "percent": "percentage",
+    "num": "number",
+    "no": "number",
+    "desc": "description",
+    "addr": "address",
+    "lat": "latitude",
+    "lon": "longitude",
+    "lng": "longitude",
+    "max": "maximum",
+    "min": "minimum",
+    "val": "value",
+    "vals": "value",
+    "id": "identifier",
+    "wt": "weight",
+    "ht": "height",
+    "len": "length",
+    "pop": "population",
+    "sal": "salary",
+    "dur": "duration",
+}
+
+_CAMEL_BOUNDARY = re.compile(r"(?<=[a-z0-9])(?=[A-Z])|(?<=[A-Z])(?=[A-Z][a-z])")
+_NON_ALNUM = re.compile(r"[^0-9a-zA-Z]+")
+_ALPHA_NUM_BOUNDARY = re.compile(r"(?<=[a-zA-Z])(?=[0-9])|(?<=[0-9])(?=[a-zA-Z])")
+
+
+def tokenize_header(header: str) -> list[str]:
+    """Split a header string into lowercase word tokens.
+
+    Handles underscore/space/dash separators, camelCase boundaries and
+    letter-digit boundaries; drops empty fragments.
+
+    >>> tokenize_header("ScoreCricket")
+    ['score', 'cricket']
+    >>> tokenize_header("engine_power_car")
+    ['engine', 'power', 'car']
+    """
+    if not isinstance(header, str):
+        raise TypeError(f"header must be a string, got {type(header).__name__}")
+    text = _NON_ALNUM.sub(" ", header)
+    text = _CAMEL_BOUNDARY.sub(" ", text)
+    text = _ALPHA_NUM_BOUNDARY.sub(" ", text)
+    return [t.lower() for t in text.split() if t]
+
+
+def canonicalize(tokens: list[str]) -> list[str]:
+    """Replace known abbreviations with their canonical form."""
+    return [SYNONYMS.get(t, t) for t in tokens]
+
+
+__all__ = ["tokenize_header", "canonicalize", "SYNONYMS"]

@@ -1,0 +1,36 @@
+"""Shared utilities: input validation, preprocessing, RNG handling, reporting.
+
+These helpers are deliberately small and dependency-free so that every other
+subpackage can rely on them without import cycles.
+"""
+
+from repro.utils.preprocessing import (
+    l1_normalize,
+    l2_normalize,
+    minmax_scale,
+    standardize,
+    standardize_columns,
+)
+from repro.utils.rng import check_random_state, spawn_seeds
+from repro.utils.validation import (
+    check_array_1d,
+    check_array_2d,
+    check_fitted,
+    check_positive_int,
+    check_probability_matrix,
+)
+
+__all__ = [
+    "check_array_1d",
+    "check_array_2d",
+    "check_fitted",
+    "check_positive_int",
+    "check_probability_matrix",
+    "check_random_state",
+    "spawn_seeds",
+    "l1_normalize",
+    "l2_normalize",
+    "minmax_scale",
+    "standardize",
+    "standardize_columns",
+]

@@ -1,0 +1,76 @@
+"""Vector and matrix preprocessing primitives.
+
+The Gem pipeline normalises three times (paper Eqs. 7, 9, 10): feature
+z-standardisation, L1 normalisation of the augmented signature vector, and L1
+normalisation of the header embedding. These helpers implement those steps
+with explicit handling of the degenerate cases (zero vectors, zero variance)
+that real table corpora produce constantly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_array_2d
+
+
+def l1_normalize(matrix: np.ndarray, *, axis: int = 1) -> np.ndarray:
+    """Scale rows (or columns) to unit L1 norm.
+
+    Zero rows are returned unchanged rather than producing NaNs — a column
+    whose features all vanish simply stays at the origin.
+    """
+    arr = np.asarray(matrix, dtype=np.float64)
+    norms = np.sum(np.abs(arr), axis=axis, keepdims=True)
+    norms = np.where(norms == 0, 1.0, norms)
+    return arr / norms
+
+
+def l2_normalize(matrix: np.ndarray, *, axis: int = 1) -> np.ndarray:
+    """Scale rows (or columns) to unit L2 norm; zero rows stay zero."""
+    arr = np.asarray(matrix, dtype=np.float64)
+    norms = np.linalg.norm(arr, axis=axis, keepdims=True)
+    norms = np.where(norms == 0, 1.0, norms)
+    return arr / norms
+
+
+def standardize(vector: np.ndarray) -> np.ndarray:
+    """Z-standardise a single vector: ``(x - mean) / std`` (paper Eq. 7).
+
+    A constant vector standardises to all zeros instead of dividing by zero.
+    """
+    arr = np.asarray(vector, dtype=np.float64)
+    mu = float(np.mean(arr)) if arr.size else 0.0
+    sigma = float(np.std(arr)) if arr.size else 0.0
+    if sigma == 0:
+        return np.zeros_like(arr)
+    return (arr - mu) / sigma
+
+
+def standardize_columns(matrix: np.ndarray) -> np.ndarray:
+    """Z-standardise each column of a feature matrix independently.
+
+    This is how the per-column statistical features are standardised across
+    the corpus before being concatenated into the signature (paper §3.2).
+    Constant columns become all zeros.
+    """
+    arr = check_array_2d(matrix, "matrix")
+    mu = arr.mean(axis=0, keepdims=True)
+    sigma = arr.std(axis=0, keepdims=True)
+    # Columns constant up to float resolution carry no information; dividing
+    # by their denormal std would only amplify rounding noise.
+    constant = (sigma <= 1e-12 * np.maximum(np.abs(mu), 1.0)).ravel()
+    sigma = np.where(sigma == 0, 1.0, sigma)
+    out = (arr - mu) / sigma
+    out[:, constant] = 0.0
+    return out
+
+
+def minmax_scale(matrix: np.ndarray, *, axis: int = 0) -> np.ndarray:
+    """Scale values to [0, 1] along ``axis``; constant slices map to 0."""
+    arr = np.asarray(matrix, dtype=np.float64)
+    lo = arr.min(axis=axis, keepdims=True)
+    hi = arr.max(axis=axis, keepdims=True)
+    span = hi - lo
+    span = np.where(span == 0, 1.0, span)
+    return (arr - lo) / span

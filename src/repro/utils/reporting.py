@@ -1,0 +1,129 @@
+"""Plain-text reporting: ASCII tables, markdown tables, and simple bar plots.
+
+The experiment runners (``repro.experiments``) regenerate every table and
+figure of the paper as text, so results can be diffed and pasted into
+EXPERIMENTS.md without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render rows as an aligned ASCII table.
+
+    Floats are formatted with ``float_fmt``; everything else via ``str``.
+    """
+    rendered: list[list[str]] = []
+    for row in rows:
+        rendered.append([_format_cell(cell, float_fmt) for cell in row])
+    widths = [len(str(h)) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(sep))
+    lines.append(" | ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in rendered:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_markdown_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render rows as a GitHub-flavoured markdown table."""
+    lines = ["| " + " | ".join(str(h) for h in headers) + " |"]
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(_format_cell(c, float_fmt) for c in row) + " |")
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    series: Mapping[str, Sequence[float]],
+    x_values: Sequence[object],
+    *,
+    title: str | None = None,
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render one-or-more named series over shared x values as an ASCII table.
+
+    Used for the figure reproductions (precision-vs-components, runtime
+    scaling) where the paper plots lines.
+    """
+    headers = [x_label, *series.keys()]
+    rows = []
+    for i, x in enumerate(x_values):
+        rows.append([x, *(vals[i] for vals in series.values())])
+    return format_table(headers, rows, title=title, float_fmt=float_fmt)
+
+
+def format_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    width: int = 50,
+    title: str | None = None,
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render a horizontal ASCII bar chart (for the Figure 3 ablation)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have the same length")
+    vmax = max((abs(v) for v in values), default=1.0) or 1.0
+    label_w = max((len(l) for l in labels), default=0)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "#" * max(0, int(round(width * abs(value) / vmax)))
+        lines.append(f"{label.ljust(label_w)} | {bar} {float_fmt.format(value)}")
+    return "\n".join(lines)
+
+
+def format_histogram(
+    values: Sequence[float],
+    *,
+    bins: int = 20,
+    width: int = 40,
+    title: str | None = None,
+) -> str:
+    """Render a vertical-bar ASCII histogram (for the Figure 1 motivation)."""
+    import numpy as np
+
+    arr = np.asarray(values, dtype=float)
+    counts, edges = np.histogram(arr, bins=bins)
+    cmax = counts.max() if counts.size and counts.max() > 0 else 1
+    lines = [title] if title else []
+    for count, lo, hi in zip(counts, edges[:-1], edges[1:]):
+        bar = "#" * int(round(width * count / cmax))
+        lines.append(f"[{lo:10.2f}, {hi:10.2f}) | {bar} {count}")
+    return "\n".join(lines)
+
+
+def _format_cell(cell: object, float_fmt: str) -> str:
+    if isinstance(cell, bool):
+        return str(cell)
+    if isinstance(cell, float):
+        return float_fmt.format(cell)
+    try:
+        import numpy as np
+
+        if isinstance(cell, np.floating):
+            return float_fmt.format(float(cell))
+    except ImportError:  # pragma: no cover - numpy is a hard dependency
+        pass
+    return str(cell)

@@ -1,0 +1,45 @@
+"""Random-state handling.
+
+Every stochastic component in the library accepts ``random_state`` in the
+style popularised by scikit-learn: ``None`` (fresh entropy), an ``int`` seed,
+or an existing :class:`numpy.random.Generator`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+RandomState = Union[None, int, np.random.Generator]
+
+
+def check_random_state(random_state: RandomState) -> np.random.Generator:
+    """Coerce ``random_state`` into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    random_state:
+        ``None`` for OS entropy, an integer seed for reproducibility, or an
+        already-constructed generator (returned unchanged).
+    """
+    if random_state is None:
+        return np.random.default_rng()
+    if isinstance(random_state, np.random.Generator):
+        return random_state
+    if isinstance(random_state, (int, np.integer)) and not isinstance(random_state, bool):
+        return np.random.default_rng(int(random_state))
+    raise TypeError(
+        "random_state must be None, an int, or a numpy.random.Generator, "
+        f"got {type(random_state).__name__}"
+    )
+
+
+def spawn_seeds(random_state: RandomState, n: int) -> list[int]:
+    """Derive ``n`` independent integer seeds from ``random_state``.
+
+    Used by estimators with multiple restarts (e.g. the GMM's ``n_init``) so
+    each restart is reproducible yet independent.
+    """
+    rng = check_random_state(random_state)
+    return [int(s) for s in rng.integers(0, 2**31 - 1, size=n)]

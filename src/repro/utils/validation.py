@@ -1,0 +1,124 @@
+"""Input validation helpers shared by every estimator in the library.
+
+All validators raise ``ValueError``/``TypeError`` with actionable messages and
+return the validated (possibly converted) value, so call sites can write
+``x = check_array_1d(x, "x")``.
+"""
+
+from __future__ import annotations
+
+import numbers
+from typing import Any
+
+import numpy as np
+
+
+def check_array_1d(
+    values: Any,
+    name: str = "values",
+    *,
+    min_len: int = 1,
+    allow_empty: bool = False,
+    finite: bool = True,
+) -> np.ndarray:
+    """Validate and convert ``values`` to a 1-D float64 numpy array.
+
+    Parameters
+    ----------
+    values:
+        Array-like of numbers.
+    name:
+        Name used in error messages.
+    min_len:
+        Minimum number of elements required (ignored when ``allow_empty``).
+    allow_empty:
+        Permit zero-length arrays.
+    finite:
+        Require every element to be finite (no NaN / inf).
+
+    Returns
+    -------
+    numpy.ndarray
+        1-D float64 array.
+    """
+    try:
+        arr = np.asarray(values, dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise TypeError(f"{name} must be numeric array-like, got {type(values).__name__}") from exc
+    if arr.ndim == 0:
+        arr = arr.reshape(1)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be 1-dimensional, got shape {arr.shape}")
+    if arr.size == 0 and not allow_empty:
+        raise ValueError(f"{name} must not be empty")
+    if arr.size < min_len and not (arr.size == 0 and allow_empty):
+        raise ValueError(f"{name} must have at least {min_len} elements, got {arr.size}")
+    if finite and arr.size and not np.all(np.isfinite(arr)):
+        n_bad = int(np.sum(~np.isfinite(arr)))
+        raise ValueError(f"{name} contains {n_bad} non-finite values (NaN or inf)")
+    return arr
+
+
+def check_array_2d(
+    values: Any,
+    name: str = "X",
+    *,
+    min_rows: int = 1,
+    min_cols: int = 1,
+    finite: bool = True,
+) -> np.ndarray:
+    """Validate and convert ``values`` to a 2-D float64 numpy array.
+
+    A 1-D input is promoted to a single-column matrix, mirroring the common
+    estimator convention for univariate data.
+    """
+    try:
+        arr = np.asarray(values, dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise TypeError(f"{name} must be numeric array-like, got {type(values).__name__}") from exc
+    if arr.ndim == 1:
+        arr = arr.reshape(-1, 1)
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must be 2-dimensional, got shape {arr.shape}")
+    if arr.shape[0] < min_rows:
+        raise ValueError(f"{name} must have at least {min_rows} rows, got {arr.shape[0]}")
+    if arr.shape[1] < min_cols:
+        raise ValueError(f"{name} must have at least {min_cols} columns, got {arr.shape[1]}")
+    if finite and not np.all(np.isfinite(arr)):
+        n_bad = int(np.sum(~np.isfinite(arr)))
+        raise ValueError(f"{name} contains {n_bad} non-finite values (NaN or inf)")
+    return arr
+
+
+def check_positive_int(value: Any, name: str, *, minimum: int = 1) -> int:
+    """Validate that ``value`` is an integer >= ``minimum`` and return it."""
+    if isinstance(value, bool) or not isinstance(value, numbers.Integral):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    value = int(value)
+    if value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def check_fitted(estimator: Any, attribute: str) -> None:
+    """Raise ``RuntimeError`` unless ``estimator`` carries a fitted attribute.
+
+    The convention throughout the library is that fitting sets one or more
+    trailing-underscore attributes (e.g. ``means_``).
+    """
+    if getattr(estimator, attribute, None) is None:
+        raise RuntimeError(
+            f"{type(estimator).__name__} is not fitted yet; call fit() before using this method"
+        )
+
+
+def check_probability_matrix(matrix: Any, name: str = "responsibilities", *, atol: float = 1e-6) -> np.ndarray:
+    """Validate a row-stochastic matrix (rows sum to one, entries in [0, 1])."""
+    arr = check_array_2d(matrix, name)
+    if np.any(arr < -atol) or np.any(arr > 1 + atol):
+        raise ValueError(f"{name} entries must lie in [0, 1]")
+    row_sums = arr.sum(axis=1)
+    if not np.allclose(row_sums, 1.0, atol=atol):
+        worst = float(np.max(np.abs(row_sums - 1.0)))
+        raise ValueError(f"{name} rows must sum to 1 (max deviation {worst:.3g})")
+    return arr

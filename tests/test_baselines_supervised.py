@@ -1,0 +1,123 @@
+"""Tests for the supervised single-column baselines (Sherlock/Sato/Pythagoras)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    PythagorasSCEmbedder,
+    SatoSCEmbedder,
+    SherlockSCEmbedder,
+    sherlock_statistical_features,
+)
+from repro.baselines.base import stratified_train_mask
+from repro.baselines.sherlock import SHERLOCK_FEATURE_NAMES
+from repro.evaluation import average_precision_at_k
+
+FAST = dict(epochs=20, random_state=0)
+
+
+class TestSherlockFeatures:
+    def test_feature_vector_length(self):
+        feats = sherlock_statistical_features(np.arange(10.0))
+        assert feats.shape == (len(SHERLOCK_FEATURE_NAMES),)
+
+    def test_known_values(self):
+        v = np.array([1.0, 2.0, 3.0, 4.0])
+        feats = dict(zip(SHERLOCK_FEATURE_NAMES, sherlock_statistical_features(v)))
+        assert feats["count"] == 4
+        assert feats["mean"] == pytest.approx(2.5)
+        assert feats["min"] == 1.0 and feats["max"] == 4.0
+        assert feats["sum"] == 10.0
+
+    def test_skewness_sign(self):
+        right_skewed = np.array([1.0, 1.0, 1.0, 10.0])
+        feats = dict(
+            zip(SHERLOCK_FEATURE_NAMES, sherlock_statistical_features(right_skewed))
+        )
+        assert feats["skewness"] > 0
+
+    def test_constant_column_degenerate_moments(self):
+        feats = dict(zip(SHERLOCK_FEATURE_NAMES, sherlock_statistical_features(np.full(5, 2.0))))
+        assert feats["skewness"] == 0.0
+        assert feats["kurtosis"] == -3.0
+
+
+class TestStratifiedTrainMask:
+    def test_fraction_respected(self, rng):
+        labels = np.repeat(["a", "b", "c"], 20)
+        mask = stratified_train_mask(labels, 0.5, rng)
+        assert 25 <= mask.sum() <= 35
+
+    def test_every_class_represented(self, rng):
+        labels = np.array(["a"] * 50 + ["rare"])
+        mask = stratified_train_mask(labels, 0.3, rng)
+        assert mask[labels == "rare"].sum() == 1
+
+    def test_invalid_fraction(self, rng):
+        with pytest.raises(ValueError):
+            stratified_train_mask(np.array(["a", "b"]), 0.0, rng)
+
+
+@pytest.mark.parametrize(
+    "embedder_cls",
+    [SherlockSCEmbedder, SatoSCEmbedder],
+    ids=["sherlock", "sato"],
+)
+class TestMLPBaselines:
+    def test_fit_transform_shape(self, tiny_corpus, embedder_cls):
+        labels = tiny_corpus.labels("fine")
+        emb = embedder_cls(**FAST).fit_transform(tiny_corpus, labels)
+        assert emb.shape[0] == len(tiny_corpus)
+        assert np.all(np.isfinite(emb))
+
+    def test_labels_required(self, tiny_corpus, embedder_cls):
+        with pytest.raises(ValueError, match="supervised"):
+            embedder_cls(**FAST).fit(tiny_corpus)
+
+    def test_label_length_checked(self, tiny_corpus, embedder_cls):
+        with pytest.raises(ValueError):
+            embedder_cls(**FAST).fit(tiny_corpus, ["a"])
+
+    def test_unfitted_raises(self, tiny_corpus, embedder_cls):
+        with pytest.raises(RuntimeError):
+            embedder_cls(**FAST).transform(tiny_corpus)
+
+    def test_embeddings_carry_label_signal(self, tiny_corpus, embedder_cls):
+        labels = tiny_corpus.labels("fine")
+        emb = embedder_cls(epochs=60, random_state=0).fit_transform(tiny_corpus, labels)
+        assert average_precision_at_k(emb, labels) > 0.4
+
+
+class TestSatoSpecifics:
+    def test_embedding_comes_from_topic_bottleneck(self, tiny_corpus):
+        sato = SatoSCEmbedder(hidden_sizes=(64, 9, 32), topic_layer=1, **FAST)
+        emb = sato.fit_transform(tiny_corpus, tiny_corpus.labels("fine"))
+        assert emb.shape[1] == 9
+
+    def test_topic_layer_validated(self):
+        with pytest.raises(ValueError):
+            SatoSCEmbedder(hidden_sizes=(64, 32), topic_layer=5)
+
+
+class TestPythagoras:
+    def test_fit_transform_shape(self, tiny_corpus):
+        labels = tiny_corpus.labels("fine")
+        emb = PythagorasSCEmbedder(epochs=30, random_state=0).fit_transform(
+            tiny_corpus, labels
+        )
+        assert emb.shape == (len(tiny_corpus), 64)
+
+    def test_labels_required(self, tiny_corpus):
+        with pytest.raises(ValueError, match="supervised"):
+            PythagorasSCEmbedder().fit(tiny_corpus)
+
+    def test_transductive_guard(self, tiny_corpus):
+        labels = tiny_corpus.labels("fine")
+        pyth = PythagorasSCEmbedder(epochs=10, random_state=0).fit(tiny_corpus, labels)
+        smaller = tiny_corpus.subsample(5, random_state=0)
+        with pytest.raises(ValueError, match="transductive"):
+            pyth.transform(smaller)
+
+    def test_unfitted_raises(self, tiny_corpus):
+        with pytest.raises(RuntimeError):
+            PythagorasSCEmbedder().transform(tiny_corpus)

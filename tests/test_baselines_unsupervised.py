@@ -1,0 +1,153 @@
+"""Tests for the unsupervised numeric-only baselines (Table 2 comparators)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    KSFeaturesEmbedder,
+    PAFEmbedder,
+    PLEEmbedder,
+    SquashingGMMEmbedder,
+    SquashingSOMEmbedder,
+    log_squash,
+)
+from repro.data.table import ColumnCorpus, NumericColumn
+
+
+@pytest.fixture(scope="module")
+def two_band_corpus():
+    rng = np.random.default_rng(0)
+    cols = []
+    for i in range(4):
+        cols.append(NumericColumn(f"low{i}", rng.normal(5, 1, 60), "low", "low"))
+    for i in range(4):
+        cols.append(NumericColumn(f"high{i}", rng.normal(500, 20, 60), "high", "high"))
+    return ColumnCorpus(cols, name="bands")
+
+
+class TestPLE:
+    def test_embedding_dim_is_n_bins(self, two_band_corpus):
+        emb = PLEEmbedder(n_bins=12).fit_transform(two_band_corpus)
+        assert emb.shape == (8, 12)
+
+    def test_entries_in_unit_interval(self, two_band_corpus):
+        emb = PLEEmbedder(n_bins=12).fit_transform(two_band_corpus)
+        assert np.all((emb >= 0) & (emb <= 1))
+
+    def test_encoding_monotone_in_value(self, two_band_corpus):
+        ple = PLEEmbedder(n_bins=10).fit(two_band_corpus)
+        enc = ple.encode_values(np.array([1.0, 100.0, 600.0]))
+        sums = enc.sum(axis=1)
+        assert sums[0] < sums[1] < sums[2]
+
+    def test_separates_bands(self, two_band_corpus):
+        emb = PLEEmbedder(n_bins=12).fit_transform(two_band_corpus)
+        low, high = emb[:4].mean(axis=0), emb[4:].mean(axis=0)
+        assert np.linalg.norm(low - high) > 0.5
+
+    def test_discrete_duplicate_edges_handled(self):
+        cols = [NumericColumn("d", np.array([1.0] * 50 + [2.0] * 50))]
+        corpus = ColumnCorpus(cols)
+        emb = PLEEmbedder(n_bins=10).fit_transform(corpus)
+        assert np.all(np.isfinite(emb))
+
+    def test_unfitted_raises(self, two_band_corpus):
+        with pytest.raises(RuntimeError):
+            PLEEmbedder().transform(two_band_corpus)
+
+
+class TestPAF:
+    def test_embedding_dim_is_twice_frequencies(self, two_band_corpus):
+        emb = PAFEmbedder(n_frequencies=9).fit_transform(two_band_corpus)
+        assert emb.shape == (8, 18)
+
+    def test_entries_bounded_by_one(self, two_band_corpus):
+        emb = PAFEmbedder(n_frequencies=9).fit_transform(two_band_corpus)
+        assert np.all(np.abs(emb) <= 1.0)
+
+    def test_frequency_ladder_geometric(self, two_band_corpus):
+        paf = PAFEmbedder(n_frequencies=5, min_frequency=0.1, max_frequency=10).fit(
+            two_band_corpus
+        )
+        ratios = paf.frequencies_[1:] / paf.frequencies_[:-1]
+        assert np.allclose(ratios, ratios[0])
+
+    def test_invalid_frequency_bounds(self):
+        with pytest.raises(ValueError):
+            PAFEmbedder(min_frequency=1.0, max_frequency=0.5)
+
+    def test_separates_bands(self, two_band_corpus):
+        emb = PAFEmbedder(n_frequencies=16).fit_transform(two_band_corpus)
+        low, high = emb[:4].mean(axis=0), emb[4:].mean(axis=0)
+        assert np.linalg.norm(low - high) > 0.3
+
+
+class TestLogSquash:
+    def test_sign_preserved(self):
+        assert log_squash(np.array([-5.0]))[0] < 0 < log_squash(np.array([5.0]))[0]
+
+    def test_zero_fixed_point(self):
+        assert log_squash(np.array([0.0]))[0] == 0.0
+
+    def test_monotone(self, rng):
+        v = np.sort(rng.normal(0, 100, 50))
+        assert np.all(np.diff(log_squash(v)) >= 0)
+
+
+class TestSquashingGMM:
+    def test_embedding_rows_stochastic(self, two_band_corpus):
+        emb = SquashingGMMEmbedder(n_components=6, random_state=0).fit_transform(
+            two_band_corpus
+        )
+        assert emb.shape == (8, 6)
+        assert np.allclose(emb.sum(axis=1), 1.0)
+
+    def test_separates_bands(self, two_band_corpus):
+        emb = SquashingGMMEmbedder(n_components=6, random_state=0).fit_transform(
+            two_band_corpus
+        )
+        assert np.argmax(emb[0]) != np.argmax(emb[-1])
+
+    def test_unfitted_raises(self, two_band_corpus):
+        with pytest.raises(RuntimeError):
+            SquashingGMMEmbedder().transform(two_band_corpus)
+
+
+class TestSquashingSOM:
+    def test_embedding_rows_stochastic(self, two_band_corpus):
+        emb = SquashingSOMEmbedder(n_units=10, random_state=0).fit_transform(
+            two_band_corpus
+        )
+        assert emb.shape == (8, 10)
+        assert np.allclose(emb.sum(axis=1), 1.0)
+
+    def test_separates_bands(self, two_band_corpus):
+        emb = SquashingSOMEmbedder(n_units=10, random_state=0).fit_transform(
+            two_band_corpus
+        )
+        assert np.linalg.norm(emb[0] - emb[-1]) > 0.1
+
+
+class TestKSFeatures:
+    def test_embedding_dim_is_family_count(self, two_band_corpus):
+        ks = KSFeaturesEmbedder()
+        emb = ks.fit_transform(two_band_corpus)
+        assert emb.shape == (8, 7)
+        assert ks.feature_names[0] == "normal"
+
+    def test_distances_in_unit_interval(self, two_band_corpus):
+        emb = KSFeaturesEmbedder().fit_transform(two_band_corpus)
+        assert np.all((emb >= 0) & (emb <= 1))
+
+    def test_gaussian_column_scores_low_normal_distance(self):
+        rng = np.random.default_rng(1)
+        corpus = ColumnCorpus([NumericColumn("g", rng.normal(0, 1, 400))])
+        ks = KSFeaturesEmbedder()
+        emb = ks.fit_transform(corpus)
+        normal_idx = ks.feature_names.index("normal")
+        uniform_idx = ks.feature_names.index("uniform")
+        assert emb[0, normal_idx] < emb[0, uniform_idx]
+
+    def test_empty_families_rejected(self):
+        with pytest.raises(ValueError):
+            KSFeaturesEmbedder(families=())

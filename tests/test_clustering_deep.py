@@ -1,0 +1,174 @@
+"""Tests for the deep-clustering machinery and the SDCN/TableDC algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import (
+    SDCN,
+    DeepClusteringBase,
+    TableDC,
+    kl_divergence,
+    student_t_assignments,
+    target_distribution,
+)
+from repro.evaluation import adjusted_rand_index, clustering_accuracy
+
+FAST = dict(pretrain_epochs=30, finetune_epochs=30, random_state=0)
+
+
+class TestStudentTAssignments:
+    def test_row_stochastic(self, rng):
+        q = student_t_assignments(rng.normal(size=(10, 3)), rng.normal(size=(4, 3)))
+        assert q.shape == (10, 4)
+        assert np.allclose(q.sum(axis=1), 1.0)
+        assert np.all(q > 0)
+
+    def test_nearest_center_gets_highest_mass(self, rng):
+        centers = np.array([[0.0, 0.0], [10.0, 10.0]])
+        z = np.array([[0.1, 0.1], [9.8, 10.2]])
+        q = student_t_assignments(z, centers)
+        assert np.argmax(q[0]) == 0 and np.argmax(q[1]) == 1
+
+
+class TestTargetDistribution:
+    def test_row_stochastic(self, rng):
+        q = student_t_assignments(rng.normal(size=(20, 2)), rng.normal(size=(3, 2)))
+        p = target_distribution(q)
+        assert np.allclose(p.sum(axis=1), 1.0)
+
+    def test_sharpens_confident_assignments(self):
+        # The confident row gets pushed towards certainty; sharpening is
+        # relative to the soft cluster frequencies f_j.
+        q = np.array([[0.9, 0.1], [0.6, 0.4]])
+        p = target_distribution(q)
+        assert p[0, 0] > q[0, 0]
+
+
+class TestKLDivergence:
+    def test_zero_for_identical(self, rng):
+        q = student_t_assignments(rng.normal(size=(5, 2)), rng.normal(size=(3, 2)))
+        assert kl_divergence(q, q) == pytest.approx(0.0, abs=1e-9)
+
+    def test_positive_for_different(self):
+        p = np.array([[0.9, 0.1]])
+        q = np.array([[0.5, 0.5]])
+        assert kl_divergence(p, q) > 0
+
+
+class TestKLGradients:
+    """Closed-form gradients vs central finite differences."""
+
+    @pytest.fixture
+    def setup(self, rng):
+        z = rng.normal(size=(10, 3))
+        centers = rng.normal(size=(4, 3))
+        return z, centers
+
+    def test_student_t_grad_z(self, setup):
+        z, centers = setup
+        dc = DeepClusteringBase.__new__(DeepClusteringBase)
+        dc.centers_ = centers
+        q = student_t_assignments(z, centers)
+        p = target_distribution(q)
+        analytic = dc._kl_grad_z(z, q, p)
+        numeric = _numeric_grad(
+            lambda zz: kl_divergence(p, student_t_assignments(zz, centers)), z
+        )
+        assert np.allclose(analytic, numeric, atol=1e-7)
+
+    def test_student_t_grad_centers(self, setup):
+        z, centers = setup
+        dc = DeepClusteringBase.__new__(DeepClusteringBase)
+        dc.centers_ = centers
+        q = student_t_assignments(z, centers)
+        p = target_distribution(q)
+        analytic = dc._kl_grad_centers(z, q, p)
+        numeric = _numeric_grad(
+            lambda cc: kl_divergence(p, student_t_assignments(z, cc)), centers
+        )
+        assert np.allclose(analytic, numeric, atol=1e-7)
+
+    def test_mahalanobis_grads(self, setup):
+        z, centers = setup
+        tdc = TableDC.__new__(TableDC)
+        tdc.centers_ = centers
+        tdc.shrinkage = 0.2
+        tdc._precision = None
+        tdc._refresh_statistics(z)
+
+        def q_of(zz, cc):
+            saved_z, saved_c = tdc.centers_, None
+            tdc.centers_ = cc
+            diff = zz[:, None, :] - cc[None, :, :]
+            d2 = np.einsum("nkd,de,nke->nk", diff, tdc._precision, diff)
+            q = 1.0 / (1.0 + d2)
+            tdc.centers_ = saved_z if saved_c else cc
+            return q / q.sum(axis=1, keepdims=True)
+
+        tdc.centers_ = centers
+        q = tdc._soft_assign(z)
+        p = target_distribution(q)
+        analytic_z = tdc._kl_grad_z(z, q, p)
+        numeric_z = _numeric_grad(lambda zz: kl_divergence(p, q_of(zz, centers)), z)
+        assert np.allclose(analytic_z, numeric_z, atol=1e-7)
+        tdc.centers_ = centers
+        analytic_c = tdc._kl_grad_centers(z, q, p)
+        numeric_c = _numeric_grad(lambda cc: kl_divergence(p, q_of(z, cc)), centers)
+        assert np.allclose(analytic_c, numeric_c, atol=1e-7)
+
+
+def _numeric_grad(fn, x, eps=1e-6):
+    grad = np.zeros_like(x)
+    for idx in np.ndindex(*x.shape):
+        xp, xm = x.copy(), x.copy()
+        xp[idx] += eps
+        xm[idx] -= eps
+        grad[idx] = (fn(xp) - fn(xm)) / (2 * eps)
+    return grad
+
+
+@pytest.mark.parametrize("algorithm_cls", [SDCN, TableDC], ids=["sdcn", "tabledc"])
+class TestAlgorithms:
+    def test_clusters_separable_blobs(self, blob_data, algorithm_cls):
+        X, y = blob_data
+        labels = algorithm_cls(4, **FAST).fit_predict(X)
+        assert clustering_accuracy(y, labels) > 0.9
+        assert adjusted_rand_index(y, labels) > 0.8
+
+    def test_labels_in_range(self, blob_data, algorithm_cls):
+        X, _ = blob_data
+        labels = algorithm_cls(4, **FAST).fit_predict(X)
+        assert set(labels) <= set(range(4))
+
+    def test_deterministic(self, blob_data, algorithm_cls):
+        X, _ = blob_data
+        a = algorithm_cls(4, **FAST).fit_predict(X)
+        b = algorithm_cls(4, **FAST).fit_predict(X)
+        assert np.array_equal(a, b)
+
+    def test_too_few_samples_rejected(self, algorithm_cls):
+        with pytest.raises(ValueError):
+            algorithm_cls(10, **FAST).fit_predict(np.zeros((4, 3)))
+
+    def test_history_recorded(self, blob_data, algorithm_cls):
+        X, _ = blob_data
+        algo = algorithm_cls(4, **FAST)
+        algo.fit_predict(X)
+        assert len(algo.history_) == FAST["finetune_epochs"]
+        assert all("reconstruction" in h and "kl" in h for h in algo.history_)
+
+
+class TestValidation:
+    def test_min_two_clusters(self):
+        with pytest.raises(ValueError):
+            TableDC(1)
+
+    def test_shrinkage_range(self):
+        with pytest.raises(ValueError):
+            TableDC(3, shrinkage=1.5)
+
+    def test_sdcn_records_gcn_loss(self, blob_data):
+        X, _ = blob_data
+        sdcn = SDCN(4, **FAST)
+        sdcn.fit_predict(X)
+        assert all("gcn_kl" in h for h in sdcn.history_)

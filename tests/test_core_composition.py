@@ -1,0 +1,74 @@
+"""Tests for embedding-block composition (paper §4.2.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.composition import compose
+
+
+@pytest.fixture
+def blocks(rng):
+    return [rng.normal(size=(10, 4)), rng.normal(size=(10, 6)), rng.normal(size=(10, 2))]
+
+
+class TestConcatenation:
+    def test_widths_add(self, blocks):
+        out = compose(blocks, "concatenation")
+        assert out.shape == (10, 12)
+
+    def test_blocks_preserved_verbatim(self, blocks):
+        out = compose(blocks, "concatenation")
+        assert np.array_equal(out[:, :4], blocks[0])
+        assert np.array_equal(out[:, 4:10], blocks[1])
+
+    def test_single_block_passthrough(self, blocks):
+        assert np.array_equal(compose(blocks[:1], "concatenation"), blocks[0])
+
+
+class TestAggregation:
+    def test_width_is_max_block_width(self, blocks):
+        out = compose(blocks, "aggregation")
+        assert out.shape == (10, 6)
+
+    def test_equal_width_blocks_average(self, rng):
+        a = np.full((5, 3), 2.0)
+        b = np.full((5, 3), 4.0)
+        out = compose([a, b], "aggregation")
+        assert np.allclose(out, 3.0)
+
+    def test_resampling_preserves_endpoints(self):
+        a = np.array([[0.0, 10.0]])  # width 2 resampled to width 4
+        b = np.zeros((1, 4))
+        out = compose([a, b], "aggregation")
+        assert np.isclose(out[0, 0], 0.0)
+        assert np.isclose(out[0, -1], 5.0)  # (10 + 0) / 2
+
+
+class TestAutoencoder:
+    def test_latent_width(self, blocks):
+        out = compose(blocks, "autoencoder", latent_dim=5, ae_epochs=10, random_state=0)
+        assert out.shape == (10, 5)
+
+    def test_deterministic(self, blocks):
+        a = compose(blocks, "autoencoder", latent_dim=4, ae_epochs=5, random_state=3)
+        b = compose(blocks, "autoencoder", latent_dim=4, ae_epochs=5, random_state=3)
+        assert np.allclose(a, b)
+
+    def test_latent_capped_by_input_width(self, rng):
+        narrow = [rng.normal(size=(8, 3))]
+        out = compose(narrow, "autoencoder", latent_dim=64, ae_epochs=5, random_state=0)
+        assert out.shape[1] <= 3
+
+
+class TestValidation:
+    def test_unknown_method(self, blocks):
+        with pytest.raises(ValueError, match="method"):
+            compose(blocks, "fusion")
+
+    def test_empty_blocks(self):
+        with pytest.raises(ValueError, match="empty"):
+            compose([], "concatenation")
+
+    def test_row_mismatch(self, rng):
+        with pytest.raises(ValueError, match="rows"):
+            compose([rng.normal(size=(5, 2)), rng.normal(size=(6, 2))], "concatenation")

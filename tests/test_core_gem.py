@@ -1,0 +1,198 @@
+"""Tests for GemEmbedder and GemConfig: the end-to-end paper pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core import GemConfig, GemEmbedder
+from repro.core.gem import log_squash
+from repro.data.table import ColumnCorpus, NumericColumn
+from repro.evaluation import average_precision_at_k
+
+FAST = dict(n_components=8, n_init=1, max_iter=60)
+
+
+@pytest.fixture(scope="module")
+def fitted(tiny_corpus_module):
+    gem = GemEmbedder(config=GemConfig.fast(**FAST))
+    gem.fit(tiny_corpus_module)
+    return gem
+
+
+@pytest.fixture(scope="module")
+def tiny_corpus_module():
+    from repro.data.corpora import make_corpus
+    from repro.data.synthesis import default_type_library
+
+    types = [t for t in default_type_library() if t.fine in (
+        "age_person", "year_publication", "rating_book",
+        "price_product", "score_cricket", "percentage_generic",
+    )]
+    return make_corpus("tiny", types, 36, header_granularity="fine", random_state=0)
+
+
+class TestConfig:
+    def test_paper_defaults(self):
+        cfg = GemConfig()
+        assert cfg.n_components == 50
+        assert cfg.tol == 1e-3
+        assert cfg.n_init == 10
+
+    def test_fast_profile_trims_restarts(self):
+        cfg = GemConfig.fast()
+        assert cfg.n_init < GemConfig().n_init
+        assert cfg.n_components == 50
+
+    def test_at_least_one_family_required(self):
+        with pytest.raises(ValueError, match="at least one"):
+            GemConfig(use_distributional=False, use_statistical=False, use_contextual=False)
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("n_components", 0),
+            ("n_init", 0),
+            ("tol", 0.0),
+            ("signature_kind", "wrong"),
+            ("normalization", "max"),
+            ("fit_mode", "global"),
+            ("value_transform", "sqrt"),
+            ("composition", "sum"),
+            ("gmm_init", "pca"),
+            ("feature_clip", 0.0),
+        ],
+    )
+    def test_invalid_fields_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            GemConfig(**{field: value})
+
+    def test_with_features(self):
+        cfg = GemConfig().with_features(contextual=True, statistical=False)
+        assert cfg.use_contextual and not cfg.use_statistical and cfg.use_distributional
+
+
+class TestFitTransform:
+    def test_embedding_shape_matches_config(self, fitted, tiny_corpus_module):
+        emb = fitted.transform(tiny_corpus_module)
+        assert emb.shape == (len(tiny_corpus_module), fitted.embedding_dim)
+        assert fitted.embedding_dim == 8 + 7
+
+    def test_transform_before_fit_raises(self, tiny_corpus_module):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            GemEmbedder().transform(tiny_corpus_module)
+
+    def test_corpus_type_checked(self):
+        with pytest.raises(TypeError):
+            GemEmbedder().fit([1, 2, 3])
+
+    def test_unknown_override_rejected(self):
+        with pytest.raises(TypeError, match="unknown"):
+            GemEmbedder(banana=3)
+
+    def test_n_components_shortcut(self):
+        gem = GemEmbedder(17)
+        assert gem.config.n_components == 17
+
+    def test_deterministic(self, tiny_corpus_module):
+        a = GemEmbedder(config=GemConfig.fast(**FAST)).fit_transform(tiny_corpus_module)
+        b = GemEmbedder(config=GemConfig.fast(**FAST)).fit_transform(tiny_corpus_module)
+        assert np.allclose(a, b)
+
+    def test_rows_l1_normalised(self, fitted, tiny_corpus_module):
+        emb = fitted.transform(tiny_corpus_module)
+        assert np.allclose(np.abs(emb).sum(axis=1), 1.0)
+
+    def test_transform_accepts_new_columns(self, fitted):
+        fresh = ColumnCorpus(
+            [NumericColumn("new", np.linspace(0, 100, 40), "x", "x")], name="fresh"
+        )
+        emb = fitted.transform(fresh)
+        assert emb.shape == (1, fitted.embedding_dim)
+
+
+class TestEmbeddingBlocks:
+    def test_mean_probabilities_row_stochastic(self, fitted, tiny_corpus_module):
+        M = fitted.mean_probabilities(tiny_corpus_module)
+        assert np.allclose(M.sum(axis=1), 1.0)
+
+    def test_statistical_block_winsorised(self, fitted, tiny_corpus_module):
+        S = fitted.statistical_embeddings(tiny_corpus_module)
+        assert np.all(np.abs(S) <= fitted.config.feature_clip + 1e-12)
+
+    def test_contextual_block_l1(self, fitted, tiny_corpus_module):
+        C = fitted.contextual_embeddings(tiny_corpus_module)
+        sums = np.abs(C).sum(axis=1)
+        assert np.allclose(sums[sums > 0], 1.0)
+
+    def test_signature_combines_d_and_s(self, fitted, tiny_corpus_module):
+        P = fitted.signature(tiny_corpus_module)
+        assert P.shape[1] == 8 + 7
+
+    def test_same_type_columns_closer_than_cross_type(self, fitted, tiny_corpus_module):
+        emb = fitted.signature(tiny_corpus_module)
+        labels = tiny_corpus_module.labels("fine")
+        precision = average_precision_at_k(emb, labels)
+        assert precision > 0.5  # tiny separable corpus
+
+    def test_cluster_assignments_valid(self, fitted, tiny_corpus_module):
+        clusters = fitted.cluster(tiny_corpus_module)
+        assert clusters.shape == (len(tiny_corpus_module),)
+        assert clusters.min() >= 0 and clusters.max() < 8
+
+
+class TestFeatureSwitches:
+    @pytest.mark.parametrize(
+        "switches,expected_dim",
+        [
+            (dict(use_distributional=True, use_statistical=False), 8),
+            (dict(use_distributional=False, use_statistical=True), 7),
+            (dict(use_contextual=True), 8 + 7 + 64),
+        ],
+    )
+    def test_dimensions(self, tiny_corpus_module, switches, expected_dim):
+        cfg = GemConfig.fast(**FAST, header_dim=64, **switches)
+        gem = GemEmbedder(config=cfg)
+        emb = gem.fit_transform(tiny_corpus_module)
+        assert emb.shape == (len(tiny_corpus_module), expected_dim)
+        assert gem.embedding_dim == expected_dim
+
+
+class TestCompositions:
+    def test_autoencoder_composition_dim(self, tiny_corpus_module):
+        cfg = GemConfig.fast(
+            **FAST, use_contextual=True, composition="autoencoder",
+            ae_latent_dim=6, ae_epochs=10, header_dim=32,
+        )
+        emb = GemEmbedder(config=cfg).fit_transform(tiny_corpus_module)
+        assert emb.shape == (len(tiny_corpus_module), 6)
+
+    def test_aggregation_composition_dim(self, tiny_corpus_module):
+        cfg = GemConfig.fast(
+            **FAST, use_contextual=True, composition="aggregation", header_dim=32
+        )
+        emb = GemEmbedder(config=cfg).fit_transform(tiny_corpus_module)
+        assert emb.shape == (len(tiny_corpus_module), 32)
+
+
+class TestValueTransforms:
+    @pytest.mark.parametrize("transform", ["none", "log_squash", "standardize"])
+    def test_all_transforms_produce_valid_embeddings(self, tiny_corpus_module, transform):
+        cfg = GemConfig.fast(**FAST, value_transform=transform)
+        emb = GemEmbedder(config=cfg).fit_transform(tiny_corpus_module)
+        assert np.all(np.isfinite(emb))
+
+    def test_log_squash_definition(self):
+        v = np.array([-10.0, 0.0, 10.0])
+        out = log_squash(v)
+        assert out[1] == 0.0
+        assert np.isclose(out[2], np.log(11.0))
+        assert np.isclose(out[0], -np.log(11.0))
+
+
+class TestPerColumnMode:
+    def test_per_column_embeddings(self, tiny_corpus_module):
+        cfg = GemConfig.fast(n_components=4, fit_mode="per_column", n_init=1)
+        gem = GemEmbedder(config=cfg)
+        emb = gem.fit_transform(tiny_corpus_module)
+        assert emb.shape == (len(tiny_corpus_module), gem.embedding_dim)
+        assert np.all(np.isfinite(emb))
+        assert gem.gmm_ is None  # no shared mixture in per-column mode

@@ -1,0 +1,54 @@
+"""Tests for BIC-based automatic component selection (paper §4.1.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core import GemConfig, GemEmbedder
+from repro.data.table import ColumnCorpus, NumericColumn
+
+
+@pytest.fixture
+def three_mode_corpus(rng):
+    cols = []
+    for i, mu in enumerate((0.0, 50.0, 100.0)):
+        for j in range(3):
+            cols.append(
+                NumericColumn(f"c{i}{j}", rng.normal(mu, 1.0, 80), f"t{i}", f"t{i}")
+            )
+    return ColumnCorpus(cols)
+
+
+class TestAutoComponents:
+    def test_bic_picks_small_m_for_three_modes(self, three_mode_corpus):
+        cfg = GemConfig.fast(
+            auto_components=True, bic_candidates=(3, 30), n_init=1
+        )
+        gem = GemEmbedder(config=cfg)
+        gem.fit(three_mode_corpus)
+        assert gem.gmm_.n_components == 3
+        assert set(gem.bic_scores_) == {3, 30}
+        assert gem.bic_scores_[3] < gem.bic_scores_[30]
+
+    def test_infeasible_candidates_fall_back_to_default(self, rng):
+        tiny = ColumnCorpus(
+            [NumericColumn("a", rng.normal(size=4)), NumericColumn("b", rng.normal(size=4))]
+        )
+        cfg = GemConfig.fast(
+            n_components=2, auto_components=True, bic_candidates=(1000,), n_init=1
+        )
+        gem = GemEmbedder(config=cfg)
+        gem.fit(tiny)
+        assert gem.gmm_.n_components == 2
+
+    def test_embeddings_follow_selected_width(self, three_mode_corpus):
+        cfg = GemConfig.fast(auto_components=True, bic_candidates=(3, 30), n_init=1)
+        gem = GemEmbedder(config=cfg)
+        emb = gem.fit_transform(three_mode_corpus)
+        assert emb.shape == (9, 3 + 7)
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError, match="bic_candidates"):
+            GemConfig(auto_components=True, bic_candidates=())
+
+    def test_off_by_default(self):
+        assert GemConfig().auto_components is False

@@ -1,0 +1,68 @@
+"""Tests for fitted-embedder persistence (save_gem / load_gem)."""
+
+import numpy as np
+import pytest
+
+from repro.core import GemConfig, GemEmbedder, load_gem, save_gem
+
+FAST = GemConfig.fast(n_components=6, n_init=1, max_iter=60)
+
+
+class TestRoundtrip:
+    def test_transform_identical_after_reload(self, tiny_corpus, tmp_path):
+        gem = GemEmbedder(config=FAST)
+        gem.fit(tiny_corpus)
+        original = gem.transform(tiny_corpus)
+        path = tmp_path / "gem.npz"
+        save_gem(gem, path)
+        restored = load_gem(path)
+        assert np.allclose(restored.transform(tiny_corpus), original)
+
+    def test_config_survives(self, tiny_corpus, tmp_path):
+        cfg = GemConfig.fast(
+            n_components=6, n_init=1, use_contextual=True, header_dim=64,
+            normalization="l2", value_transform="standardize",
+        )
+        gem = GemEmbedder(config=cfg)
+        gem.fit(tiny_corpus)
+        path = tmp_path / "gem.npz"
+        save_gem(gem, path)
+        restored = load_gem(path)
+        assert restored.config == cfg
+
+    def test_standardize_transform_stats_survive(self, tiny_corpus, tmp_path):
+        cfg = GemConfig.fast(n_components=6, n_init=1, value_transform="standardize")
+        gem = GemEmbedder(config=cfg)
+        gem.fit(tiny_corpus)
+        path = tmp_path / "gem.npz"
+        save_gem(gem, path)
+        restored = load_gem(path)
+        assert restored._transform_stats == pytest.approx(gem._transform_stats)
+
+    def test_restored_embedder_handles_new_corpus(self, tiny_corpus, tmp_path):
+        from repro.data.table import ColumnCorpus, NumericColumn
+
+        gem = GemEmbedder(config=FAST)
+        gem.fit(tiny_corpus)
+        path = tmp_path / "gem.npz"
+        save_gem(gem, path)
+        restored = load_gem(path)
+        fresh = ColumnCorpus([NumericColumn("f", np.linspace(0, 50, 30), "x", "x")])
+        emb = restored.transform(fresh)
+        assert np.allclose(emb, gem.transform(fresh))
+
+    def test_gmm_parameters_exact(self, tiny_corpus, tmp_path):
+        gem = GemEmbedder(config=FAST)
+        gem.fit(tiny_corpus)
+        path = tmp_path / "gem.npz"
+        save_gem(gem, path)
+        restored = load_gem(path)
+        assert np.array_equal(restored.gmm_.weights_, gem.gmm_.weights_)
+        assert np.array_equal(restored.gmm_.means_, gem.gmm_.means_)
+        assert np.array_equal(restored.gmm_.covariances_, gem.gmm_.covariances_)
+
+
+class TestValidation:
+    def test_unfitted_save_rejected(self, tmp_path):
+        with pytest.raises(RuntimeError, match="unfitted"):
+            save_gem(GemEmbedder(), tmp_path / "nope.npz")

@@ -1,0 +1,102 @@
+"""Tests for the Gem signature mechanism (paper §3.2, Eqs. 8-9)."""
+
+import numpy as np
+import pytest
+
+from repro.core.signature import mean_component_probabilities, signature_matrix
+from repro.gmm import GaussianMixture
+
+
+@pytest.fixture(scope="module")
+def fitted_gmm():
+    rng = np.random.default_rng(0)
+    stack = np.concatenate([rng.normal(0, 1, 300), rng.normal(50, 2, 300)])
+    return GaussianMixture(2, n_init=2, random_state=0).fit(stack)
+
+
+class TestMeanComponentProbabilities:
+    def test_shape(self, fitted_gmm, rng):
+        cols = [rng.normal(0, 1, 20), rng.normal(50, 2, 30), rng.normal(25, 1, 10)]
+        M = mean_component_probabilities(fitted_gmm, cols)
+        assert M.shape == (3, 2)
+
+    def test_responsibility_rows_sum_to_one(self, fitted_gmm, rng):
+        cols = [rng.normal(0, 1, 20), rng.normal(50, 2, 30)]
+        M = mean_component_probabilities(fitted_gmm, cols, kind="responsibility")
+        assert np.allclose(M.sum(axis=1), 1.0)
+
+    def test_columns_from_different_modes_get_different_signatures(self, fitted_gmm, rng):
+        low = rng.normal(0, 1, 50)
+        high = rng.normal(50, 2, 50)
+        M = mean_component_probabilities(fitted_gmm, [low, high])
+        assert np.argmax(M[0]) != np.argmax(M[1])
+        assert M[0].max() > 0.95 and M[1].max() > 0.95
+
+    def test_matches_manual_average(self, fitted_gmm, rng):
+        col = rng.normal(0, 1, 25)
+        M = mean_component_probabilities(fitted_gmm, [col])
+        manual = fitted_gmm.predict_proba(col.reshape(-1, 1)).mean(axis=0)
+        assert np.allclose(M[0], manual)
+
+    def test_pdf_kind_uses_raw_densities(self, fitted_gmm, rng):
+        col = rng.normal(0, 1, 25)
+        M = mean_component_probabilities(fitted_gmm, [col], kind="pdf")
+        manual = fitted_gmm.component_pdf(col.reshape(-1, 1)).mean(axis=0)
+        assert np.allclose(M[0], manual)
+
+    def test_invalid_kind(self, fitted_gmm):
+        with pytest.raises(ValueError, match="kind"):
+            mean_component_probabilities(fitted_gmm, [np.arange(5.0)], kind="oops")
+
+    def test_empty_columns_rejected(self, fitted_gmm):
+        with pytest.raises(ValueError):
+            mean_component_probabilities(fitted_gmm, [])
+
+
+class TestSignatureMatrix:
+    def test_l1_rows(self):
+        probs = np.array([[0.7, 0.3], [0.2, 0.8]])
+        feats = np.array([[1.0, -2.0], [0.5, 0.5]])
+        P = signature_matrix(probs, feats)
+        assert np.allclose(np.abs(P).sum(axis=1), 1.0)
+
+    def test_dimension_is_components_plus_features(self):
+        P = signature_matrix(np.full((3, 5), 0.2), np.zeros((3, 7)))
+        assert P.shape == (3, 12)
+
+    def test_probs_only(self):
+        P = signature_matrix(np.array([[0.9, 0.1]]))
+        assert np.allclose(P, [[0.9, 0.1]])
+
+    def test_l2_normalisation(self):
+        P = signature_matrix(np.array([[3.0, 4.0]]), normalization="l2")
+        assert np.isclose(np.linalg.norm(P[0]), 1.0)
+
+    def test_none_normalisation_keeps_balance_scaling_only(self):
+        probs = np.array([[0.5, 0.5]])
+        feats = np.array([[10.0, -10.0]])
+        P = signature_matrix(probs, feats, normalization="none", balance=False)
+        assert np.allclose(P, [[0.5, 0.5, 10.0, -10.0]])
+
+    def test_balance_equalises_block_mass(self):
+        probs = np.full((4, 5), 0.2)  # row mass 1.0
+        feats = np.full((4, 3), 7.0)  # row mass 21.0
+        P = signature_matrix(probs, feats, normalization="none", balance=True)
+        prob_mass = np.abs(P[:, :5]).sum(axis=1)
+        feat_mass = np.abs(P[:, 5:]).sum(axis=1)
+        assert np.allclose(prob_mass, feat_mass)
+
+    def test_unbalanced_lets_features_dominate(self):
+        probs = np.array([[1.0, 0.0], [0.0, 1.0]])
+        feats = np.array([[100.0, 100.0], [100.0, 100.0]])
+        P = signature_matrix(probs, feats, balance=False)
+        # Probability block shrinks to noise under joint L1 normalisation.
+        assert np.abs(P[:, :2]).sum() < 0.02
+
+    def test_row_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="row mismatch"):
+            signature_matrix(np.zeros((3, 2)), np.zeros((4, 2)))
+
+    def test_invalid_normalization(self):
+        with pytest.raises(ValueError):
+            signature_matrix(np.zeros((2, 2)), normalization="max")

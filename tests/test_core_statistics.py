@@ -1,0 +1,85 @@
+"""Tests for the seven statistical column features (paper §3.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.statistics import (
+    STATISTICAL_FEATURE_NAMES,
+    column_statistics,
+    statistics_matrix,
+    value_entropy,
+)
+from repro.data.table import ColumnCorpus, NumericColumn
+
+IDX = {name: i for i, name in enumerate(STATISTICAL_FEATURE_NAMES)}
+
+
+class TestValueEntropy:
+    def test_constant_column_zero(self):
+        assert value_entropy(np.full(10, 3.0)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_all_distinct_is_log_n(self):
+        assert value_entropy(np.arange(8.0)) == pytest.approx(np.log(8), rel=1e-6)
+
+    def test_repetitive_column_lower_than_spread(self):
+        repetitive = np.array([30.0, 31, 30, 31, 30, 31, 30, 31])
+        spread = np.array([30.0, 31.5, 32.2, 33.8, 34.1, 35.9, 36.3, 37.7])
+        assert value_entropy(repetitive) < value_entropy(spread)
+
+
+class TestColumnStatistics:
+    def test_known_column(self):
+        v = np.array([1.0, 2.0, 2.0, 5.0])
+        feats = column_statistics(v)
+        assert feats[IDX["unique_count"]] == 3
+        assert feats[IDX["mean"]] == pytest.approx(2.5)
+        assert feats[IDX["range"]] == pytest.approx(4.0)
+        assert feats[IDX["percentile_10"]] == pytest.approx(np.percentile(v, 10))
+        assert feats[IDX["percentile_90"]] == pytest.approx(np.percentile(v, 90))
+
+    def test_cv_is_std_over_abs_mean(self):
+        v = np.array([10.0, 20.0, 30.0])
+        feats = column_statistics(v)
+        assert feats[IDX["coefficient_of_variation"]] == pytest.approx(v.std() / 20.0)
+
+    def test_cv_guarded_for_zero_mean(self):
+        feats = column_statistics(np.array([-1.0, 1.0]))
+        assert np.isfinite(feats[IDX["coefficient_of_variation"]])
+
+    def test_feature_count_matches_names(self):
+        assert column_statistics(np.arange(5.0)).shape == (len(STATISTICAL_FEATURE_NAMES),)
+
+    def test_distinguishes_paper_example(self):
+        """The §4.2.1 example: continuous 'weight' vs clustered 'age'."""
+        rng = np.random.default_rng(0)
+        weight = np.round(rng.normal(33.0, 1.0, 50), 4)
+        age = rng.choice([30.0, 31.0, 32.0], 50)
+        fw, fa = column_statistics(weight), column_statistics(age)
+        assert fw[IDX["unique_count"]] > fa[IDX["unique_count"]]
+        assert fw[IDX["entropy"]] > fa[IDX["entropy"]]
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_property_all_finite(self, values):
+        feats = column_statistics(np.asarray(values))
+        assert np.all(np.isfinite(feats))
+
+
+class TestStatisticsMatrix:
+    def test_standardised_by_default(self, tiny_corpus):
+        M = statistics_matrix(tiny_corpus)
+        assert M.shape == (len(tiny_corpus), 7)
+        assert np.allclose(M.mean(axis=0), 0.0, atol=1e-9)
+
+    def test_raw_mode(self, tiny_corpus):
+        M = statistics_matrix(tiny_corpus, standardize=False)
+        # Raw unique counts are positive integers.
+        assert np.all(M[:, IDX["unique_count"]] >= 1)
+
+    def test_single_column_corpus(self):
+        corpus = ColumnCorpus([NumericColumn("x", np.arange(10.0))])
+        M = statistics_matrix(corpus)
+        assert M.shape == (1, 7)
+        assert np.all(M == 0)  # single row standardises to zero

@@ -1,0 +1,67 @@
+"""Tests for the coarse-to-fine annotation machinery (paper §4.1.1)."""
+
+import numpy as np
+import pytest
+
+from repro.data import ColumnCorpus, NumericColumn, refinement_report
+from repro.data.annotation import coarsen_labels, refine_labels, validate_hierarchy
+
+
+def _col(name, fine, coarse):
+    return NumericColumn(name, np.arange(3.0), fine_label=fine, coarse_label=coarse)
+
+
+class TestValidateHierarchy:
+    def test_valid_hierarchy_passes(self):
+        corpus = ColumnCorpus(
+            [
+                _col("a", "score_cricket", "score"),
+                _col("b", "score_rugby", "score"),
+                _col("c", "age_person", "age"),
+            ]
+        )
+        validate_hierarchy(corpus)
+
+    def test_fine_label_under_two_coarse_rejected(self):
+        corpus = ColumnCorpus(
+            [_col("a", "height", "length"), _col("b", "height", "altitude")]
+        )
+        with pytest.raises(ValueError, match="two coarse labels"):
+            validate_hierarchy(corpus)
+
+    def test_unlabeled_columns_ignored(self):
+        corpus = ColumnCorpus([NumericColumn("x", np.arange(3.0))])
+        validate_hierarchy(corpus)
+
+
+class TestLabelProjections:
+    def test_coarsen(self):
+        corpus = ColumnCorpus([_col("a", "score_cricket", "score")])
+        assert coarsen_labels(corpus) == ["score"]
+
+    def test_refine(self):
+        corpus = ColumnCorpus([_col("a", "score_cricket", "score")])
+        assert refine_labels(corpus) == ["score_cricket"]
+
+
+class TestRefinementReport:
+    def test_counts_and_splits(self):
+        corpus = ColumnCorpus(
+            [
+                _col("a", "score_cricket", "score"),
+                _col("b", "score_rugby", "score"),
+                _col("c", "age_person", "age"),
+            ]
+        )
+        report = refinement_report(corpus)
+        assert report["n_coarse"] == 2
+        assert report["n_fine"] == 3
+        assert report["expansion"] == pytest.approx(1.5)
+        assert list(report["splits"]) == ["score"]
+        assert report["splits"]["score"] == ["score_cricket", "score_rugby"]
+
+    def test_no_splits_when_one_to_one(self):
+        corpus = ColumnCorpus([_col("a", "age", "age"), _col("b", "year", "year")])
+        report = refinement_report(corpus)
+        assert report["splits"] == {}
+        assert report["expansion"] == 1.0

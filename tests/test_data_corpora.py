@@ -1,0 +1,142 @@
+"""Tests for the four corpus builders and the generic corpus factory."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    make_corpus,
+    make_gds,
+    make_git_tables,
+    make_sato_tables,
+    make_wdc,
+    refinement_report,
+)
+from repro.data.annotation import validate_hierarchy
+from repro.data.corpora import _resolve_scale
+from repro.data.synthesis import default_type_library
+from repro.text import tokenize_header
+
+
+class TestMakeCorpus:
+    def test_column_count(self, type_library):
+        corpus = make_corpus("c", type_library[:5], 40, random_state=0)
+        assert len(corpus) == 40
+
+    def test_min_per_type_guaranteed(self, type_library):
+        corpus = make_corpus("c", type_library[:8], 30, random_state=0, min_per_type=3)
+        from collections import Counter
+
+        counts = Counter(corpus.labels("fine"))
+        assert all(v >= 3 for v in counts.values())
+
+    def test_unsatisfiable_min_rejected(self, type_library):
+        with pytest.raises(ValueError, match="cannot give"):
+            make_corpus("c", type_library[:10], 10, min_per_type=2)
+
+    def test_empty_types_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            make_corpus("c", [], 10)
+
+    def test_table_ids_assigned(self, type_library):
+        corpus = make_corpus("demo", type_library[:4], 20, random_state=0)
+        assert all(c.table_id and c.table_id.startswith("demo_table_") for c in corpus)
+
+    def test_deterministic(self, type_library):
+        a = make_corpus("c", type_library[:4], 20, random_state=7)
+        b = make_corpus("c", type_library[:4], 20, random_state=7)
+        assert [c.name for c in a] == [c.name for c in b]
+        assert np.allclose(a.stacked_values(), b.stacked_values())
+
+
+class TestScaleResolution:
+    def test_default_small(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert _resolve_scale(None) == "small"
+
+    def test_env_variable_respected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "paper")
+        assert _resolve_scale(None) == "paper"
+
+    def test_full_alias(self):
+        assert _resolve_scale("full") == "paper"
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            _resolve_scale("huge")
+
+
+@pytest.mark.parametrize(
+    "builder,n_cols,n_types,granularity",
+    [
+        (make_gds, 240, 24, "fine"),
+        (make_wdc, 300, 36, "fine"),
+        (make_sato_tables, 200, 12, "fine"),
+        (make_git_tables, 140, 19, "fine"),
+    ],
+    ids=["gds", "wdc", "sato", "git"],
+)
+class TestBuilders:
+    def test_sizes_match_small_scale(self, builder, n_cols, n_types, granularity):
+        corpus = builder(scale="small")
+        assert len(corpus) == n_cols
+        assert len(corpus.fine_label_set()) == n_types
+
+    def test_hierarchy_valid(self, builder, n_cols, n_types, granularity):
+        validate_hierarchy(builder(scale="small"))
+
+    def test_deterministic_by_default_seed(self, builder, n_cols, n_types, granularity):
+        a, b = builder(), builder()
+        assert [c.name for c in a] == [c.name for c in b]
+        assert np.allclose(a.stacked_values(), b.stacked_values())
+
+
+class TestCorpusCharacter:
+    def test_wdc_headers_are_coarse(self):
+        corpus = make_wdc()
+        fine_tokens_leaked = 0
+        for col in corpus:
+            header_tokens = set(tokenize_header(col.name))
+            fine_specific = set(col.fine_label.split("_")) - set(col.coarse_label.split("_"))
+            if header_tokens & fine_specific:
+                fine_tokens_leaked += 1
+        assert fine_tokens_leaked == 0
+
+    def test_gds_headers_are_mostly_fine(self):
+        corpus = make_gds()
+        informative = 0
+        for col in corpus:
+            header_tokens = set(tokenize_header(col.name))
+            fine_specific = set(col.fine_label.split("_")) - set(col.coarse_label.split("_"))
+            if header_tokens & fine_specific:
+                informative += 1
+        assert informative > len(corpus) * 0.4
+
+    def test_git_headers_uninformative(self):
+        corpus = make_git_tables()
+        generic = {"value", "field", "data", "col", "number", "v1", "x"}
+        assert all(c.name in generic for c in corpus)
+
+    def test_sato_single_granularity(self):
+        corpus = make_sato_tables()
+        assert corpus.labels("fine") == corpus.labels("coarse")
+
+    def test_wdc_refinement_expands_labels(self):
+        report = refinement_report(make_wdc())
+        assert report["n_fine"] > report["n_coarse"]
+        assert report["expansion"] > 1.5
+
+    def test_custom_column_count(self):
+        corpus = make_gds(n_columns=100)
+        assert len(corpus) == 100
+
+    def test_wdc_value_ranges_overlap_across_types(self):
+        """Columns of different fine types share value bands (the paper's
+        central difficulty)."""
+        corpus = make_wdc()
+        medians: dict[str, list[float]] = {}
+        for col in corpus:
+            medians.setdefault(col.fine_label, []).append(float(np.median(col.values)))
+        in_band = [
+            fine for fine, meds in medians.items() if 0 <= np.mean(meds) <= 100
+        ]
+        assert len(in_band) >= 8

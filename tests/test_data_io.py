@@ -1,0 +1,93 @@
+"""Tests for CSV and corpus (de)serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    ColumnCorpus,
+    NumericColumn,
+    Table,
+    load_corpus,
+    read_csv_table,
+    save_corpus,
+    write_csv_table,
+)
+
+
+class TestCSV:
+    def test_roundtrip(self, tmp_path, simple_columns):
+        table = Table("demo", tuple(simple_columns))
+        path = tmp_path / "demo.csv"
+        write_csv_table(table, path)
+        back = read_csv_table(path)
+        assert back.headers == table.headers
+        for a, b in zip(back.columns, table.columns):
+            assert np.allclose(a.values, b.values)
+
+    def test_non_numeric_columns_dropped(self, tmp_path):
+        path = tmp_path / "mixed.csv"
+        path.write_text("name,age\nalice,30\nbob,31\ncarol,29\n")
+        table = read_csv_table(path)
+        assert table.headers == ["age"]
+        assert np.allclose(table.columns[0].values, [30, 31, 29])
+
+    def test_mostly_numeric_column_kept_with_bad_cells_dropped(self, tmp_path):
+        path = tmp_path / "dirty.csv"
+        rows = "\n".join(["x"] + ["1.5"] * 9 + ["oops"])
+        path.write_text(rows + "\n")
+        table = read_csv_table(path, numeric_threshold=0.8)
+        assert table.columns[0].values.size == 9
+
+    def test_threshold_rejects_half_numeric(self, tmp_path):
+        path = tmp_path / "half.csv"
+        path.write_text("x\n1\nfoo\n2\nbar\n")
+        with pytest.raises(ValueError, match="no numeric columns"):
+            read_csv_table(path, numeric_threshold=0.8)
+
+    def test_thousands_separators_parsed(self, tmp_path):
+        path = tmp_path / "sep.csv"
+        path.write_text('x\n"1,000"\n"2,500"\n')
+        table = read_csv_table(path)
+        assert np.allclose(table.columns[0].values, [1000.0, 2500.0])
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            read_csv_table(path)
+
+    def test_ragged_rows_tolerated(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("a,b\n1,2\n3\n5,6\n")
+        table = read_csv_table(path)
+        assert "a" in table.headers
+
+    def test_table_name_defaults_to_stem(self, tmp_path):
+        path = tmp_path / "sales_2024.csv"
+        path.write_text("v\n1\n2\n")
+        assert read_csv_table(path).name == "sales_2024"
+
+
+class TestCorpusSerialisation:
+    def test_roundtrip_preserves_everything(self, tmp_path, tiny_corpus):
+        path = tmp_path / "corpus.json"
+        save_corpus(tiny_corpus, path)
+        back = load_corpus(path)
+        assert back.name == tiny_corpus.name
+        assert len(back) == len(tiny_corpus)
+        for a, b in zip(back, tiny_corpus):
+            assert a.name == b.name
+            assert a.fine_label == b.fine_label
+            assert a.coarse_label == b.coarse_label
+            assert a.table_id == b.table_id
+            assert np.allclose(a.values, b.values)
+
+    def test_loaded_corpus_usable_by_embedder(self, tmp_path, tiny_corpus):
+        from repro.core import GemConfig, GemEmbedder
+
+        path = tmp_path / "corpus.json"
+        save_corpus(tiny_corpus, path)
+        back = load_corpus(path)
+        gem = GemEmbedder(config=GemConfig.fast(n_components=8, n_init=1))
+        emb = gem.fit_transform(back)
+        assert emb.shape[0] == len(tiny_corpus)

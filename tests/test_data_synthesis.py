@@ -1,0 +1,189 @@
+"""Tests for the semantic-type library and column synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthesis import (
+    ConstantishSampler,
+    DiscreteSampler,
+    ExponentialSampler,
+    GammaSampler,
+    LogNormalSampler,
+    MixtureSampler,
+    NormalSampler,
+    SequentialSampler,
+    ShiftedSampler,
+    UniformSampler,
+    default_type_library,
+    expand_with_variants,
+    header_for,
+    make_column,
+    motivation_columns,
+    render_header,
+)
+
+
+class TestSamplers:
+    def test_normal_respects_clip(self, rng):
+        s = NormalSampler((0, 0), (100, 100), clip=(-5, 5))
+        vals = s.draw(rng, 500)
+        assert vals.min() >= -5 and vals.max() <= 5
+
+    def test_normal_integer_rounds(self, rng):
+        vals = NormalSampler((10, 10), (2, 2), integer=True).draw(rng, 100)
+        assert np.allclose(vals, np.round(vals))
+
+    def test_uniform_within_interval(self, rng):
+        vals = UniformSampler((10, 10), (5, 5)).draw(rng, 200)
+        assert vals.min() >= 10 and vals.max() <= 15
+
+    def test_lognormal_positive(self, rng):
+        vals = LogNormalSampler((0, 1), (0.5, 1.0)).draw(rng, 200)
+        assert np.all(vals > 0)
+
+    def test_exponential_above_loc(self, rng):
+        vals = ExponentialSampler((1, 2), loc=(5, 5)).draw(rng, 200)
+        assert vals.min() >= 5
+
+    def test_gamma_positive(self, rng):
+        vals = GammaSampler((2, 3), (1, 2)).draw(rng, 200)
+        assert np.all(vals > 0)
+
+    def test_discrete_values_on_grid(self, rng):
+        grid = (1.0, 2.0, 5.0)
+        vals = DiscreteSampler(grid).draw(rng, 100)
+        assert set(np.unique(vals)) <= set(grid)
+
+    def test_sequential_is_arithmetic_progression(self, rng):
+        vals = SequentialSampler((0, 0), (2, 2), jitter=0.0).draw(rng, 10)
+        assert np.allclose(np.sort(vals), np.arange(0, 20, 2))
+
+    def test_constantish_mostly_constant(self, rng):
+        vals = ConstantishSampler((7, 7), deviation=1.0, p_deviate=0.1).draw(rng, 1000)
+        assert np.mean(vals == 7.0) > 0.8
+
+    def test_mixture_draws_from_both_parts(self, rng):
+        s = MixtureSampler(
+            UniformSampler((0, 0), (1, 1)),
+            UniformSampler((100, 100), (1, 1)),
+            weight_a=(0.5, 0.5),
+        )
+        vals = s.draw(rng, 400)
+        assert np.any(vals < 50) and np.any(vals > 50)
+
+    def test_shifted_sampler_transforms_affinely(self, rng):
+        base = UniformSampler((0, 0), (1, 1))
+        shifted = ShiftedSampler(base, scale=10.0, shift=5.0)
+        vals = shifted.draw(rng, 300)
+        assert vals.min() >= 5.0 and vals.max() <= 15.0
+
+
+class TestHeaders:
+    def test_render_header_uses_all_words(self, rng):
+        header = render_header(["engine", "power"], rng)
+        assert "engine" in header.lower().replace(" ", "").replace("_", "") or (
+            "enginepower" in header.lower().replace(" ", "").replace("_", "")
+        )
+
+    def test_coarse_headers_hide_fine_identity(self, rng, type_library):
+        t = next(t for t in type_library if t.fine == "score_cricket")
+        headers = {header_for(t, rng, granularity="coarse").lower() for _ in range(20)}
+        assert all("cricket" not in h for h in headers)
+
+    def test_fine_headers_expose_fine_identity(self, rng, type_library):
+        t = next(t for t in type_library if t.fine == "score_cricket")
+        headers = [header_for(t, rng, granularity="fine") for _ in range(10)]
+        assert any("cricket" in h.lower() for h in headers)
+
+    def test_noise_can_degrade_to_coarse(self, type_library):
+        t = next(t for t in type_library if t.fine == "score_cricket")
+        rng = np.random.default_rng(0)
+        headers = [header_for(t, rng, granularity="fine", noise=0.9) for _ in range(30)]
+        assert any("cricket" not in h.lower() for h in headers)
+
+    def test_invalid_granularity(self, rng, type_library):
+        with pytest.raises(ValueError):
+            header_for(type_library[0], rng, granularity="medium")
+
+
+class TestLibrary:
+    def test_fine_names_unique(self, type_library):
+        names = [t.fine for t in type_library]
+        assert len(names) == len(set(names))
+
+    def test_reasonable_size(self, type_library):
+        assert len(type_library) >= 60
+
+    def test_every_fine_maps_to_single_coarse(self, type_library):
+        mapping = {}
+        for t in type_library:
+            assert mapping.setdefault(t.fine, t.coarse) == t.coarse
+
+    def test_ambiguous_coarse_groups_exist(self, type_library):
+        from collections import Counter
+
+        counts = Counter(t.coarse for t in type_library)
+        assert sum(1 for c in counts.values() if c >= 2) >= 10
+
+    def test_all_samplers_produce_finite_values(self, type_library, rng):
+        for t in type_library:
+            vals = t.sampler.draw(rng, 50)
+            assert np.all(np.isfinite(vals)), t.fine
+
+    def test_range_bands_overlap(self, type_library, rng):
+        """Many types should share the 0-100 band (the paper's difficulty)."""
+        in_band = 0
+        for t in type_library:
+            vals = t.sampler.draw(rng, 100)
+            if 0 <= np.median(vals) <= 100:
+                in_band += 1
+        assert in_band >= 25
+
+
+class TestVariants:
+    def test_expansion_reaches_target(self, type_library):
+        expanded = expand_with_variants(type_library, 150, random_state=0)
+        assert len(expanded) == 150
+        names = [t.fine for t in expanded]
+        assert len(names) == len(set(names))
+
+    def test_truncation_when_target_small(self, type_library):
+        assert len(expand_with_variants(type_library, 5, random_state=0)) == 5
+
+    def test_variants_keep_coarse_group(self, type_library):
+        expanded = expand_with_variants(type_library, len(type_library) + 10, random_state=0)
+        base_coarse = {t.fine: t.coarse for t in type_library}
+        for t in expanded[len(type_library):]:
+            root = t.fine.rsplit("_v", 1)[0]
+            assert t.coarse == base_coarse[root]
+
+
+class TestMakeColumn:
+    def test_labels_and_values(self, type_library):
+        t = type_library[0]
+        col = make_column(t, random_state=0)
+        assert col.fine_label == t.fine
+        assert col.coarse_label == t.coarse
+        assert t.n_values[0] <= len(col) <= t.n_values[1]
+
+    def test_explicit_value_count(self, type_library):
+        col = make_column(type_library[0], random_state=0, n_values=17)
+        assert len(col) == 17
+
+    def test_reproducible(self, type_library):
+        a = make_column(type_library[3], random_state=9)
+        b = make_column(type_library[3], random_state=9)
+        assert a.name == b.name and np.allclose(a.values, b.values)
+
+
+class TestMotivationColumns:
+    def test_four_figure1_columns(self):
+        cols = motivation_columns(random_state=0)
+        assert [c.name for c in cols] == ["Age", "Rank", "Test Score", "Temperature"]
+
+    def test_lookalike_means(self):
+        cols = motivation_columns(random_state=0)
+        assert abs(cols[0].values.mean() - 30) < 2  # Age
+        assert abs(cols[1].values.mean() - 30) < 2  # Rank
+        assert abs(cols[2].values.mean() - 75) < 2  # Test Score
+        assert abs(cols[3].values.mean() - 75) < 2  # Temperature

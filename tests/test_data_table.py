@@ -1,0 +1,130 @@
+"""Tests for the tabular substrate: NumericColumn, Table, ColumnCorpus."""
+
+import numpy as np
+import pytest
+
+from repro.data import ColumnCorpus, NumericColumn, Table
+
+
+class TestNumericColumn:
+    def test_values_coerced_and_frozen(self):
+        col = NumericColumn("x", [1, 2, 3])
+        assert col.values.dtype == np.float64
+        with pytest.raises(ValueError):
+            col.values[0] = 99.0
+
+    def test_source_array_not_mutated(self):
+        src = np.array([1.0, 2.0])
+        NumericColumn("x", src)
+        src[0] = 42.0  # must not raise: column copied the data
+
+    def test_len(self):
+        assert len(NumericColumn("x", [1.0, 2.0])) == 2
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            NumericColumn("x", [1.0, np.nan])
+
+    def test_label_granularity(self):
+        col = NumericColumn("h", [1.0], fine_label="score_cricket", coarse_label="score")
+        assert col.label("fine") == "score_cricket"
+        assert col.label("coarse") == "score"
+        with pytest.raises(ValueError):
+            col.label("medium")
+
+    def test_with_values(self):
+        col = NumericColumn("x", [1.0], fine_label="f")
+        new = col.with_values(np.array([2.0, 3.0]))
+        assert new.fine_label == "f" and len(new) == 2
+
+
+class TestTable:
+    def test_headers_in_order(self, simple_columns):
+        table = Table("t", tuple(simple_columns))
+        assert table.headers == ["age", "price", "year"]
+        assert len(table) == 3
+
+
+class TestColumnCorpus:
+    def test_iteration_and_indexing(self, simple_columns):
+        corpus = ColumnCorpus(simple_columns)
+        assert len(corpus) == 3
+        assert corpus[1].name == "price"
+        assert [c.name for c in corpus] == ["age", "price", "year"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ColumnCorpus([])
+
+    def test_labels_default_empty_string(self):
+        corpus = ColumnCorpus([NumericColumn("x", [1.0])])
+        assert corpus.labels("fine") == [""]
+
+    def test_stacked_values_concatenates_in_order(self, simple_columns):
+        corpus = ColumnCorpus(simple_columns)
+        stacked = corpus.stacked_values()
+        assert stacked.size == sum(len(c) for c in simple_columns)
+        assert stacked[0] == simple_columns[0].values[0]
+
+    def test_filter(self, simple_columns):
+        corpus = ColumnCorpus(simple_columns)
+        kept = corpus.filter(lambda c: len(c) > 4)
+        assert {c.name for c in kept} == {"age", "year"}
+
+    def test_filter_to_nothing_raises(self, simple_columns):
+        with pytest.raises(ValueError):
+            ColumnCorpus(simple_columns).filter(lambda c: False)
+
+    def test_subsample(self, tiny_corpus):
+        sub = tiny_corpus.subsample(10, random_state=0)
+        assert len(sub) == 10
+        assert {c.name for c in sub} <= {c.name for c in tiny_corpus}
+
+    def test_subsample_larger_than_corpus_returns_self(self, tiny_corpus):
+        assert tiny_corpus.subsample(10_000) is tiny_corpus
+
+    def test_subsample_reproducible(self, tiny_corpus):
+        a = tiny_corpus.subsample(8, random_state=5)
+        b = tiny_corpus.subsample(8, random_state=5)
+        assert [c.name for c in a] == [c.name for c in b]
+
+    def test_take_preserves_order(self, simple_columns):
+        corpus = ColumnCorpus(simple_columns)
+        taken = corpus.take([2, 0])
+        assert [c.name for c in taken] == ["year", "age"]
+
+    def test_relabeled_coarse_overwrites_fine(self, simple_columns):
+        corpus = ColumnCorpus(simple_columns)
+        coarse = corpus.relabeled("coarse")
+        assert coarse.labels("fine") == corpus.labels("coarse")
+
+    def test_relabeled_fine_is_identity(self, simple_columns):
+        corpus = ColumnCorpus(simple_columns)
+        assert corpus.relabeled("fine") is corpus
+
+    def test_to_tables_groups_by_table_id(self):
+        cols = [
+            NumericColumn("a", [1.0], table_id="t1"),
+            NumericColumn("b", [2.0], table_id="t2"),
+            NumericColumn("c", [3.0], table_id="t1"),
+        ]
+        tables = ColumnCorpus(cols).to_tables()
+        by_name = {t.name: t for t in tables}
+        assert len(by_name["t1"]) == 2 and len(by_name["t2"]) == 1
+
+    def test_from_tables_roundtrip(self, simple_columns):
+        table = Table("orig", tuple(simple_columns))
+        corpus = ColumnCorpus.from_tables([table])
+        assert all(c.table_id == "orig" for c in corpus)
+
+    def test_statistics_shape(self, tiny_corpus):
+        stats = tiny_corpus.statistics()
+        assert stats["n_columns"] == len(tiny_corpus)
+        assert stats["n_fine_clusters"] == 6
+        assert stats["n_values_total"] > 0
+
+    def test_label_sets(self, tiny_corpus):
+        assert len(tiny_corpus.fine_label_set()) == 6
+        assert tiny_corpus.coarse_label_set() <= {
+            "age", "year", "rating", "price", "score", "percentage",
+        }

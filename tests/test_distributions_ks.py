@@ -1,0 +1,77 @@
+"""Tests for the from-scratch Kolmogorov-Smirnov statistic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats
+
+from repro.distributions import (
+    REFERENCE_FAMILIES,
+    Normal,
+    Uniform,
+    ks_statistic,
+    ks_statistic_against,
+)
+
+
+class TestKSStatistic:
+    def test_matches_scipy_kstest(self):
+        rng = np.random.default_rng(0)
+        sample = rng.normal(2.0, 1.5, size=500)
+        ours = ks_statistic(sample, Normal(2.0, 1.5))
+        theirs = stats.kstest(sample, stats.norm(2.0, 1.5).cdf).statistic
+        assert np.isclose(ours, theirs, atol=1e-12)
+
+    def test_zero_for_exact_quantiles(self):
+        # Sample placed exactly at the midpoints of 1/n CDF slabs has the
+        # minimal possible deviation 1/(2n).
+        dist = Uniform(0.0, 1.0)
+        n = 100
+        sample = (np.arange(n) + 0.5) / n
+        assert np.isclose(ks_statistic(sample, dist), 1.0 / (2 * n))
+
+    def test_large_for_wrong_distribution(self):
+        rng = np.random.default_rng(1)
+        sample = rng.normal(100.0, 1.0, size=400)
+        assert ks_statistic(sample, Uniform(0.0, 1.0)) > 0.9
+
+    def test_bounds(self):
+        rng = np.random.default_rng(2)
+        for _ in range(5):
+            sample = rng.exponential(3.0, size=50)
+            d = ks_statistic(sample, Normal(0.0, 1.0))
+            assert 0.0 <= d <= 1.0
+
+    @given(st.lists(st.floats(-1e3, 1e3), min_size=3, max_size=100, unique=True))
+    @settings(max_examples=40, deadline=None)
+    def test_property_matches_scipy_everywhere(self, values):
+        sample = np.asarray(values)
+        dist = Normal(float(sample.mean()), float(sample.std() or 1.0))
+        ours = ks_statistic(sample, dist)
+        theirs = stats.kstest(sample, stats.norm(dist.mu, dist.sigma).cdf).statistic
+        assert np.isclose(ours, theirs, atol=1e-9)
+
+
+class TestKSAgainstFamilies:
+    def test_identifies_generating_family(self):
+        rng = np.random.default_rng(3)
+        sample = rng.lognormal(0.0, 1.0, size=800)
+        distances = ks_statistic_against(sample, REFERENCE_FAMILIES)
+        assert min(distances, key=distances.get) == "lognormal"
+
+    def test_all_families_reported(self):
+        rng = np.random.default_rng(4)
+        distances = ks_statistic_against(rng.normal(0, 1, 100), REFERENCE_FAMILIES)
+        assert set(distances) == {f.name for f in REFERENCE_FAMILIES}
+
+    def test_degenerate_constant_column(self):
+        distances = ks_statistic_against(np.full(20, 5.0), REFERENCE_FAMILIES)
+        assert all(0.0 <= v <= 1.0 for v in distances.values())
+
+    def test_normal_data_prefers_symmetric_families(self):
+        rng = np.random.default_rng(5)
+        sample = rng.normal(50.0, 5.0, size=1000)
+        distances = ks_statistic_against(sample, REFERENCE_FAMILIES)
+        assert distances["normal"] < distances["uniform"]
+        assert distances["normal"] < distances["exponential"]

@@ -1,0 +1,169 @@
+"""Tests for the seven reference distributions: correctness vs scipy.stats,
+fit/sample round-trips, and property-based invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats
+
+from repro.distributions import (
+    REFERENCE_FAMILIES,
+    Beta,
+    Exponential,
+    Gamma,
+    Logistic,
+    LogNormal,
+    Normal,
+    Uniform,
+)
+
+GRID = np.linspace(-5.0, 15.0, 41)
+
+
+def scipy_equivalent(dist):
+    """The scipy.stats frozen distribution matching one of ours."""
+    if isinstance(dist, Normal):
+        return stats.norm(dist.mu, dist.sigma)
+    if isinstance(dist, Uniform):
+        return stats.uniform(dist.low, dist.high - dist.low)
+    if isinstance(dist, Exponential):
+        return stats.expon(dist.loc, 1.0 / dist.lam)
+    if isinstance(dist, Beta):
+        return stats.beta(dist.a, dist.b, loc=dist.low, scale=dist.high - dist.low)
+    if isinstance(dist, Gamma):
+        return stats.gamma(dist.k, loc=dist.loc, scale=dist.theta)
+    if isinstance(dist, LogNormal):
+        return stats.lognorm(dist.sigma, loc=dist.loc, scale=np.exp(dist.mu))
+    if isinstance(dist, Logistic):
+        return stats.logistic(dist.mu, dist.s)
+    raise AssertionError(type(dist))
+
+
+EXAMPLES = [
+    Normal(2.0, 3.0),
+    Uniform(-1.0, 4.0),
+    Exponential(0.7, loc=1.0),
+    Beta(2.5, 4.0, low=0.0, high=10.0),
+    Gamma(3.0, 2.0, loc=0.5),
+    LogNormal(1.0, 0.8),
+    Logistic(-1.0, 2.0),
+]
+
+
+@pytest.mark.parametrize("dist", EXAMPLES, ids=lambda d: d.name)
+class TestAgainstScipy:
+    def test_cdf_matches(self, dist):
+        ref = scipy_equivalent(dist)
+        assert np.allclose(dist.cdf(GRID), ref.cdf(GRID), atol=1e-9)
+
+    def test_pdf_matches(self, dist):
+        ref = scipy_equivalent(dist)
+        ours = dist.pdf(GRID)
+        theirs = ref.pdf(GRID)
+        assert np.allclose(ours, theirs, atol=1e-9)
+
+    def test_ppf_inverts_cdf(self, dist):
+        q = np.linspace(0.02, 0.98, 25)
+        x = dist.ppf(q)
+        assert np.allclose(dist.cdf(x), q, atol=1e-7)
+
+    def test_mean_var_match_scipy(self, dist):
+        ref = scipy_equivalent(dist)
+        assert np.isclose(dist.mean(), ref.mean(), rtol=1e-9)
+        assert np.isclose(dist.var(), ref.var(), rtol=1e-9)
+
+    def test_sampling_matches_moments(self, dist):
+        rng = np.random.default_rng(0)
+        sample = dist.sample(30_000, rng)
+        assert np.isclose(sample.mean(), dist.mean(), atol=4 * np.sqrt(dist.var() / 30_000) + 1e-3)
+
+    def test_cdf_monotone(self, dist):
+        cdf = dist.cdf(GRID)
+        assert np.all(np.diff(cdf) >= -1e-12)
+        assert np.all((cdf >= 0) & (cdf <= 1))
+
+
+class TestFitting:
+    @pytest.mark.parametrize("family", REFERENCE_FAMILIES, ids=lambda f: f.name)
+    def test_fit_then_moments_close(self, family):
+        rng = np.random.default_rng(42)
+        true = {
+            "normal": Normal(5, 2),
+            "uniform": Uniform(1, 9),
+            "exponential": Exponential(0.5),
+            "beta": Beta(2, 3, low=0, high=1),
+            "gamma": Gamma(4, 1.5),
+            "lognormal": LogNormal(1.2, 0.5),
+            "logistic": Logistic(2, 1.5),
+        }[family.name]
+        sample = true.sample(5000, rng)
+        fitted = family.fit(sample)
+        assert np.isclose(fitted.mean(), sample.mean(), rtol=0.15, atol=0.3)
+        assert np.isclose(fitted.var(), sample.var(), rtol=0.5, atol=0.5)
+
+    def test_fit_constant_column_does_not_crash_normal(self):
+        fitted = Normal.fit(np.full(10, 3.0))
+        assert fitted.mu == 3.0 and fitted.sigma > 0
+
+    def test_fit_requires_two_values(self):
+        with pytest.raises(ValueError):
+            Normal.fit(np.array([1.0]))
+
+
+class TestParameterValidation:
+    def test_normal_sigma_positive(self):
+        with pytest.raises(ValueError):
+            Normal(0.0, 0.0)
+
+    def test_uniform_ordering(self):
+        with pytest.raises(ValueError):
+            Uniform(2.0, 2.0)
+
+    def test_exponential_rate_positive(self):
+        with pytest.raises(ValueError):
+            Exponential(-1.0)
+
+    def test_beta_shapes_positive(self):
+        with pytest.raises(ValueError):
+            Beta(0.0, 1.0)
+
+    def test_gamma_shapes_positive(self):
+        with pytest.raises(ValueError):
+            Gamma(1.0, -2.0)
+
+    def test_logistic_scale_positive(self):
+        with pytest.raises(ValueError):
+            Logistic(0.0, 0.0)
+
+
+class TestPropertyBased:
+    @given(
+        mu=st.floats(-100, 100),
+        sigma=st.floats(0.01, 50),
+        q=st.floats(0.01, 0.99),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_normal_ppf_cdf_roundtrip(self, mu, sigma, q):
+        dist = Normal(mu, sigma)
+        assert np.isclose(float(dist.cdf(dist.ppf(q))), q, atol=1e-6)
+
+    @given(
+        low=st.floats(-1000, 1000),
+        span=st.floats(0.01, 1000),
+        x=st.floats(-2000, 2000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_uniform_cdf_bounds(self, low, span, x):
+        dist = Uniform(low, low + span)
+        c = float(dist.cdf(x))
+        assert 0.0 <= c <= 1.0
+
+    @given(st.lists(st.floats(0.1, 1e4), min_size=5, max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_every_family_fits_positive_data(self, values):
+        v = np.asarray(values)
+        for family in REFERENCE_FAMILIES:
+            fitted = family.fit(v)
+            cdf = fitted.cdf(np.sort(v))
+            assert np.all((cdf >= 0) & (cdf <= 1))

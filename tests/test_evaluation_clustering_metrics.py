@@ -1,0 +1,118 @@
+"""Tests for the Hungarian solver, clustering ACC and ARI."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.optimize import linear_sum_assignment
+
+from repro.evaluation import (
+    adjusted_rand_index,
+    clustering_accuracy,
+    hungarian_assignment,
+)
+
+
+class TestHungarian:
+    def test_identity_cost(self):
+        cost = 1.0 - np.eye(4)
+        rows, cols = hungarian_assignment(cost)
+        assert np.array_equal(rows, cols)
+
+    def test_known_example(self):
+        cost = np.array([[4.0, 1.0, 3.0], [2.0, 0.0, 5.0], [3.0, 2.0, 2.0]])
+        rows, cols = hungarian_assignment(cost)
+        assert cost[rows, cols].sum() == 5.0  # optimal: (0,1),(1,0),(2,2)
+
+    @given(
+        n=st.integers(1, 8),
+        m=st.integers(1, 8),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_matches_scipy(self, n, m, seed):
+        rng = np.random.default_rng(seed)
+        cost = rng.random((n, m))
+        r1, c1 = hungarian_assignment(cost)
+        r2, c2 = linear_sum_assignment(cost)
+        assert np.isclose(cost[r1, c1].sum(), cost[r2, c2].sum())
+        assert len(r1) == min(n, m)
+        assert len(set(c1)) == len(c1)  # one-to-one
+
+    def test_negative_costs(self, rng):
+        cost = rng.normal(size=(5, 5))
+        r1, c1 = hungarian_assignment(cost)
+        r2, c2 = linear_sum_assignment(cost)
+        assert np.isclose(cost[r1, c1].sum(), cost[r2, c2].sum())
+
+
+class TestClusteringAccuracy:
+    def test_perfect_up_to_relabelling(self):
+        assert clustering_accuracy([0, 0, 1, 1], [5, 5, 9, 9]) == 1.0
+
+    def test_string_labels(self):
+        assert clustering_accuracy(["x", "x", "y"], [1, 1, 0]) == 1.0
+
+    def test_one_mistake(self):
+        assert clustering_accuracy([0, 0, 0, 1], [0, 0, 1, 1]) == pytest.approx(0.75)
+
+    def test_more_clusters_than_classes(self):
+        acc = clustering_accuracy([0, 0, 0, 0], [0, 1, 2, 3])
+        assert acc == pytest.approx(0.25)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            clustering_accuracy([0, 1], [0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            clustering_accuracy([], [])
+
+    @given(st.lists(st.integers(0, 3), min_size=2, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_property_bounded_and_permutation_invariant(self, labels):
+        y = np.asarray(labels)
+        acc = clustering_accuracy(y, y)
+        assert acc == 1.0
+        permuted = (y + 1) % 4
+        assert clustering_accuracy(y, permuted) == 1.0
+
+
+class TestAdjustedRandIndex:
+    def test_perfect(self):
+        assert adjusted_rand_index([0, 0, 1, 1], [1, 1, 0, 0]) == pytest.approx(1.0)
+
+    def test_known_sklearn_value(self):
+        # Canonical example: ARI([0,0,1,1],[0,0,1,2]) = 0.5714285714...
+        assert adjusted_rand_index([0, 0, 1, 1], [0, 0, 1, 2]) == pytest.approx(0.5714285714285714)
+
+    def test_random_labelling_near_zero(self):
+        rng = np.random.default_rng(0)
+        y = np.repeat(np.arange(4), 100)
+        scores = [
+            adjusted_rand_index(y, rng.integers(0, 4, size=400)) for _ in range(10)
+        ]
+        assert abs(float(np.mean(scores))) < 0.02
+
+    def test_worse_than_random_is_negative(self):
+        # Systematically anti-correlated partitions on a 2x2 grid.
+        y_true = [0, 0, 1, 1]
+        y_pred = [0, 1, 0, 1]
+        assert adjusted_rand_index(y_true, y_pred) <= 0.0
+
+    def test_all_one_cluster_each(self):
+        assert adjusted_rand_index([0, 0, 0], [1, 1, 1]) == 1.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            adjusted_rand_index([0, 1], [0])
+
+    def test_symmetry(self, rng):
+        a = rng.integers(0, 3, 50)
+        b = rng.integers(0, 4, 50)
+        assert adjusted_rand_index(a, b) == pytest.approx(adjusted_rand_index(b, a))
+
+    @given(st.lists(st.integers(0, 3), min_size=2, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_property_self_agreement_is_one(self, labels):
+        assert adjusted_rand_index(labels, labels) == pytest.approx(1.0)

@@ -1,0 +1,152 @@
+"""Tests for cosine neighbours and the paper's precision/recall protocol."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation import (
+    average_precision_at_k,
+    cosine_similarity_matrix,
+    precision_recall_at_k,
+    top_k_neighbors,
+)
+
+
+class TestCosineSimilarity:
+    def test_diagonal_ones(self, rng):
+        X = rng.normal(size=(6, 4))
+        sim = cosine_similarity_matrix(X)
+        assert np.allclose(np.diag(sim), 1.0)
+
+    def test_symmetric_and_bounded(self, rng):
+        sim = cosine_similarity_matrix(rng.normal(size=(8, 3)))
+        assert np.allclose(sim, sim.T)
+        assert sim.min() >= -1.0 and sim.max() <= 1.0
+
+    def test_orthogonal_vectors(self):
+        X = np.array([[1.0, 0.0], [0.0, 1.0]])
+        sim = cosine_similarity_matrix(X)
+        assert np.isclose(sim[0, 1], 0.0)
+
+    def test_zero_rows_do_not_nan(self):
+        X = np.array([[0.0, 0.0], [1.0, 1.0]])
+        sim = cosine_similarity_matrix(X)
+        assert np.all(np.isfinite(sim))
+
+
+class TestTopKNeighbors:
+    def test_sorted_by_similarity(self):
+        sim = np.array(
+            [
+                [1.0, 0.9, 0.2, 0.5],
+                [0.9, 1.0, 0.1, 0.3],
+                [0.2, 0.1, 1.0, 0.8],
+                [0.5, 0.3, 0.8, 1.0],
+            ]
+        )
+        top = top_k_neighbors(sim, 2)
+        assert top[0].tolist() == [1, 3]
+        assert top[2].tolist() == [3, 0]
+
+    def test_self_excluded(self, rng):
+        sim = cosine_similarity_matrix(rng.normal(size=(5, 3)))
+        top = top_k_neighbors(sim, 4)
+        for i in range(5):
+            assert i not in top[i]
+
+    def test_k_capped(self, rng):
+        sim = cosine_similarity_matrix(rng.normal(size=(4, 3)))
+        assert top_k_neighbors(sim, 100).shape == (4, 3)
+
+    def test_rectangular_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            top_k_neighbors(np.zeros((2, 3)), 1)
+
+
+class TestPrecisionProtocol:
+    def test_perfect_embeddings_score_one(self):
+        # Two orthogonal clusters of identical vectors.
+        X = np.array([[1.0, 0.0]] * 3 + [[0.0, 1.0]] * 3)
+        labels = ["a"] * 3 + ["b"] * 3
+        result = precision_recall_at_k(X, labels)
+        assert result.macro_precision == 1.0
+        assert result.macro_recall == 1.0
+
+    def test_adversarial_embeddings_score_zero(self):
+        # Same-type columns orthogonal, cross-type identical.
+        X = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 0.0], [0.0, 1.0]])
+        labels = ["a", "a", "b", "b"]
+        result = precision_recall_at_k(X, labels)
+        assert result.macro_precision == 0.0
+
+    def test_hand_computed_mixed_case(self):
+        # 'a' cluster: two identical + one flipped; 'b': far away.
+        X = np.array([[1.0, 0.0], [1.0, 0.0], [-1.0, 0.2], [0.0, 5.0], [0.0, 5.0]])
+        labels = ["a", "a", "a", "b", "b"]
+        result = precision_recall_at_k(X, labels)
+        # For the two identical 'a' columns: k=2, neighbours are each other
+        # (+1 tp) and one of {flipped a (tp), b}. The flipped 'a' ranks b
+        # columns first (cos < 0 for its own type).
+        assert result.per_type_precision["b"] == 1.0
+        assert 0.0 < result.per_type_precision["a"] < 1.0
+
+    def test_singleton_types_skipped(self):
+        X = np.array([[1.0, 0.0], [1.0, 0.1], [0.0, 1.0]])
+        labels = ["a", "a", "only-one"]
+        result = precision_recall_at_k(X, labels)
+        assert "only-one" not in result.per_type_precision
+        assert result.n_evaluated == 2
+
+    def test_all_singletons_rejected(self):
+        X = np.eye(3)
+        with pytest.raises(ValueError, match="singleton"):
+            precision_recall_at_k(X, ["a", "b", "c"])
+
+    def test_label_length_checked(self):
+        with pytest.raises(ValueError):
+            precision_recall_at_k(np.eye(3), ["a", "a"])
+
+    def test_invalid_k_mode(self):
+        with pytest.raises(ValueError, match="k_mode"):
+            precision_recall_at_k(np.eye(4), ["a", "a", "b", "b"], k_mode="fixed")
+
+    def test_cluster_size_mode_larger_k(self):
+        X = np.array([[1.0, 0.0]] * 3 + [[0.0, 1.0]] * 3)
+        labels = ["a"] * 3 + ["b"] * 3
+        strict = precision_recall_at_k(X, labels, k_mode="cluster_minus_one")
+        loose = precision_recall_at_k(X, labels, k_mode="cluster_size")
+        # With k = cluster size there is always one non-relevant column in
+        # the top k, capping precision at (c-1)/c.
+        assert strict.macro_precision == 1.0
+        assert loose.macro_precision == pytest.approx(2 / 3)
+
+    def test_macro_average_is_mean_of_types(self):
+        X = np.array([[1.0, 0.0]] * 2 + [[0.0, 1.0]] * 2 + [[1.0, 1.0]] * 2)
+        labels = ["a", "a", "b", "b", "c", "c"]
+        result = precision_recall_at_k(X, labels)
+        manual = np.mean(list(result.per_type_precision.values()))
+        assert result.macro_precision == pytest.approx(manual)
+
+    def test_shorthand_matches_full(self, rng):
+        X = rng.normal(size=(12, 4))
+        labels = list("aabbccddeeff")
+        assert average_precision_at_k(X, labels) == pytest.approx(
+            precision_recall_at_k(X, labels).macro_precision
+        )
+
+    @given(
+        seed=st.integers(0, 30),
+        n_types=st.integers(2, 4),
+        per_type=st.integers(2, 5),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_scores_within_unit_interval(self, seed, n_types, per_type):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(n_types * per_type, 6))
+        labels = [f"t{i}" for i in range(n_types) for _ in range(per_type)]
+        result = precision_recall_at_k(X, labels)
+        assert 0.0 <= result.macro_precision <= 1.0
+        assert 0.0 <= result.macro_recall <= 1.0
+        assert np.all(result.per_column_precision >= 0)
+        assert np.all(result.per_column_recall <= 1)

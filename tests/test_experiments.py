@@ -1,0 +1,110 @@
+"""Tests for the experiment runners, registry and result container.
+
+The heavy experiments are exercised end-to-end by the benchmarks; here the
+cheap ones run for real and the expensive ones are validated structurally.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import EXPERIMENTS, ExperimentResult, get_experiment, run_experiment
+from repro.experiments.context import (
+    DATASET_ORDER,
+    build_corpora,
+    gem_config,
+    numeric_only_methods,
+    supervised_sc_methods,
+)
+
+
+class TestRegistry:
+    def test_every_paper_artefact_registered(self):
+        assert set(EXPERIMENTS) == {
+            "table1",
+            "table2",
+            "table3",
+            "table4",
+            "figure1",
+            "figure3",
+            "figure4",
+            "figure5",
+            "observations",
+        }
+
+    def test_unknown_id_raises_with_choices(self):
+        with pytest.raises(KeyError, match="table2"):
+            get_experiment("table99")
+
+    def test_runners_callable(self):
+        for runner in EXPERIMENTS.values():
+            assert callable(runner)
+
+
+class TestExperimentResult:
+    @pytest.fixture
+    def result(self):
+        return ExperimentResult(
+            experiment_id="tableX",
+            title="Demo",
+            headers=["Method", "Score"],
+            rows=[["gem", 0.9], ["ple", 0.1]],
+            notes=["a note"],
+        )
+
+    def test_to_text_contains_everything(self, result):
+        text = result.to_text()
+        assert "Demo" in text and "gem" in text and "0.900" in text and "a note" in text
+
+    def test_to_markdown_table_syntax(self, result):
+        md = result.to_markdown()
+        assert md.startswith("### Demo")
+        assert "| gem | 0.900 |" in md
+
+    def test_cell_lookup(self, result):
+        assert result.cell("gem", "Score") == 0.9
+
+    def test_cell_missing_row(self, result):
+        with pytest.raises(KeyError, match="no row"):
+            result.cell("nope", "Score")
+
+    def test_cell_missing_column(self, result):
+        with pytest.raises(KeyError, match="no column"):
+            result.cell("gem", "Nope")
+
+
+class TestContext:
+    def test_build_corpora_all(self):
+        corpora = build_corpora("small")
+        assert set(corpora) == set(DATASET_ORDER)
+
+    def test_build_corpora_subset(self):
+        corpora = build_corpora("small", only=("gds",))
+        assert set(corpora) == {"gds"}
+
+    def test_gem_config_profiles(self):
+        assert gem_config(fast=True).n_init < gem_config(fast=False).n_init
+
+    def test_method_registries_nonempty(self):
+        assert len(numeric_only_methods()) == 5
+        assert len(supervised_sc_methods()) == 3
+
+
+class TestCheapRunners:
+    def test_table1_runs(self):
+        result = run_experiment("table1")
+        assert result.experiment_id == "table1"
+        assert len(result.rows) == 4
+        assert result.cell("GDS", "# Columns") == 240
+
+    def test_figure1_runs(self):
+        result = run_experiment("figure1")
+        assert result.extras["same_type_mean"] > result.extras["cross_type_mean"]
+        assert "histograms" in result.extras
+
+    def test_figure5_tiny_sweep(self):
+        result = run_experiment("figure5", sizes=(20, 40), n_repeats=1)
+        assert result.extras["sizes"] == [20, 40]
+        series = result.extras["series"]
+        assert set(series) == {"Gem", "PLE", "Squashing GMM", "KS statistic"}
+        assert all(len(v) == 2 for v in series.values())
+        assert all(t >= 0 for v in series.values() for t in v)

@@ -1,0 +1,55 @@
+"""End-to-end smoke runs of the heavy experiment runners at 'tiny' scale.
+
+The benchmarks exercise the full small-scale experiments; these tests assert
+the runners' plumbing (row/column structure, extras, notes) on corpora small
+enough for the unit-test suite.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.mark.slow
+class TestTinyRunners:
+    def test_table2_structure(self):
+        result = run_experiment("table2", scale="tiny", fast=True)
+        assert [row[0] for row in result.rows] == [
+            "Squashing_GMM",
+            "Squashing_SOM",
+            "PLE",
+            "PAF",
+            "KS statistic",
+            "Gem (D+S)",
+        ]
+        assert len(result.headers) == 5  # Method + 4 datasets
+        scores = result.extras["scores"]
+        assert all(0.0 <= v <= 1.0 for per in scores.values() for v in per.values())
+
+    def test_table3_structure(self):
+        result = run_experiment("table3", scale="tiny", fast=True)
+        methods = [row[0] for row in result.rows]
+        assert "Gem D+S+C (concatenation)" in methods
+        assert "SBERT (headers only)" in methods
+        scores = result.extras["scores"]
+        assert set(scores["Gem (D+S)"]) == {"wdc", "gds"}
+
+    def test_figure3_structure(self):
+        result = run_experiment("figure3", scale="tiny", fast=True)
+        combos = [row[0] for row in result.rows]
+        assert combos == ["D", "S", "C", "D+S", "C+S", "D+C", "D+C+S"]
+        assert "charts" in result.extras
+
+    def test_figure4_structure(self):
+        result = run_experiment("figure4", scale="tiny", fast=True, components=(5, 10))
+        assert result.extras["components"] == [5, 10]
+        assert all(len(v) == 2 for v in result.extras["series"].values())
+
+    def test_table4_structure(self):
+        result = run_experiment("table4", scale="tiny", fast=True)
+        scores = result.extras["scores"]
+        # 2 embeddings x {values, headers+values} x 2 datasets x 2 algorithms
+        # plus Gem headers-only; Squashing_SOM headers-only stays blank.
+        assert len(scores) == 20
+        assert all(0 <= v["acc"] <= 1 for v in scores.values())
+        assert all(-1 <= v["ari"] <= 1 for v in scores.values())

@@ -1,0 +1,88 @@
+"""Tests for k-means and k-means++ seeding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gmm import KMeans, kmeans_plus_plus_init
+
+
+class TestKMeansPlusPlus:
+    def test_returns_requested_count(self, rng):
+        X = rng.normal(size=(100, 3))
+        centers = kmeans_plus_plus_init(X, 7, rng)
+        assert centers.shape == (7, 3)
+
+    def test_centers_are_data_points(self, rng):
+        X = rng.normal(size=(50, 2))
+        centers = kmeans_plus_plus_init(X, 5, rng)
+        for c in centers:
+            assert np.any(np.all(np.isclose(X, c), axis=1))
+
+    def test_too_many_clusters_rejected(self, rng):
+        with pytest.raises(ValueError, match="exceeds"):
+            kmeans_plus_plus_init(rng.normal(size=(3, 2)), 5, rng)
+
+    def test_duplicate_points_handled(self, rng):
+        X = np.zeros((20, 2))
+        centers = kmeans_plus_plus_init(X, 4, rng)
+        assert centers.shape == (4, 2)
+
+
+class TestKMeans:
+    def test_recovers_separated_blobs(self, blob_data):
+        X, y = blob_data
+        km = KMeans(4, n_init=3, random_state=0).fit(X)
+        # Each true cluster maps to exactly one predicted cluster.
+        for label in np.unique(y):
+            preds = km.labels_[y == label]
+            assert len(np.unique(preds)) == 1
+
+    def test_inertia_decreases_with_more_clusters(self, rng):
+        X = rng.normal(size=(200, 2))
+        inertias = [
+            KMeans(k, n_init=2, random_state=0).fit(X).inertia_ for k in (1, 4, 16)
+        ]
+        assert inertias[0] > inertias[1] > inertias[2]
+
+    def test_predict_matches_labels_on_training_data(self, blob_data):
+        X, _ = blob_data
+        km = KMeans(4, random_state=0).fit(X)
+        assert np.array_equal(km.predict(X), km.labels_)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            KMeans(2).predict(np.zeros((3, 2)))
+
+    def test_n_init_keeps_best(self, rng):
+        X = rng.normal(size=(120, 2))
+        multi = KMeans(6, n_init=8, random_state=0).fit(X)
+        single = KMeans(6, n_init=1, random_state=0).fit(X)
+        assert multi.inertia_ <= single.inertia_ + 1e-9
+
+    def test_reproducible_with_seed(self, blob_data):
+        X, _ = blob_data
+        a = KMeans(4, random_state=9).fit(X)
+        b = KMeans(4, random_state=9).fit(X)
+        assert np.array_equal(a.labels_, b.labels_)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            KMeans(0)
+        with pytest.raises(TypeError):
+            KMeans(2.5)
+
+    @given(
+        n=st.integers(10, 60),
+        k=st.integers(1, 5),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_every_cluster_nonempty_or_absent(self, n, k, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(n, 2))
+        km = KMeans(k, random_state=seed).fit(X)
+        assert km.labels_.shape == (n,)
+        assert set(km.labels_) <= set(range(k))
+        assert km.inertia_ >= 0

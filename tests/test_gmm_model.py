@@ -1,0 +1,184 @@
+"""Tests for the from-scratch GaussianMixture: EM correctness, stability,
+model selection and the paper's usage patterns."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gmm import GaussianMixture, select_n_components_bic
+
+
+@pytest.fixture
+def bimodal(rng):
+    return np.concatenate([rng.normal(0, 1, 400), rng.normal(10, 0.5, 200)])
+
+
+class TestFit:
+    def test_recovers_two_well_separated_modes(self, bimodal):
+        gm = GaussianMixture(2, n_init=3, random_state=0).fit(bimodal)
+        means = np.sort(gm.means_.ravel())
+        assert abs(means[0] - 0.0) < 0.3
+        assert abs(means[1] - 10.0) < 0.3
+
+    def test_recovers_mixing_weights(self, bimodal):
+        gm = GaussianMixture(2, n_init=3, random_state=0).fit(bimodal)
+        weights = np.sort(gm.weights_)
+        assert abs(weights[0] - 1 / 3) < 0.05
+        assert abs(weights[1] - 2 / 3) < 0.05
+
+    def test_weights_sum_to_one(self, bimodal):
+        gm = GaussianMixture(5, random_state=0).fit(bimodal)
+        assert np.isclose(gm.weights_.sum(), 1.0)
+
+    def test_covariances_positive(self, bimodal):
+        gm = GaussianMixture(5, random_state=0).fit(bimodal)
+        assert np.all(gm.covariances_[:, 0, 0] > 0)
+
+    def test_multivariate_fit(self, rng):
+        X = np.vstack([rng.normal(0, 1, (200, 3)), rng.normal(6, 1, (200, 3))])
+        gm = GaussianMixture(2, n_init=2, random_state=0).fit(X)
+        means = gm.means_[np.argsort(gm.means_[:, 0])]
+        assert np.allclose(means[0], 0.0, atol=0.5)
+        assert np.allclose(means[1], 6.0, atol=0.5)
+
+    def test_likelihood_improves_with_components(self, bimodal):
+        ll1 = GaussianMixture(1, random_state=0).fit(bimodal).score(bimodal.reshape(-1, 1))
+        ll2 = GaussianMixture(2, n_init=3, random_state=0).fit(bimodal).score(bimodal.reshape(-1, 1))
+        assert ll2 > ll1
+
+    def test_n_init_restarts_do_not_hurt(self, bimodal):
+        single = GaussianMixture(3, n_init=1, random_state=1).fit(bimodal)
+        multi = GaussianMixture(3, n_init=5, random_state=1).fit(bimodal)
+        assert multi.lower_bound_ >= single.lower_bound_ - 1e-9
+
+    def test_more_components_than_samples_rejected(self):
+        with pytest.raises(ValueError, match="n_samples"):
+            GaussianMixture(10).fit(np.arange(5.0))
+
+    @pytest.mark.parametrize("init", ["kmeans", "random", "quantile"])
+    def test_all_init_strategies_converge(self, bimodal, init):
+        gm = GaussianMixture(2, init=init, n_init=2, max_iter=300, random_state=0).fit(bimodal)
+        assert gm.converged_
+        assert np.isclose(gm.weights_.sum(), 1.0)
+
+    @pytest.mark.parametrize("init", ["kmeans", "quantile"])
+    def test_informed_inits_recover_modes(self, bimodal, init):
+        # Random-responsibility starts are symmetric and may not split the
+        # modes in few restarts; the informed inits must.
+        gm = GaussianMixture(2, init=init, n_init=2, max_iter=300, random_state=0).fit(bimodal)
+        means = np.sort(gm.means_.ravel())
+        assert abs(means[1] - 10.0) < 1.0
+
+    def test_quantile_init_rejects_multivariate(self, rng):
+        gm = GaussianMixture(2, init="quantile", random_state=0)
+        with pytest.raises(ValueError, match="1-D"):
+            gm.fit(rng.normal(size=(50, 2)))
+
+    def test_quantile_init_covers_dense_region(self, rng):
+        # Heavy tail: most components should still sit in the dense band.
+        dense = rng.normal(10, 2, 2000)
+        tail = rng.lognormal(8, 1, 100)
+        X = np.concatenate([dense, tail])
+        gm = GaussianMixture(20, init="quantile", n_init=1, random_state=0).fit(X)
+        means = gm.means_.ravel()
+        assert np.sum(means < 50) >= 10
+
+
+class TestInference:
+    def test_responsibilities_rows_sum_to_one(self, bimodal):
+        gm = GaussianMixture(3, random_state=0).fit(bimodal)
+        resp = gm.predict_proba(bimodal.reshape(-1, 1))
+        assert np.allclose(resp.sum(axis=1), 1.0)
+        assert np.all((resp >= 0) & (resp <= 1))
+
+    def test_predict_matches_argmax_proba(self, bimodal):
+        gm = GaussianMixture(3, random_state=0).fit(bimodal)
+        X = bimodal.reshape(-1, 1)
+        assert np.array_equal(gm.predict(X), np.argmax(gm.predict_proba(X), axis=1))
+
+    def test_hard_assignment_separates_modes(self, bimodal):
+        gm = GaussianMixture(2, n_init=3, random_state=0).fit(bimodal)
+        labels = gm.predict(bimodal.reshape(-1, 1))
+        low = labels[bimodal < 5]
+        high = labels[bimodal > 5]
+        assert len(np.unique(low)) == 1 and len(np.unique(high)) == 1
+        assert low[0] != high[0]
+
+    def test_component_pdf_positive(self, bimodal):
+        gm = GaussianMixture(2, random_state=0).fit(bimodal)
+        dens = gm.component_pdf(bimodal.reshape(-1, 1))
+        assert dens.shape == (bimodal.size, 2)
+        assert np.all(dens >= 0)
+
+    def test_score_samples_integrates_consistently(self, bimodal):
+        gm = GaussianMixture(2, random_state=0).fit(bimodal)
+        grid = np.linspace(bimodal.min() - 5, bimodal.max() + 5, 4000).reshape(-1, 1)
+        density = np.exp(gm.score_samples(grid))
+        integral = np.trapezoid(density.ravel(), grid.ravel())
+        assert abs(integral - 1.0) < 0.01
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            GaussianMixture(2).predict_proba(np.zeros((2, 1)))
+
+    def test_sample_roundtrip_moments(self, bimodal):
+        gm = GaussianMixture(2, n_init=2, random_state=0).fit(bimodal)
+        draws = gm.sample(20_000, random_state=1)
+        assert abs(draws.mean() - bimodal.mean()) < 0.3
+
+
+class TestModelSelection:
+    def test_bic_prefers_true_component_count(self, bimodal):
+        best, scores = select_n_components_bic(
+            bimodal, candidates=(1, 2, 6), n_init=2, random_state=0
+        )
+        assert best == 2
+        assert scores[2] < scores[1]
+
+    def test_aic_less_than_bic_for_large_n(self, bimodal):
+        gm = GaussianMixture(2, random_state=0).fit(bimodal)
+        X = bimodal.reshape(-1, 1)
+        # BIC penalises harder than AIC once log(n) > 2.
+        assert gm.bic(X) > gm.aic(X)
+
+    def test_infeasible_candidates_skipped(self):
+        X = np.arange(8.0)
+        best, scores = select_n_components_bic(X, candidates=(2, 100), random_state=0)
+        assert best == 2 and 100 not in scores
+
+    def test_all_infeasible_raises(self):
+        with pytest.raises(ValueError, match="feasible"):
+            select_n_components_bic(np.arange(3.0), candidates=(50,))
+
+
+class TestValidation:
+    def test_bad_init_name(self):
+        with pytest.raises(ValueError, match="init"):
+            GaussianMixture(2, init="bogus")
+
+    def test_negative_reg_covar(self):
+        with pytest.raises(ValueError, match="reg_covar"):
+            GaussianMixture(2, reg_covar=-1.0)
+
+    def test_zero_components(self):
+        with pytest.raises(ValueError):
+            GaussianMixture(0)
+
+
+class TestPropertyBased:
+    @given(
+        seed=st.integers(0, 50),
+        n=st.integers(20, 120),
+        m=st.integers(1, 4),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_any_fit_yields_valid_mixture(self, seed, n, m):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=n) * np.exp(rng.normal(0, 1))
+        gm = GaussianMixture(m, n_init=1, max_iter=50, random_state=seed).fit(X)
+        assert np.isclose(gm.weights_.sum(), 1.0)
+        assert np.all(gm.weights_ >= 0)
+        assert np.all(gm.covariances_[:, 0, 0] > 0)
+        resp = gm.predict_proba(X.reshape(-1, 1))
+        assert np.allclose(resp.sum(axis=1), 1.0, atol=1e-8)

@@ -1,0 +1,142 @@
+"""Cross-module integration tests: the full paper pipeline at small scale."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import PLEEmbedder, SquashingGMMEmbedder
+from repro.clustering import TableDC
+from repro.core import GemConfig, GemEmbedder
+from repro.data import (
+    ColumnCorpus,
+    Table,
+    load_corpus,
+    read_csv_table,
+    save_corpus,
+    write_csv_table,
+)
+from repro.data.corpora import make_corpus
+from repro.data.synthesis import default_type_library
+from repro.evaluation import (
+    adjusted_rand_index,
+    average_precision_at_k,
+    clustering_accuracy,
+    precision_recall_at_k,
+)
+
+FAST_GEM = GemConfig.fast(n_components=10, n_init=1, max_iter=80)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    types = [
+        t
+        for t in default_type_library()
+        if t.fine
+        in (
+            "age_person",
+            "year_publication",
+            "rating_book",
+            "rating_hotel",
+            "price_product",
+            "score_cricket",
+            "score_rugby",
+            "percentage_generic",
+        )
+    ]
+    return make_corpus("integration", types, 48, header_granularity="fine", random_state=2)
+
+
+class TestSemanticTypeDetectionPipeline:
+    def test_gem_beats_weak_baseline_on_shape_heavy_corpus(self, corpus):
+        labels = corpus.labels("fine")
+        gem = GemEmbedder(config=FAST_GEM)
+        gem_score = average_precision_at_k(gem.fit_transform(corpus), labels)
+        ple_score = average_precision_at_k(PLEEmbedder(n_bins=10).fit_transform(corpus), labels)
+        assert gem_score > 0.5
+        assert gem_score >= ple_score - 0.05
+
+    def test_headers_add_signal_on_fine_labels(self, corpus):
+        labels = corpus.labels("fine")
+        gem_ds = GemEmbedder(config=FAST_GEM)
+        ds = average_precision_at_k(gem_ds.fit_transform(corpus), labels)
+        gem_dsc = GemEmbedder(config=GemConfig.fast(
+            n_components=10, n_init=1, max_iter=80, use_contextual=True
+        ))
+        dsc = average_precision_at_k(gem_dsc.fit_transform(corpus), labels)
+        assert dsc >= ds
+
+    def test_detection_then_clustering_consistency(self, corpus):
+        labels = corpus.labels("fine")
+        gem = GemEmbedder(config=FAST_GEM)
+        embeddings = gem.fit_transform(corpus)
+        pred = TableDC(
+            len(set(labels)), pretrain_epochs=30, finetune_epochs=30, random_state=0
+        ).fit_predict(embeddings)
+        acc = clustering_accuracy(labels, pred)
+        ari = adjusted_rand_index(labels, pred)
+        assert acc > 0.4
+        assert ari > 0.2
+
+    def test_precision_result_consistency(self, corpus):
+        labels = corpus.labels("fine")
+        gem = GemEmbedder(config=FAST_GEM)
+        result = precision_recall_at_k(gem.fit_transform(corpus), labels)
+        assert set(result.per_type_precision) <= set(labels)
+        assert result.macro_precision == pytest.approx(
+            float(np.mean(list(result.per_type_precision.values())))
+        )
+
+
+class TestPersistenceRoundtrips:
+    def test_corpus_roundtrip_preserves_embeddings(self, corpus, tmp_path):
+        path = tmp_path / "c.json"
+        save_corpus(corpus, path)
+        reloaded = load_corpus(path)
+        a = GemEmbedder(config=FAST_GEM).fit_transform(corpus)
+        b = GemEmbedder(config=FAST_GEM).fit_transform(reloaded)
+        assert np.allclose(a, b)
+
+    def test_csv_ingestion_to_embeddings(self, corpus, tmp_path):
+        # Write a few corpus tables to CSV, read back, embed.
+        tables = corpus.to_tables()[:3]
+        columns = []
+        for i, table in enumerate(tables):
+            path = tmp_path / f"t{i}.csv"
+            write_csv_table(table, path)
+            columns.extend(read_csv_table(path).columns)
+        rebuilt = ColumnCorpus(columns, name="from-csv")
+        emb = GemEmbedder(config=FAST_GEM).fit_transform(rebuilt)
+        assert emb.shape[0] == len(rebuilt)
+        assert np.all(np.isfinite(emb))
+
+
+class TestCrossMethodConsistency:
+    def test_all_embedders_agree_on_row_order(self, corpus):
+        """Every method must produce row i == column i."""
+        gem = GemEmbedder(config=FAST_GEM)
+        gem_emb = gem.fit_transform(corpus)
+        sq = SquashingGMMEmbedder(n_components=10, random_state=0).fit_transform(corpus)
+        assert gem_emb.shape[0] == sq.shape[0] == len(corpus)
+
+    def test_embedders_handle_single_value_columns(self):
+        from repro.data.table import NumericColumn
+
+        cols = [
+            NumericColumn("a", np.array([1.0]), "t1", "t1"),
+            NumericColumn("b", np.array([2.0]), "t1", "t1"),
+            NumericColumn("c", np.linspace(0, 9, 10), "t2", "t2"),
+            NumericColumn("d", np.linspace(0, 9, 10), "t2", "t2"),
+        ]
+        tiny = ColumnCorpus(cols)
+        emb = GemEmbedder(config=GemConfig.fast(n_components=3, n_init=1)).fit_transform(tiny)
+        assert np.all(np.isfinite(emb))
+
+    def test_transform_on_unseen_corpus_generalises(self, corpus):
+        """Fit Gem on one half, embed the other half (cross-corpus use)."""
+        n = len(corpus)
+        first = corpus.take(range(n // 2))
+        second = corpus.take(range(n // 2, n))
+        gem = GemEmbedder(config=FAST_GEM).fit(first)
+        emb = gem.transform(second)
+        assert emb.shape[0] == len(second)
+        assert np.all(np.isfinite(emb))

@@ -1,0 +1,170 @@
+"""Gradient checks and behavioural tests for the NN substrate layers/losses."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Dense,
+    Dropout,
+    LeakyReLU,
+    MSELoss,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    SoftmaxCrossEntropy,
+    Tanh,
+)
+from repro.nn.layers import Parameter
+
+
+def numeric_grad_wrt_input(layer, x, upstream, eps=1e-6):
+    """Central finite differences of sum(layer(x) * upstream) w.r.t. x."""
+    grad = np.zeros_like(x)
+    for idx in np.ndindex(*x.shape):
+        xp, xm = x.copy(), x.copy()
+        xp[idx] += eps
+        xm[idx] -= eps
+        fp = float(np.sum(layer.forward(xp, training=False) * upstream))
+        fm = float(np.sum(layer.forward(xm, training=False) * upstream))
+        grad[idx] = (fp - fm) / (2 * eps)
+    return grad
+
+
+@pytest.mark.parametrize(
+    "layer_factory",
+    [
+        lambda: Dense(4, 3, random_state=0),
+        lambda: Tanh(),
+        lambda: Sigmoid(),
+        lambda: LeakyReLU(0.1),
+    ],
+    ids=["dense", "tanh", "sigmoid", "leaky_relu"],
+)
+def test_backward_matches_finite_differences(layer_factory, rng):
+    layer = layer_factory()
+    x = rng.normal(size=(5, 4))
+    upstream = rng.normal(size=layer.forward(x, training=True).shape)
+    layer.forward(x, training=True)
+    analytic = layer.backward(upstream)
+    numeric = numeric_grad_wrt_input(layer, x, upstream)
+    assert np.allclose(analytic, numeric, atol=1e-5)
+
+
+def test_relu_gradient_masks_negatives(rng):
+    layer = ReLU()
+    x = np.array([[-1.0, 2.0], [3.0, -4.0]])
+    layer.forward(x, training=True)
+    grad = layer.backward(np.ones_like(x))
+    assert np.array_equal(grad, np.array([[0.0, 1.0], [1.0, 0.0]]))
+
+
+def test_dense_weight_gradient_matches_finite_differences(rng):
+    layer = Dense(3, 2, random_state=0)
+    x = rng.normal(size=(4, 3))
+    upstream = rng.normal(size=(4, 2))
+    layer.forward(x, training=True)
+    layer.backward(upstream)
+    analytic = layer.weight.grad.copy()
+    eps = 1e-6
+    numeric = np.zeros_like(analytic)
+    for idx in np.ndindex(*layer.weight.value.shape):
+        orig = layer.weight.value[idx]
+        layer.weight.value[idx] = orig + eps
+        fp = float(np.sum(layer.forward(x, training=False) * upstream))
+        layer.weight.value[idx] = orig - eps
+        fm = float(np.sum(layer.forward(x, training=False) * upstream))
+        layer.weight.value[idx] = orig
+        numeric[idx] = (fp - fm) / (2 * eps)
+    assert np.allclose(analytic, numeric, atol=1e-5)
+
+
+class TestDropout:
+    def test_inference_is_identity(self, rng):
+        layer = Dropout(0.5, random_state=0)
+        x = rng.normal(size=(10, 4))
+        assert np.array_equal(layer.forward(x, training=False), x)
+
+    def test_training_preserves_expectation(self, rng):
+        layer = Dropout(0.4, random_state=0)
+        x = np.ones((20_000, 1))
+        out = layer.forward(x, training=True)
+        assert abs(out.mean() - 1.0) < 0.05
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+        with pytest.raises(ValueError):
+            Dropout(-0.1)
+
+
+class TestSequential:
+    def test_forward_until_stops_early(self, rng):
+        net = Sequential(Dense(4, 8, random_state=0), ReLU(), Dense(8, 2, random_state=1))
+        x = rng.normal(size=(3, 4))
+        hidden = net.forward_until(x, 2)
+        assert hidden.shape == (3, 8)
+        assert np.all(hidden >= 0)  # post-ReLU
+
+    def test_parameters_collected_from_all_layers(self):
+        net = Sequential(Dense(2, 3), ReLU(), Dense(3, 1))
+        assert len(net.parameters()) == 4  # two weights + two biases
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Sequential()
+
+
+class TestLosses:
+    def test_mse_value(self):
+        loss = MSELoss()
+        assert loss.forward(np.array([[1.0, 2.0]]), np.array([[0.0, 0.0]])) == 2.5
+
+    def test_mse_gradient_matches_finite_differences(self, rng):
+        loss = MSELoss()
+        pred = rng.normal(size=(4, 3))
+        target = rng.normal(size=(4, 3))
+        analytic = loss.backward(pred, target)
+        eps = 1e-6
+        numeric = np.zeros_like(pred)
+        for idx in np.ndindex(*pred.shape):
+            pp, pm = pred.copy(), pred.copy()
+            pp[idx] += eps
+            pm[idx] -= eps
+            numeric[idx] = (loss.forward(pp, target) - loss.forward(pm, target)) / (2 * eps)
+        assert np.allclose(analytic, numeric, atol=1e-6)
+
+    def test_mse_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            MSELoss().forward(np.zeros((2, 2)), np.zeros((2, 3)))
+
+    def test_cross_entropy_perfect_prediction_near_zero(self):
+        loss = SoftmaxCrossEntropy()
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        assert loss.forward(logits, np.array([0, 1])) < 1e-6
+
+    def test_cross_entropy_uniform_is_log_k(self):
+        loss = SoftmaxCrossEntropy()
+        logits = np.zeros((5, 4))
+        assert np.isclose(loss.forward(logits, np.zeros(5, dtype=int)), np.log(4))
+
+    def test_cross_entropy_gradient_matches_finite_differences(self, rng):
+        loss = SoftmaxCrossEntropy()
+        logits = rng.normal(size=(6, 3))
+        labels = rng.integers(0, 3, size=6)
+        analytic = loss.backward(logits, labels)
+        eps = 1e-6
+        numeric = np.zeros_like(logits)
+        for idx in np.ndindex(*logits.shape):
+            lp, lm = logits.copy(), logits.copy()
+            lp[idx] += eps
+            lm[idx] -= eps
+            numeric[idx] = (loss.forward(lp, labels) - loss.forward(lm, labels)) / (2 * eps)
+        assert np.allclose(analytic, numeric, atol=1e-5)
+
+    def test_cross_entropy_label_range_checked(self):
+        with pytest.raises(ValueError, match="out of range"):
+            SoftmaxCrossEntropy().forward(np.zeros((2, 3)), np.array([0, 5]))
+
+    def test_softmax_rows_sum_to_one(self, rng):
+        probs = SoftmaxCrossEntropy.softmax(rng.normal(size=(7, 5)) * 50)
+        assert np.allclose(probs.sum(axis=1), 1.0)

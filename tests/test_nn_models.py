@@ -1,0 +1,208 @@
+"""Tests for the trained NN models: optimisers, MLP, autoencoder, GCN."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    SGD,
+    Adam,
+    Autoencoder,
+    Dense,
+    GCNClassifier,
+    GraphConvolution,
+    MLPClassifier,
+    knn_graph,
+    normalized_adjacency,
+)
+from repro.nn.layers import Parameter
+
+
+class TestOptimizers:
+    @pytest.mark.parametrize("optimizer_cls", [SGD, Adam])
+    def test_minimises_quadratic(self, optimizer_cls):
+        p = Parameter(np.array([5.0, -3.0]))
+        opt = optimizer_cls([p], lr=0.1)
+        for _ in range(300):
+            opt.zero_grad()
+            p.grad += 2 * p.value  # d/dp ||p||^2
+            opt.step()
+        assert np.linalg.norm(p.value) < 1e-2
+
+    def test_sgd_momentum_validated(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], momentum=1.5)
+
+    def test_lr_validated(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], lr=0.0)
+
+    def test_empty_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_zero_grad_resets(self):
+        p = Parameter(np.zeros(3))
+        opt = SGD([p], lr=0.1)
+        p.grad += 1.0
+        opt.zero_grad()
+        assert np.all(p.grad == 0)
+
+
+class TestMLPClassifier:
+    def test_learns_separable_blobs(self, blob_data):
+        X, y = blob_data
+        clf = MLPClassifier((32,), epochs=200, batch_size=16, random_state=0).fit(X, y)
+        assert clf.score(X, y) > 0.95
+
+    def test_string_labels_supported(self, blob_data):
+        X, y = blob_data
+        names = np.array(["alpha", "beta", "gamma", "delta"])[y]
+        clf = MLPClassifier((16,), epochs=30, random_state=0).fit(X, names)
+        assert set(clf.predict(X)) <= set(names)
+
+    def test_predict_proba_rows_sum_to_one(self, blob_data):
+        X, y = blob_data
+        clf = MLPClassifier((16,), epochs=10, random_state=0).fit(X, y)
+        proba = clf.predict_proba(X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_embed_has_last_hidden_width(self, blob_data):
+        X, y = blob_data
+        clf = MLPClassifier((32, 12), epochs=5, random_state=0).fit(X, y)
+        assert clf.embed(X).shape == (X.shape[0], 12)
+
+    def test_loss_decreases(self, blob_data):
+        X, y = blob_data
+        clf = MLPClassifier((16,), epochs=30, random_state=0).fit(X, y)
+        assert clf.history_[-1] < clf.history_[0]
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError, match="two classes"):
+            MLPClassifier((8,)).fit(np.zeros((5, 2)), np.zeros(5))
+
+    def test_label_length_mismatch(self):
+        with pytest.raises(ValueError):
+            MLPClassifier((8,)).fit(np.zeros((5, 2)), np.zeros(4))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            MLPClassifier((8,)).predict(np.zeros((2, 2)))
+
+    def test_deterministic_given_seed(self, blob_data):
+        X, y = blob_data
+        a = MLPClassifier((16,), epochs=5, random_state=42).fit(X, y).predict_proba(X)
+        b = MLPClassifier((16,), epochs=5, random_state=42).fit(X, y).predict_proba(X)
+        assert np.allclose(a, b)
+
+
+class TestAutoencoder:
+    def test_reconstruction_error_decreases(self, rng):
+        X = rng.normal(size=(120, 10))
+        ae = Autoencoder(latent_dim=4, hidden_sizes=(32,), epochs=60, random_state=0).fit(X)
+        assert ae.history_[-1] < ae.history_[0] * 0.8
+
+    def test_encode_shape(self, rng):
+        X = rng.normal(size=(50, 8))
+        ae = Autoencoder(latent_dim=3, epochs=5, random_state=0).fit(X)
+        assert ae.encode(X).shape == (50, 3)
+
+    def test_low_rank_data_reconstructed_well(self, rng):
+        # Data on a 2-D linear manifold must pass through a 2-D bottleneck.
+        basis = rng.normal(size=(2, 12))
+        X = rng.normal(size=(300, 2)) @ basis
+        ae = Autoencoder(latent_dim=2, hidden_sizes=(32,), epochs=200, random_state=0).fit(X)
+        relative = ae.reconstruction_error(X) / float(np.mean(X**2))
+        assert relative < 0.1
+
+    def test_fit_transform_equals_fit_then_encode(self, rng):
+        X = rng.normal(size=(40, 6))
+        a = Autoencoder(latent_dim=2, epochs=5, random_state=7).fit_transform(X)
+        b = Autoencoder(latent_dim=2, epochs=5, random_state=7).fit(X).encode(X)
+        assert np.allclose(a, b)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            Autoencoder().encode(np.zeros((2, 2)))
+
+
+class TestGraphUtilities:
+    def test_normalized_adjacency_symmetric(self, rng):
+        A = rng.random((6, 6))
+        A = np.maximum(A, A.T)
+        A_hat = normalized_adjacency(A)
+        assert np.allclose(A_hat, A_hat.T)
+
+    def test_normalized_adjacency_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            normalized_adjacency(np.array([[0.0, -1.0], [-1.0, 0.0]]))
+
+    def test_normalized_adjacency_rejects_rectangular(self):
+        with pytest.raises(ValueError, match="square"):
+            normalized_adjacency(np.zeros((2, 3)))
+
+    def test_knn_graph_symmetric_binary(self, rng):
+        X = rng.normal(size=(20, 4))
+        A = knn_graph(X, k=3)
+        assert np.array_equal(A, A.T)
+        assert set(np.unique(A)) <= {0.0, 1.0}
+        assert np.all(np.diag(A) == 0)
+
+    def test_knn_graph_min_degree(self, rng):
+        X = rng.normal(size=(15, 4))
+        A = knn_graph(X, k=4)
+        assert np.all(A.sum(axis=1) >= 4)
+
+
+class TestGCN:
+    def test_graph_convolution_gradient(self, rng):
+        layer = GraphConvolution(3, 2, random_state=0)
+        A = normalized_adjacency(knn_graph(rng.normal(size=(6, 3)), k=2))
+        layer.adjacency = A
+        x = rng.normal(size=(6, 3))
+        upstream = rng.normal(size=(6, 2))
+        layer.forward(x, training=True)
+        analytic = layer.backward(upstream)
+        eps = 1e-6
+        numeric = np.zeros_like(x)
+        for idx in np.ndindex(*x.shape):
+            xp, xm = x.copy(), x.copy()
+            xp[idx] += eps
+            xm[idx] -= eps
+            fp = float(np.sum(layer.forward(xp, training=False) * upstream))
+            fm = float(np.sum(layer.forward(xm, training=False) * upstream))
+            numeric[idx] = (fp - fm) / (2 * eps)
+        assert np.allclose(analytic, numeric, atol=1e-5)
+
+    def test_learns_community_labels(self, blob_data):
+        X, y = blob_data
+        A = knn_graph(X, k=5)
+        gcn = GCNClassifier(hidden_dim=16, epochs=200, random_state=0).fit(X, A, y)
+        assert float(np.mean(gcn.predict(X) == y)) > 0.85
+
+    def test_train_mask_restricts_supervision(self, blob_data):
+        X, y = blob_data
+        A = knn_graph(X, k=5)
+        mask = np.zeros(len(y), dtype=bool)
+        mask[::3] = True
+        gcn = GCNClassifier(hidden_dim=16, epochs=80, random_state=0).fit(
+            X, A, y, train_mask=mask
+        )
+        # Held-out nodes should still be classified well through propagation.
+        assert float(np.mean(gcn.predict(X)[~mask] == y[~mask])) > 0.8
+
+    def test_empty_mask_rejected(self, blob_data):
+        X, y = blob_data
+        A = knn_graph(X, k=5)
+        with pytest.raises(ValueError, match="no nodes"):
+            GCNClassifier().fit(X, A, y, train_mask=np.zeros(len(y), dtype=bool))
+
+    def test_embed_shape(self, blob_data):
+        X, y = blob_data
+        A = knn_graph(X, k=5)
+        gcn = GCNClassifier(hidden_dim=9, epochs=10, random_state=0).fit(X, A, y)
+        assert gcn.embed(X).shape == (X.shape[0], 9)
+
+    def test_adjacency_size_mismatch(self, blob_data):
+        X, y = blob_data
+        with pytest.raises(ValueError):
+            GCNClassifier().fit(X, np.eye(3), y)

@@ -1,0 +1,152 @@
+"""Failure-injection and pathological-input tests across the pipeline.
+
+Real data lakes produce constant columns, colossal magnitudes, negatives,
+near-duplicate values and single-cell columns; every embedder must survive
+them without NaNs, crashes or silent corruption.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    KSFeaturesEmbedder,
+    PAFEmbedder,
+    PLEEmbedder,
+    SquashingGMMEmbedder,
+    SquashingSOMEmbedder,
+)
+from repro.core import GemConfig, GemEmbedder
+from repro.data.table import ColumnCorpus, NumericColumn
+from repro.text import HashingTextEmbedder
+
+FAST = GemConfig.fast(n_components=4, n_init=1, max_iter=50)
+
+
+def _corpus(cols):
+    return ColumnCorpus(cols)
+
+
+@pytest.fixture
+def pathological_corpus(rng):
+    return _corpus(
+        [
+            NumericColumn("constant", np.full(30, 7.0), "c", "c"),
+            NumericColumn("huge", rng.normal(1e12, 1e10, 30), "h", "h"),
+            NumericColumn("tiny", rng.normal(1e-12, 1e-13, 30), "t", "t"),
+            NumericColumn("negative", rng.normal(-500, 50, 30), "n", "n"),
+            NumericColumn("single", np.array([42.0]), "s", "s"),
+            NumericColumn("two", np.array([0.0, 1.0]), "s", "s"),
+            NumericColumn("dupes", np.array([5.0] * 29 + [6.0]), "d", "d"),
+            NumericColumn("", rng.normal(0, 1, 30), "e", "e"),  # empty header
+        ]
+    )
+
+
+ALL_EMBEDDERS = [
+    pytest.param(lambda: GemEmbedder(config=FAST), id="gem"),
+    pytest.param(lambda: PLEEmbedder(n_bins=8), id="ple"),
+    pytest.param(lambda: PAFEmbedder(n_frequencies=8), id="paf"),
+    pytest.param(lambda: SquashingGMMEmbedder(n_components=4, random_state=0), id="sq-gmm"),
+    pytest.param(lambda: SquashingSOMEmbedder(n_units=8, random_state=0), id="sq-som"),
+    pytest.param(lambda: KSFeaturesEmbedder(), id="ks"),
+]
+
+
+@pytest.mark.parametrize("factory", ALL_EMBEDDERS)
+def test_every_embedder_survives_pathological_corpus(factory, pathological_corpus):
+    embedder = factory()
+    if isinstance(embedder, GemEmbedder):
+        embeddings = embedder.fit_transform(pathological_corpus)
+    else:
+        embeddings = embedder.fit_transform(pathological_corpus)
+    assert embeddings.shape[0] == len(pathological_corpus)
+    assert np.all(np.isfinite(embeddings))
+
+
+def test_gem_constant_corpus(rng):
+    """Every column identical and constant: embeddings must be finite and equal."""
+    corpus = _corpus(
+        [NumericColumn(f"c{i}", np.full(20, 3.0), "t", "t") for i in range(4)]
+    )
+    emb = GemEmbedder(config=GemConfig.fast(n_components=2, n_init=1)).fit_transform(corpus)
+    assert np.all(np.isfinite(emb))
+    assert np.allclose(emb[0], emb[1])
+
+
+def test_gem_permutation_equivariance(tiny_corpus):
+    """Embedding row i must follow column i under corpus permutation."""
+    gem = GemEmbedder(config=FAST)
+    base = gem.fit_transform(tiny_corpus)
+    perm = np.random.default_rng(0).permutation(len(tiny_corpus))
+    permuted = tiny_corpus.take(perm.tolist())
+    gem2 = GemEmbedder(config=FAST)
+    gem2.fit(tiny_corpus)  # same fit corpus, different transform order
+    out = gem2.transform(permuted)
+    assert np.allclose(out, base[perm], atol=1e-10)
+
+
+def test_gem_scale_invariance_of_shape(rng):
+    """Two corpora identical up to a global scale give identical neighbour
+    structure under the standardize transform."""
+    cols_a = [
+        NumericColumn(f"a{i}", rng.normal(mu, 1.0, 40), f"t{i%2}", f"t{i%2}")
+        for i, mu in enumerate((0, 0, 10, 10))
+    ]
+    corpus_a = _corpus(cols_a)
+    corpus_b = _corpus([c.with_values(c.values * 1000.0) for c in cols_a])
+    cfg = GemConfig.fast(n_components=3, n_init=1, value_transform="standardize")
+    emb_a = GemEmbedder(config=cfg).fit_transform(corpus_a)
+    emb_b = GemEmbedder(config=cfg).fit_transform(corpus_b)
+    from repro.evaluation import cosine_similarity_matrix
+
+    sim_a = cosine_similarity_matrix(emb_a)
+    sim_b = cosine_similarity_matrix(emb_b)
+    assert np.allclose(sim_a, sim_b, atol=0.05)
+
+
+def test_text_embedder_handles_unicode_and_punctuation():
+    emb = HashingTextEmbedder()
+    for header in ("prix_€", "温度", "a;b,c", "  spaced  out  ", "💰amount"):
+        vec = emb.encode_one(header)
+        assert np.all(np.isfinite(vec))
+
+
+def test_ks_embedder_two_value_columns():
+    corpus = _corpus(
+        [
+            NumericColumn("a", np.array([1.0, 2.0]), "t", "t"),
+            NumericColumn("b", np.array([3.0, 4.0]), "t", "t"),
+        ]
+    )
+    emb = KSFeaturesEmbedder().fit_transform(corpus)
+    assert np.all((emb >= 0) & (emb <= 1))
+
+
+def test_gem_transform_empty_header_corpus(rng):
+    corpus = _corpus(
+        [NumericColumn("", rng.normal(0, 1, 20), "t", "t") for _ in range(3)]
+    )
+    cfg = GemConfig.fast(n_components=2, n_init=1, use_contextual=True, header_dim=32)
+    emb = GemEmbedder(config=cfg).fit_transform(corpus)
+    assert np.all(np.isfinite(emb))
+
+
+def test_extreme_cardinality_mix(rng):
+    """Paper §4.2.1 observation 7: same type, wildly different cardinality."""
+    year_small = NumericColumn(
+        "year_a", rng.choice(np.arange(1980, 2013, dtype=float), 33), "year", "year"
+    )
+    year_large = NumericColumn(
+        "year_b", rng.choice(np.arange(1950, 2021, dtype=float), 480), "year", "year"
+    )
+    other = NumericColumn("age", rng.normal(35, 10, 100).round(), "age", "age")
+    corpus = _corpus([year_small, year_large, other])
+    gem = GemEmbedder(config=GemConfig.fast(n_components=6, n_init=1))
+    emb = gem.fit_transform(corpus)
+    from repro.evaluation import cosine_similarity_matrix
+
+    sim = cosine_similarity_matrix(emb)
+    # The two year columns must sit closer than year/age despite 33-vs-480
+    # cardinality.
+    assert sim[0, 1] > sim[0, 2]
+    assert sim[0, 1] > sim[1, 2]

@@ -1,0 +1,87 @@
+"""Tests for the Self-Organising Map."""
+
+import numpy as np
+import pytest
+
+from repro.som import SelfOrganizingMap
+
+
+class TestFit:
+    def test_prototypes_cover_bimodal_data(self, rng):
+        X = np.concatenate([rng.normal(0, 1, 300), rng.normal(20, 1, 300)]).reshape(-1, 1)
+        som = SelfOrganizingMap(rows=1, cols=20, n_epochs=3, random_state=0).fit(X)
+        protos = som.weights_.ravel()
+        assert np.any(protos < 5) and np.any(protos > 15)
+
+    def test_quantization_error_decreases_with_units(self, rng):
+        X = rng.normal(size=(500, 1))
+        few = SelfOrganizingMap(1, 4, n_epochs=3, random_state=0).fit(X)
+        many = SelfOrganizingMap(1, 40, n_epochs=3, random_state=0).fit(X)
+        assert many.quantization_error_ < few.quantization_error_
+
+    def test_2d_grid(self, rng):
+        X = rng.normal(size=(200, 3))
+        som = SelfOrganizingMap(rows=4, cols=4, n_epochs=2, random_state=0).fit(X)
+        assert som.weights_.shape == (16, 3)
+        assert som.grid_.shape == (16, 2)
+
+    def test_reproducible(self, rng):
+        X = rng.normal(size=(100, 1))
+        a = SelfOrganizingMap(1, 8, random_state=3).fit(X).weights_
+        b = SelfOrganizingMap(1, 8, random_state=3).fit(X).weights_
+        assert np.allclose(a, b)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            SelfOrganizingMap(lr=0.0)
+        with pytest.raises(ValueError):
+            SelfOrganizingMap(sigma=-1.0)
+        with pytest.raises(ValueError):
+            SelfOrganizingMap(rows=0)
+
+
+class TestInference:
+    def test_predict_returns_unit_indices(self, rng):
+        X = rng.normal(size=(150, 1))
+        som = SelfOrganizingMap(1, 10, n_epochs=2, random_state=0).fit(X)
+        bmu = som.predict(X)
+        assert bmu.shape == (150,)
+        assert bmu.min() >= 0 and bmu.max() < som.n_units
+
+    def test_activation_response_is_row_stochastic(self, rng):
+        X = rng.normal(size=(80, 1))
+        som = SelfOrganizingMap(1, 10, n_epochs=2, random_state=0).fit(X)
+        resp = som.activation_response(X)
+        assert resp.shape == (80, 10)
+        assert np.allclose(resp.sum(axis=1), 1.0)
+        assert np.all(resp >= 0)
+
+    def test_activation_peaks_at_bmu(self, rng):
+        X = rng.normal(size=(60, 1))
+        som = SelfOrganizingMap(1, 12, n_epochs=2, random_state=0).fit(X)
+        resp = som.activation_response(X)
+        assert np.array_equal(np.argmax(resp, axis=1), som.predict(X))
+
+    def test_quantization_returns_prototype_vectors(self, rng):
+        X = rng.normal(size=(50, 2))
+        som = SelfOrganizingMap(2, 5, n_epochs=2, random_state=0).fit(X)
+        q = som.quantization(X)
+        assert q.shape == X.shape
+        for row in q:
+            assert np.any(np.all(np.isclose(som.weights_, row), axis=1))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            SelfOrganizingMap().predict(np.zeros((2, 1)))
+
+    def test_distinct_columns_get_distinct_responses(self, rng):
+        # The Squashing_SOM use case: different distributions over the same
+        # map must produce different mean responses.
+        low = rng.normal(0, 1, (300, 1))
+        high = rng.normal(20, 1, (300, 1))
+        som = SelfOrganizingMap(1, 20, n_epochs=3, random_state=0).fit(
+            np.vstack([low, high])
+        )
+        r_low = som.activation_response(low).mean(axis=0)
+        r_high = som.activation_response(high).mean(axis=0)
+        assert np.linalg.norm(r_low - r_high) > 0.1

@@ -1,0 +1,104 @@
+"""Tests for the header tokeniser and the hashing text embedder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text import HashingTextEmbedder, canonicalize, tokenize_header
+
+
+class TestTokenizeHeader:
+    @pytest.mark.parametrize(
+        "header,expected",
+        [
+            ("score_cricket", ["score", "cricket"]),
+            ("Score Cricket", ["score", "cricket"]),
+            ("ScoreCricket", ["score", "cricket"]),
+            ("SCORE-CRICKET", ["score", "cricket"]),
+            ("scoreCricket2", ["score", "cricket", "2"]),
+            ("engine_power_car", ["engine", "power", "car"]),
+            ("HTTPResponse", ["http", "response"]),
+            ("", []),
+            ("___", []),
+        ],
+    )
+    def test_tokenisation(self, header, expected):
+        assert tokenize_header(header) == expected
+
+    def test_non_string_rejected(self):
+        with pytest.raises(TypeError):
+            tokenize_header(42)
+
+
+class TestCanonicalize:
+    def test_known_abbreviations_folded(self):
+        assert canonicalize(["qty", "sold"]) == ["quantity", "sold"]
+        assert canonicalize(["yr"]) == ["year"]
+
+    def test_unknown_tokens_untouched(self):
+        assert canonicalize(["cricket"]) == ["cricket"]
+
+
+class TestHashingTextEmbedder:
+    def test_deterministic(self):
+        emb = HashingTextEmbedder()
+        assert np.array_equal(emb.encode_one("price"), emb.encode_one("price"))
+
+    def test_unit_norm(self):
+        vec = HashingTextEmbedder().encode_one("total_price")
+        assert np.isclose(np.linalg.norm(vec), 1.0)
+
+    def test_empty_string_is_zero_vector(self):
+        assert np.all(HashingTextEmbedder().encode_one("") == 0)
+
+    def test_format_invariance(self):
+        emb = HashingTextEmbedder()
+        assert emb.similarity("score_cricket", "ScoreCricket") > 0.99
+
+    def test_shared_token_similarity_ordering(self):
+        emb = HashingTextEmbedder()
+        same = emb.similarity("score_cricket", "cricket_score")
+        sibling = emb.similarity("score_cricket", "score_rugby")
+        unrelated = emb.similarity("score_cricket", "engine_power")
+        assert same > sibling > unrelated
+
+    def test_synonym_folding_increases_similarity(self):
+        with_syn = HashingTextEmbedder(use_synonyms=True)
+        without = HashingTextEmbedder(use_synonyms=False)
+        assert with_syn.similarity("qty", "quantity") > without.similarity("qty", "quantity")
+
+    def test_encode_matrix_shape(self):
+        emb = HashingTextEmbedder(dim=64)
+        out = emb.encode(["a", "b", "c"])
+        assert out.shape == (3, 64)
+
+    def test_encode_requires_list(self):
+        with pytest.raises(TypeError):
+            HashingTextEmbedder().encode("not-a-list")
+
+    def test_encode_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            HashingTextEmbedder().encode([])
+
+    def test_dim_validated(self):
+        with pytest.raises(ValueError):
+            HashingTextEmbedder(dim=4)
+
+    def test_ngram_sizes_validated(self):
+        with pytest.raises(ValueError):
+            HashingTextEmbedder(ngram_sizes=(1,))
+
+    @given(st.text(min_size=0, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_property_any_text_embeds_to_unit_or_zero(self, text):
+        vec = HashingTextEmbedder(dim=32).encode_one(text)
+        norm = np.linalg.norm(vec)
+        assert np.isclose(norm, 1.0) or norm == 0.0
+
+    @given(st.text(alphabet="abcdefg_ ", min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_property_self_similarity_is_one_or_zero(self, text):
+        emb = HashingTextEmbedder(dim=32)
+        s = emb.similarity(text, text)
+        assert np.isclose(s, 1.0) or s == 0.0

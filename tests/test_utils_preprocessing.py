@@ -1,0 +1,98 @@
+"""Unit + property tests for repro.utils.preprocessing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.utils.preprocessing import (
+    l1_normalize,
+    l2_normalize,
+    minmax_scale,
+    standardize,
+    standardize_columns,
+)
+
+finite_matrices = arrays(
+    np.float64,
+    st.tuples(st.integers(1, 8), st.integers(1, 6)),
+    elements=st.floats(-1e6, 1e6, allow_nan=False),
+)
+
+
+class TestL1Normalize:
+    def test_rows_sum_to_one(self):
+        out = l1_normalize(np.array([[1.0, 3.0], [2.0, 2.0]]))
+        assert np.allclose(np.abs(out).sum(axis=1), 1.0)
+
+    def test_zero_row_stays_zero(self):
+        out = l1_normalize(np.array([[0.0, 0.0], [1.0, 1.0]]))
+        assert np.all(out[0] == 0)
+
+    def test_preserves_sign(self):
+        out = l1_normalize(np.array([[-1.0, 1.0]]))
+        assert out[0, 0] < 0 < out[0, 1]
+
+    @given(finite_matrices)
+    @settings(max_examples=30, deadline=None)
+    def test_property_row_l1_at_most_one(self, X):
+        out = l1_normalize(X)
+        sums = np.abs(out).sum(axis=1)
+        assert np.all((np.isclose(sums, 1.0)) | (sums == 0.0))
+
+
+class TestL2Normalize:
+    def test_unit_norm(self):
+        out = l2_normalize(np.array([[3.0, 4.0]]))
+        assert np.isclose(np.linalg.norm(out[0]), 1.0)
+
+    def test_zero_row_stays_zero(self):
+        assert np.all(l2_normalize(np.zeros((1, 4))) == 0)
+
+    @given(finite_matrices)
+    @settings(max_examples=30, deadline=None)
+    def test_property_unit_or_zero(self, X):
+        out = l2_normalize(X)
+        norms = np.linalg.norm(out, axis=1)
+        assert np.all(np.isclose(norms, 1.0) | np.isclose(norms, 0.0))
+
+
+class TestStandardize:
+    def test_zero_mean_unit_std(self):
+        v = standardize(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert np.isclose(v.mean(), 0.0)
+        assert np.isclose(v.std(), 1.0)
+
+    def test_constant_vector_becomes_zero(self):
+        assert np.all(standardize(np.full(5, 7.0)) == 0)
+
+
+class TestStandardizeColumns:
+    def test_each_column_standardised(self):
+        X = np.array([[1.0, 10.0], [2.0, 20.0], [3.0, 30.0]])
+        out = standardize_columns(X)
+        assert np.allclose(out.mean(axis=0), 0.0)
+        assert np.allclose(out.std(axis=0), 1.0)
+
+    def test_constant_column_zeroed(self):
+        X = np.array([[1.0, 5.0], [2.0, 5.0], [3.0, 5.0]])
+        out = standardize_columns(X)
+        assert np.all(out[:, 1] == 0)
+
+    @given(finite_matrices)
+    @settings(max_examples=30, deadline=None)
+    def test_property_bounded_moments(self, X):
+        out = standardize_columns(X)
+        assert np.all(np.isfinite(out))
+        assert np.all(np.abs(out.mean(axis=0)) < 1e-6)
+
+
+class TestMinmaxScale:
+    def test_unit_interval(self):
+        X = np.array([[0.0], [5.0], [10.0]])
+        out = minmax_scale(X)
+        assert out.min() == 0.0 and out.max() == 1.0
+
+    def test_constant_maps_to_zero(self):
+        assert np.all(minmax_scale(np.full((3, 1), 2.0)) == 0)

@@ -1,0 +1,91 @@
+"""Unit tests for repro.utils.rng and repro.utils.reporting."""
+
+import numpy as np
+import pytest
+
+from repro.utils.reporting import (
+    format_bar_chart,
+    format_histogram,
+    format_markdown_table,
+    format_series,
+    format_table,
+)
+from repro.utils.rng import check_random_state, spawn_seeds
+
+
+class TestCheckRandomState:
+    def test_none_gives_generator(self):
+        assert isinstance(check_random_state(None), np.random.Generator)
+
+    def test_int_is_reproducible(self):
+        a = check_random_state(7).integers(1000)
+        b = check_random_state(7).integers(1000)
+        assert a == b
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert check_random_state(g) is g
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            check_random_state(True)
+
+    def test_string_rejected(self):
+        with pytest.raises(TypeError):
+            check_random_state("seed")
+
+
+class TestSpawnSeeds:
+    def test_count_and_reproducibility(self):
+        assert spawn_seeds(3, 5) == spawn_seeds(3, 5)
+        assert len(spawn_seeds(3, 5)) == 5
+
+    def test_seeds_differ(self):
+        seeds = spawn_seeds(0, 10)
+        assert len(set(seeds)) == 10
+
+
+class TestFormatTable:
+    def test_contains_headers_and_values(self):
+        out = format_table(["a", "b"], [[1, 2.5], ["x", 3.25]])
+        assert "a" in out and "x" in out and "2.500" in out
+
+    def test_title_rendered(self):
+        out = format_table(["a"], [[1]], title="My Table")
+        assert out.startswith("My Table")
+
+    def test_alignment_consistent_width(self):
+        out = format_table(["col"], [["short"], ["a-much-longer-value"]])
+        lines = out.splitlines()
+        assert len(lines[-1]) == len(lines[-2])
+
+
+class TestFormatMarkdownTable:
+    def test_pipe_structure(self):
+        out = format_markdown_table(["x", "y"], [[1, 2]])
+        lines = out.splitlines()
+        assert lines[0].startswith("| x") and lines[1].startswith("|---")
+
+
+class TestFormatSeries:
+    def test_series_as_columns(self):
+        out = format_series("n", {"gem": [0.1, 0.2], "ple": [0.3, 0.4]}, [10, 20])
+        assert "gem" in out and "0.400" in out
+
+
+class TestFormatBarChart:
+    def test_bars_scale_with_value(self):
+        out = format_bar_chart(["a", "b"], [1.0, 0.5], width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_bar_chart(["a"], [1.0, 2.0])
+
+
+class TestFormatHistogram:
+    def test_counts_total(self):
+        out = format_histogram([1.0, 1.1, 5.0, 5.1, 5.2], bins=2)
+        assert "2" in out and "3" in out

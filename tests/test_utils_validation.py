@@ -1,0 +1,131 @@
+"""Unit tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_array_1d,
+    check_array_2d,
+    check_fitted,
+    check_positive_int,
+    check_probability_matrix,
+)
+
+
+class TestCheckArray1d:
+    def test_list_converted_to_float64(self):
+        out = check_array_1d([1, 2, 3])
+        assert out.dtype == np.float64
+        assert out.tolist() == [1.0, 2.0, 3.0]
+
+    def test_scalar_promoted(self):
+        assert check_array_1d(5.0).shape == (1,)
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError, match="1-dimensional"):
+            check_array_1d(np.zeros((2, 2)))
+
+    def test_empty_rejected_by_default(self):
+        with pytest.raises(ValueError, match="empty"):
+            check_array_1d([])
+
+    def test_empty_allowed_when_requested(self):
+        assert check_array_1d([], allow_empty=True).size == 0
+
+    def test_min_len_enforced(self):
+        with pytest.raises(ValueError, match="at least 3"):
+            check_array_1d([1.0, 2.0], min_len=3)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            check_array_1d([1.0, np.nan])
+
+    def test_inf_rejected(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            check_array_1d([1.0, np.inf])
+
+    def test_nan_allowed_when_not_finite(self):
+        out = check_array_1d([1.0, np.nan], finite=False)
+        assert np.isnan(out[1])
+
+    def test_non_numeric_raises_type_error(self):
+        with pytest.raises(TypeError, match="numeric"):
+            check_array_1d(["a", "b"])
+
+    def test_name_in_message(self):
+        with pytest.raises(ValueError, match="myvalues"):
+            check_array_1d([], name="myvalues")
+
+
+class TestCheckArray2d:
+    def test_1d_promoted_to_column(self):
+        out = check_array_2d([1.0, 2.0, 3.0])
+        assert out.shape == (3, 1)
+
+    def test_3d_rejected(self):
+        with pytest.raises(ValueError, match="2-dimensional"):
+            check_array_2d(np.zeros((2, 2, 2)))
+
+    def test_min_rows(self):
+        with pytest.raises(ValueError, match="at least 5 rows"):
+            check_array_2d(np.zeros((3, 2)), min_rows=5)
+
+    def test_min_cols(self):
+        with pytest.raises(ValueError, match="at least 3 columns"):
+            check_array_2d(np.zeros((5, 2)), min_cols=3)
+
+    def test_nan_rejected(self):
+        X = np.zeros((2, 2))
+        X[0, 0] = np.nan
+        with pytest.raises(ValueError, match="non-finite"):
+            check_array_2d(X)
+
+
+class TestCheckPositiveInt:
+    def test_valid(self):
+        assert check_positive_int(3, "x") == 3
+
+    def test_numpy_integer_ok(self):
+        assert check_positive_int(np.int64(4), "x") == 4
+
+    def test_float_rejected(self):
+        with pytest.raises(TypeError, match="integer"):
+            check_positive_int(3.0, "x")
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            check_positive_int(True, "x")
+
+    def test_below_minimum(self):
+        with pytest.raises(ValueError, match=">= 2"):
+            check_positive_int(1, "x", minimum=2)
+
+
+class TestCheckFitted:
+    def test_unfitted_raises(self):
+        class Estimator:
+            means_ = None
+
+        with pytest.raises(RuntimeError, match="not fitted"):
+            check_fitted(Estimator(), "means_")
+
+    def test_fitted_passes(self):
+        class Estimator:
+            means_ = np.zeros(2)
+
+        check_fitted(Estimator(), "means_")
+
+
+class TestCheckProbabilityMatrix:
+    def test_valid(self):
+        P = np.array([[0.5, 0.5], [0.1, 0.9]])
+        out = check_probability_matrix(P)
+        assert out.shape == (2, 2)
+
+    def test_rows_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            check_probability_matrix(np.array([[0.5, 0.2]]))
+
+    def test_entries_must_be_in_unit_interval(self):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            check_probability_matrix(np.array([[1.5, -0.5]]))
