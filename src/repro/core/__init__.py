@@ -17,19 +17,27 @@ The paper's primary contribution (§3). The pipeline, per Algorithm 1:
 :class:`~repro.core.gem.GemEmbedder` is the public entry point.
 """
 
+from repro.core.cache import SignatureCache, array_fingerprint
 from repro.core.composition import compose
 from repro.core.config import GemConfig
 from repro.core.gem import GemEmbedder
 from repro.core.persistence import load_gem, save_gem
-from repro.core.signature import mean_component_probabilities, signature_matrix
+from repro.core.signature import (
+    column_offsets,
+    mean_component_probabilities,
+    signature_matrix,
+)
 from repro.core.statistics import STATISTICAL_FEATURE_NAMES, column_statistics, statistics_matrix
 
 __all__ = [
     "GemEmbedder",
     "GemConfig",
+    "SignatureCache",
+    "array_fingerprint",
     "compose",
     "save_gem",
     "load_gem",
+    "column_offsets",
     "mean_component_probabilities",
     "signature_matrix",
     "column_statistics",

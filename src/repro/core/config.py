@@ -59,6 +59,20 @@ class GemConfig:
     fit_mode:
         ``"stacked"`` fits one GMM on all values (paper §3.2);
         ``"per_column"`` fits a small GMM per column (ablation).
+    batch_size:
+        Maximum number of stacked values scored per chunk on the transform
+        path. ``None`` (default) scores the whole stack in one pass; any
+        positive value bounds peak responsibility-matrix memory at
+        ``batch_size * n_components`` floats regardless of corpus size. The
+        chunked and unchunked paths agree to machine precision.
+    cache_signatures:
+        Memoise pooled signature rows by column content hash, so columns
+        repeated within a corpus or across ``transform`` calls are scored
+        once (``fit_mode="stacked"`` only; the cache is cleared on refit).
+    n_workers:
+        Worker threads for the ``fit_mode="per_column"`` ablation, which
+        fits one small mixture per column; 1 keeps the serial path. Results
+        are identical for any worker count.
     value_transform:
         Optional transform applied to values before GMM fitting: ``"none"``
         (paper), ``"log_squash"`` (sign(x)·log1p|x|, as Squashing_* use), or
@@ -96,6 +110,9 @@ class GemConfig:
     signature_kind: str = "responsibility"
     normalization: str = "l1"
     fit_mode: str = "stacked"
+    batch_size: int | None = None
+    cache_signatures: bool = True
+    n_workers: int = 1
     value_transform: str = "none"
     composition: str = "concatenation"
     balance_blocks: bool = True
@@ -129,6 +146,10 @@ class GemConfig:
             )
         if self.fit_mode not in _FIT_MODES:
             raise ValueError(f"fit_mode must be one of {_FIT_MODES}, got {self.fit_mode!r}")
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ValueError(f"batch_size must be None or >= 1, got {self.batch_size}")
+        if self.n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {self.n_workers}")
         if self.value_transform not in _VALUE_TRANSFORMS:
             raise ValueError(
                 f"value_transform must be one of {_VALUE_TRANSFORMS}, got {self.value_transform!r}"

@@ -18,19 +18,21 @@ comparable.
 from __future__ import annotations
 
 import dataclasses
+from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
+from repro.core.cache import SignatureCache, array_fingerprint
 from repro.core.composition import compose
 from repro.core.config import GemConfig
 from repro.core.signature import mean_component_probabilities, signature_matrix
-from repro.core.statistics import column_statistics, statistics_matrix
+from repro.core.statistics import STATISTICAL_FEATURE_NAMES, column_statistics, statistics_matrix
 from repro.data.table import ColumnCorpus
 from repro.gmm.model import GaussianMixture
 from repro.gmm.selection import select_n_components_bic
 from repro.text.embedder import HashingTextEmbedder
 from repro.utils.preprocessing import l1_normalize
-from repro.utils.rng import check_random_state
+from repro.utils.rng import RandomState, check_random_state, spawn_seeds
 from repro.utils.validation import check_fitted
 
 
@@ -100,6 +102,11 @@ class GemEmbedder:
         self._transform_stats: tuple[float, float] | None = None
         self._feature_mean: np.ndarray | None = None
         self._feature_std: np.ndarray | None = None
+        self._signature_cache: SignatureCache | None = (
+            SignatureCache()
+            if cfg.cache_signatures and cfg.fit_mode == "stacked"
+            else None
+        )
 
     # ------------------------------------------------------------------ fit
 
@@ -113,6 +120,9 @@ class GemEmbedder:
         if not isinstance(corpus, ColumnCorpus):
             raise TypeError(f"corpus must be a ColumnCorpus, got {type(corpus).__name__}")
         cfg = self.config
+        if self._signature_cache is not None:
+            # A refit changes the mixture, so every memoised row is stale.
+            self._signature_cache.clear()
         stacked = corpus.stacked_values()
         stacked = self._fit_value_transform(stacked)
         n_components = cfg.n_components
@@ -162,26 +172,32 @@ class GemEmbedder:
         return best
 
     def _fit_value_transform(self, stacked: np.ndarray) -> np.ndarray:
-        cfg = self.config
-        if cfg.value_transform == "none":
+        transform = self.config.value_transform
+        if transform == "none":
             self._transform_stats = None
             return stacked
-        if cfg.value_transform == "log_squash":
+        if transform == "log_squash":
             self._transform_stats = None
             return log_squash(stacked)
-        mu, sigma = float(np.mean(stacked)), float(np.std(stacked)) or 1.0
-        self._transform_stats = (mu, sigma)
-        return (stacked - mu) / sigma
+        if transform == "standardize":
+            mu, sigma = float(np.mean(stacked)), float(np.std(stacked)) or 1.0
+            self._transform_stats = (mu, sigma)
+            return (stacked - mu) / sigma
+        # GemConfig validates the field, but a config bypassing __post_init__
+        # (e.g. a hand-edited archive) must not silently fall back to z-score.
+        raise ValueError(f"unknown value_transform {transform!r}")
 
     def _apply_value_transform(self, values: np.ndarray) -> np.ndarray:
-        cfg = self.config
-        if cfg.value_transform == "none":
+        transform = self.config.value_transform
+        if transform == "none":
             return values
-        if cfg.value_transform == "log_squash":
+        if transform == "log_squash":
             return log_squash(values)
-        assert self._transform_stats is not None
-        mu, sigma = self._transform_stats
-        return (values - mu) / sigma
+        if transform == "standardize":
+            assert self._transform_stats is not None
+            mu, sigma = self._transform_stats
+            return (values - mu) / sigma
+        raise ValueError(f"unknown value_transform {transform!r}")
 
     # ------------------------------------------------------------ transform
 
@@ -209,6 +225,11 @@ class GemEmbedder:
             blocks.append(self.statistical_embeddings(corpus))
         if cfg.use_contextual:
             blocks.append(self.contextual_embeddings(corpus))
+        if not blocks:
+            raise ValueError(
+                "nothing to embed: enable at least one of use_distributional, "
+                "use_statistical or use_contextual in GemConfig"
+            )
         if cfg.balance_blocks and len(blocks) > 1:
             blocks = [_balance(b) for b in blocks]
         return compose(
@@ -226,40 +247,99 @@ class GemEmbedder:
     # ----------------------------------------------------- embedding blocks
 
     def mean_probabilities(self, corpus: ColumnCorpus) -> np.ndarray:
-        """Raw mean component probabilities per column (pre-normalisation)."""
+        """Raw mean component probabilities per column (pre-normalisation).
+
+        Scoring streams over ``config.batch_size``-value chunks and, with
+        ``config.cache_signatures``, memoises rows by column content hash so
+        repeated columns in a lake are scored once.
+        """
         self._check_fitted()
         cfg = self.config
-        values = [self._apply_value_transform(c.values) for c in corpus]
-        if cfg.fit_mode == "stacked":
-            assert self.gmm_ is not None
-            return mean_component_probabilities(self.gmm_, values, kind=cfg.signature_kind)
-        return self._per_column_parameters(values)
+        if cfg.fit_mode != "stacked":
+            values = [self._apply_value_transform(c.values) for c in corpus]
+            return self._per_column_parameters(values)
+        assert self.gmm_ is not None
+        if self._signature_cache is None:
+            values = [self._apply_value_transform(c.values) for c in corpus]
+            return mean_component_probabilities(
+                self.gmm_, values, kind=cfg.signature_kind, batch_size=cfg.batch_size
+            )
+        for i, c in enumerate(corpus):
+            # Checked here so the error names the corpus index even when
+            # only a subset of columns reaches the scorer below.
+            if c.values.size == 0:
+                raise ValueError(
+                    f"column {i} has no values; every column needs at least "
+                    "one value to pool a signature"
+                )
+        keys = [array_fingerprint(c.values) for c in corpus]
+        cached = [self._signature_cache.get(key) for key in keys]
+        # First corpus position per distinct missing key: duplicates within
+        # the corpus are scored once too.
+        to_score: dict[str, int] = {}
+        for i, (key, row) in enumerate(zip(keys, cached)):
+            if row is None and key not in to_score:
+                to_score[key] = i
+        fresh_rows: dict[str, np.ndarray] = {}
+        if to_score:
+            values = [
+                self._apply_value_transform(corpus[i].values) for i in to_score.values()
+            ]
+            fresh = mean_component_probabilities(
+                self.gmm_, values, kind=cfg.signature_kind, batch_size=cfg.batch_size
+            )
+            for key, row in zip(to_score, fresh):
+                self._signature_cache.put(key, row)
+                fresh_rows[key] = row
+        out = np.empty((len(corpus), self.gmm_.n_components))
+        for i, (key, row) in enumerate(zip(keys, cached)):
+            out[i] = row if row is not None else fresh_rows[key]
+        return out
 
     def _per_column_parameters(self, values: list[np.ndarray]) -> np.ndarray:
         """Per-column GMM parameter embedding (the ``fit_mode='per_column'``
         ablation): sorted (weight, mean, std) triplets of a small mixture
-        fitted to each column alone."""
+        fitted to each column alone. Column fits are independent, so
+        ``config.n_workers`` threads fan them out without changing the
+        result."""
         cfg = self.config
         k = min(5, cfg.n_components)
-        out = np.zeros((len(values), 3 * k))
-        for i, v in enumerate(values):
-            n_comp = max(1, min(k, np.unique(v).size))
-            gmm = GaussianMixture(
-                n_components=n_comp,
-                tol=cfg.tol,
-                n_init=1,
-                max_iter=cfg.max_iter,
-                reg_covar=cfg.covariance_floor,
-                random_state=cfg.random_state,
-            ).fit(v.reshape(-1, 1))
-            order = np.argsort(gmm.means_.ravel())
-            weights = gmm.weights_[order]
-            means = gmm.means_.ravel()[order]
-            stds = np.sqrt(gmm.covariances_[order, 0, 0])
-            out[i, :n_comp] = weights
-            out[i, k : k + n_comp] = means
-            out[i, 2 * k : 2 * k + n_comp] = stds
-        return out
+        if isinstance(cfg.random_state, np.random.Generator):
+            # A shared Generator is stateful: drawing from it inside worker
+            # threads would make seeds depend on thread scheduling (and race
+            # on the generator). Pre-draw one seed per column serially so the
+            # threaded and serial paths see the same seeds.
+            states: list[RandomState] = list(spawn_seeds(cfg.random_state, len(values)))
+        else:
+            states = [cfg.random_state] * len(values)
+        n_workers = min(cfg.n_workers, len(values))
+        if n_workers > 1:
+            with ThreadPoolExecutor(max_workers=n_workers) as pool:
+                rows = list(
+                    pool.map(lambda args: self._fit_column_mixture(*args, k), zip(values, states))
+                )
+        else:
+            rows = [self._fit_column_mixture(v, s, k) for v, s in zip(values, states)]
+        return np.stack(rows)
+
+    def _fit_column_mixture(self, v: np.ndarray, random_state: RandomState, k: int) -> np.ndarray:
+        """One column's sorted (weight, mean, std) parameter row."""
+        cfg = self.config
+        n_comp = max(1, min(k, np.unique(v).size))
+        gmm = GaussianMixture(
+            n_components=n_comp,
+            tol=cfg.tol,
+            n_init=1,
+            max_iter=cfg.max_iter,
+            reg_covar=cfg.covariance_floor,
+            random_state=random_state,
+        ).fit(v.reshape(-1, 1))
+        order = np.argsort(gmm.means_.ravel())
+        row = np.zeros(3 * k)
+        row[:n_comp] = gmm.weights_[order]
+        row[k : k + n_comp] = gmm.means_.ravel()[order]
+        row[2 * k : 2 * k + n_comp] = np.sqrt(gmm.covariances_[order, 0, 0])
+        return row
 
     def statistical_embeddings(self, corpus: ColumnCorpus) -> np.ndarray:
         """Standardised statistical features (Eq. 7), using fit-time moments.
@@ -322,13 +402,14 @@ class GemEmbedder:
             d_dim = self.gmm_.n_components if self.gmm_ is not None else cfg.n_components
         else:
             d_dim = 3 * min(5, cfg.n_components)
+        s_dim = len(STATISTICAL_FEATURE_NAMES)
         block_dims: list[int] = []
         if cfg.use_distributional and cfg.use_statistical:
-            block_dims.append(d_dim + 7)
+            block_dims.append(d_dim + s_dim)
         elif cfg.use_distributional:
             block_dims.append(d_dim)
         elif cfg.use_statistical:
-            block_dims.append(7)
+            block_dims.append(s_dim)
         if cfg.use_contextual:
             block_dims.append(cfg.header_dim)
         if cfg.composition == "autoencoder":

@@ -4,13 +4,16 @@ A fitted :class:`~repro.core.gem.GemEmbedder` is a corpus-level model (GMM
 parameters + feature standardisation + config); deployments fit once over a
 data lake and embed new columns later. ``save_gem`` / ``load_gem`` round-trip
 everything through a single ``.npz`` archive (config as embedded JSON,
-arrays natively).
+arrays natively). The transform-engine knobs (``batch_size``,
+``cache_signatures``, ``n_workers``) travel with the config; the signature
+cache itself is transient and starts empty on load.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
+import warnings
 from pathlib import Path
 
 import numpy as np
@@ -54,8 +57,23 @@ def load_gem(path: str | Path) -> GemEmbedder:
     """
     with np.load(Path(path)) as payload:
         cfg_dict = json.loads(bytes(payload["config_json"]).decode("utf-8"))
-        cfg_dict["bic_candidates"] = tuple(cfg_dict["bic_candidates"])
-        config = GemConfig(**cfg_dict)
+        if "bic_candidates" in cfg_dict:
+            cfg_dict["bic_candidates"] = tuple(cfg_dict["bic_candidates"])
+        # Archives written by other library versions may carry config keys
+        # this version lacks (or miss ones it has); unknown keys are dropped
+        # with a warning — not silently, a typo'd hand-edited key must be
+        # noticed — and missing ones fall back to the dataclass defaults, so
+        # batching knobs like batch_size/cache_signatures round-trip when
+        # present.
+        known = {f.name for f in dataclasses.fields(GemConfig)}
+        unknown = sorted(set(cfg_dict) - known)
+        if unknown:
+            warnings.warn(
+                f"ignoring unknown GemConfig keys in archive: {unknown}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        config = GemConfig(**{k: v for k, v in cfg_dict.items() if k in known})
         gem = GemEmbedder(config=config)
         gem._feature_mean = payload["feature_mean"]
         gem._feature_std = payload["feature_std"]

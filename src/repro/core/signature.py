@@ -19,9 +19,28 @@ from __future__ import annotations
 import numpy as np
 
 from repro.data.table import ColumnCorpus
-from repro.gmm.model import GaussianMixture
+from repro.gmm.model import BatchPlan, GaussianMixture
 from repro.utils.preprocessing import l1_normalize, l2_normalize
 from repro.utils.validation import check_array_2d
+
+
+def column_offsets(columns: list[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
+    """Per-column sizes and the ``(n_columns + 1,)`` stack offsets.
+
+    ``offsets[i]:offsets[i + 1]`` is column ``i``'s row range in the stacked
+    value array. Zero-length columns are rejected with the offending index —
+    they have no distribution to pool and would silently produce NaN rows.
+    """
+    sizes = np.array([np.asarray(c).size for c in columns], dtype=np.intp)
+    empty = np.flatnonzero(sizes == 0)
+    if empty.size:
+        raise ValueError(
+            f"column {int(empty[0])} has no values; every column needs at "
+            "least one value to pool a signature"
+        )
+    offsets = np.zeros(sizes.size + 1, dtype=np.intp)
+    np.cumsum(sizes, out=offsets[1:])
+    return sizes, offsets
 
 
 def mean_component_probabilities(
@@ -29,17 +48,29 @@ def mean_component_probabilities(
     columns: list[np.ndarray],
     *,
     kind: str = "responsibility",
+    batch_size: int | None = None,
 ) -> np.ndarray:
     """Mean per-component probability vector for every column.
+
+    The per-value probabilities are pooled with a vectorised segment
+    reduction (``np.add.reduceat`` over the column offsets) fused with the
+    chunked scorer: with ``batch_size`` set, only one
+    ``(batch_size, n_components)`` block of responsibilities is live at a
+    time, so peak memory is bounded no matter how many values the corpus
+    stacks. Scoring is row-wise and each column is summed left-to-right
+    either way, so the chunked result matches the unchunked one.
 
     Parameters
     ----------
     gmm:
         A fitted :class:`~repro.gmm.GaussianMixture`.
     columns:
-        Per-column 1-D value arrays.
+        Per-column 1-D value arrays (each non-empty).
     kind:
         ``"responsibility"`` or ``"pdf"`` (see module docstring).
+    batch_size:
+        Maximum number of values scored per chunk; ``None`` scores the whole
+        stack in one pass.
 
     Returns
     -------
@@ -49,18 +80,23 @@ def mean_component_probabilities(
         raise ValueError(f"kind must be 'responsibility' or 'pdf', got {kind!r}")
     if not columns:
         raise ValueError("columns must not be empty")
-    sizes = [np.asarray(c).size for c in columns]
-    stacked = np.concatenate([np.asarray(c, dtype=float).ravel() for c in columns]).reshape(-1, 1)
-    if kind == "responsibility":
-        per_value = gmm.predict_proba(stacked)
-    else:
-        per_value = gmm.component_pdf(stacked)
-    out = np.empty((len(columns), per_value.shape[1]))
-    start = 0
-    for i, size in enumerate(sizes):
-        out[i] = per_value[start : start + size].mean(axis=0)
-        start += size
-    return out
+    sizes, offsets = column_offsets(columns)
+    stacked = np.concatenate(
+        [np.asarray(c, dtype=float).ravel() for c in columns]
+    ).reshape(-1, 1)
+    score = gmm.predict_proba if kind == "responsibility" else gmm.component_pdf
+    sums = np.zeros((len(columns), gmm.means_.shape[0]))
+    for rows in BatchPlan(stacked.shape[0], batch_size):
+        per_value = score(stacked[rows])
+        # Columns overlapping this chunk: `first` contains row `rows.start`;
+        # the segment boundaries are the column starts strictly inside the
+        # chunk, shifted to chunk-local coordinates.
+        first = int(np.searchsorted(offsets, rows.start, side="right")) - 1
+        stop = int(np.searchsorted(offsets, rows.stop, side="left"))
+        inner = offsets[first + 1 : stop] - rows.start
+        bounds = np.concatenate([np.zeros(1, dtype=np.intp), inner])
+        sums[first : first + bounds.size] += np.add.reduceat(per_value, bounds, axis=0)
+    return sums / sizes[:, None]
 
 
 def signature_matrix(
@@ -117,4 +153,9 @@ def corpus_value_columns(corpus: ColumnCorpus) -> list[np.ndarray]:
     return corpus.value_lists()
 
 
-__all__ = ["mean_component_probabilities", "signature_matrix", "corpus_value_columns"]
+__all__ = [
+    "column_offsets",
+    "mean_component_probabilities",
+    "signature_matrix",
+    "corpus_value_columns",
+]

@@ -10,17 +10,20 @@ fully-tested implementation:
 * :class:`~repro.gmm.model.GaussianMixture` — full-covariance GMM with
   log-sum-exp-stabilised E-step, the M-step updates of Eqs. 3-5, ``n_init``
   restarts and a covariance floor;
+* :class:`~repro.gmm.model.BatchPlan` — the row-chunking plan behind the
+  bounded-memory ``batch_size`` option of every inference method;
 * :func:`~repro.gmm.selection.select_n_components_bic` — the BIC sweep the
   paper uses to argue component-count robustness (§4.1.4, Figure 4).
 """
 
 from repro.gmm.kmeans import KMeans, kmeans_plus_plus_init
-from repro.gmm.model import GaussianMixture
+from repro.gmm.model import BatchPlan, GaussianMixture
 from repro.gmm.selection import select_n_components_bic
 
 __all__ = [
     "KMeans",
     "kmeans_plus_plus_init",
+    "BatchPlan",
     "GaussianMixture",
     "select_n_components_bic",
 ]

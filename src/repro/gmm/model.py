@@ -19,6 +19,9 @@ Numerical care:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import Iterator
+
 import numpy as np
 from scipy.linalg import solve_triangular
 
@@ -31,6 +34,49 @@ from repro.utils.validation import (
 )
 
 _LOG_2PI = float(np.log(2.0 * np.pi))
+
+
+@dataclass(frozen=True)
+class BatchPlan:
+    """Row-chunking plan for streaming inference over a large sample matrix.
+
+    Iterating yields contiguous ``slice`` objects covering ``[0, n_samples)``
+    in order, each at most ``batch_size`` rows. ``batch_size=None`` means a
+    single full-width slice (the unchunked path). The plan is the unit every
+    chunked scorer shares, so the pooling layer can fuse its segment
+    reduction with the same chunk boundaries.
+    """
+
+    n_samples: int
+    batch_size: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_samples < 0:
+            raise ValueError(f"n_samples must be >= 0, got {self.n_samples}")
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ValueError(f"batch_size must be None or >= 1, got {self.batch_size}")
+
+    @property
+    def effective_batch_size(self) -> int:
+        """Rows per chunk after resolving ``None`` to the full width."""
+        if self.batch_size is None:
+            return max(self.n_samples, 1)
+        return min(self.batch_size, max(self.n_samples, 1))
+
+    @property
+    def n_batches(self) -> int:
+        if self.n_samples == 0:
+            return 0
+        step = self.effective_batch_size
+        return -(-self.n_samples // step)
+
+    def __len__(self) -> int:
+        return self.n_batches
+
+    def __iter__(self) -> Iterator[slice]:
+        step = self.effective_batch_size
+        for start in range(0, self.n_samples, step):
+            yield slice(start, min(start + step, self.n_samples))
 
 
 def _logsumexp(a: np.ndarray, axis: int = 1) -> np.ndarray:
@@ -206,11 +252,24 @@ class GaussianMixture:
         """Return (log responsibilities, per-sample log marginal likelihood)."""
         weighted = self._log_weighted_prob(X, weights, means, covariances)
         # In-place log-sum-exp: `weighted` becomes the log responsibilities.
+        # Guard amax like the module-level _logsumexp: a row whose every
+        # component log-density underflowed to -inf (an extreme outlier at
+        # transform time) would otherwise propagate inf - inf = NaN.
         amax = np.max(weighted, axis=1, keepdims=True)
+        amax = np.where(np.isfinite(amax), amax, 0.0)
         np.subtract(weighted, amax, out=weighted)
         sumexp = np.sum(np.exp(weighted), axis=1, keepdims=True)
+        degenerate = ~(sumexp[:, 0] > 0)
+        if np.any(degenerate):
+            # The marginal likelihood is below the smallest representable
+            # float: report log p(x) = -inf but keep the posterior usable by
+            # falling back to the uniform distribution over components.
+            weighted[degenerate, :] = 0.0
+            sumexp[degenerate] = float(weighted.shape[1])
         log_sum = np.log(sumexp)
         log_norm = (log_sum + amax).ravel()
+        if np.any(degenerate):
+            log_norm[degenerate] = -np.inf
         np.subtract(weighted, log_sum, out=weighted)
         return weighted, log_norm
 
@@ -247,10 +306,14 @@ class GaussianMixture:
         n, d = X.shape
         m = means.shape[0]
         if d == 1:
-            # Univariate fast path: fully vectorised over components.
+            # Univariate fast path: fully vectorised over components. An
+            # extreme outlier overflows diff**2 to inf, which is the correct
+            # -inf log-density; the E-step guards that case, so the overflow
+            # warning is noise.
             var = np.maximum(covariances[:, 0, 0], np.finfo(float).tiny)
             diff = X[:, 0][:, None] - means[:, 0][None, :]
-            return -0.5 * (_LOG_2PI + np.log(var)[None, :] + diff**2 / var[None, :])
+            with np.errstate(over="ignore"):
+                return -0.5 * (_LOG_2PI + np.log(var)[None, :] + diff**2 / var[None, :])
         out = np.empty((n, m))
         for j in range(m):
             try:
@@ -278,40 +341,77 @@ class GaussianMixture:
 
     # ------------------------------------------------------------- inference
 
-    def predict_proba(self, X: np.ndarray) -> np.ndarray:
-        """Posterior responsibilities gamma(z_nj) for each sample (Eq. 2)."""
+    def predict_proba(self, X: np.ndarray, *, batch_size: int | None = None) -> np.ndarray:
+        """Posterior responsibilities gamma(z_nj) for each sample (Eq. 2).
+
+        With ``batch_size`` set, rows are scored in chunks of at most that
+        many samples, bounding peak intermediate memory at
+        ``O(batch_size * n_components)`` regardless of ``len(X)``. The
+        log-sum-exp is row-wise, so chunking does not change the result.
+        """
         check_fitted(self, "means_")
         X = check_array_2d(X, "X")
-        log_resp, _ = self._e_step(X, self.weights_, self.means_, self.covariances_)
-        return np.exp(log_resp)
+        out = np.empty((X.shape[0], self.n_components))
+        for rows in BatchPlan(X.shape[0], batch_size):
+            log_resp, _ = self._e_step(
+                X[rows], self.weights_, self.means_, self.covariances_
+            )
+            np.exp(log_resp, out=out[rows])
+        return out
 
-    def predict(self, X: np.ndarray) -> np.ndarray:
-        """Hard assignment: the component with the highest responsibility."""
+    def predict(self, X: np.ndarray, *, batch_size: int | None = None) -> np.ndarray:
+        """Hard assignment: the component with the highest responsibility.
+
+        ``batch_size`` streams the computation over row chunks (see
+        :meth:`predict_proba`).
+        """
         check_fitted(self, "means_")
         X = check_array_2d(X, "X")
-        weighted = self._log_weighted_prob(X, self.weights_, self.means_, self.covariances_)
-        return np.argmax(weighted, axis=1)
+        out = np.empty(X.shape[0], dtype=np.intp)
+        for rows in BatchPlan(X.shape[0], batch_size):
+            weighted = self._log_weighted_prob(
+                X[rows], self.weights_, self.means_, self.covariances_
+            )
+            out[rows] = np.argmax(weighted, axis=1)
+        return out
 
-    def score_samples(self, X: np.ndarray) -> np.ndarray:
-        """Per-sample log marginal likelihood ``log p(x)``."""
+    def score_samples(self, X: np.ndarray, *, batch_size: int | None = None) -> np.ndarray:
+        """Per-sample log marginal likelihood ``log p(x)``.
+
+        ``batch_size`` streams the computation over row chunks (see
+        :meth:`predict_proba`).
+        """
         check_fitted(self, "means_")
         X = check_array_2d(X, "X")
-        _, log_norm = self._e_step(X, self.weights_, self.means_, self.covariances_)
-        return log_norm
+        out = np.empty(X.shape[0])
+        for rows in BatchPlan(X.shape[0], batch_size):
+            _, log_norm = self._e_step(
+                X[rows], self.weights_, self.means_, self.covariances_
+            )
+            out[rows] = log_norm
+        return out
 
-    def score(self, X: np.ndarray) -> float:
+    def score(self, X: np.ndarray, *, batch_size: int | None = None) -> float:
         """Mean per-sample log-likelihood."""
-        return float(np.mean(self.score_samples(X)))
+        return float(np.mean(self.score_samples(X, batch_size=batch_size)))
 
-    def component_pdf(self, X: np.ndarray) -> np.ndarray:
+    def component_pdf(self, X: np.ndarray, *, batch_size: int | None = None) -> np.ndarray:
         """Unweighted per-component densities ``p(x | mu_j, Sigma_j)`` (Eq. 6).
 
         The paper's signature mechanism ablation compares pooling these raw
         densities against pooling posteriors; both are exposed.
+        ``batch_size`` streams the computation over row chunks (see
+        :meth:`predict_proba`).
         """
         check_fitted(self, "means_")
         X = check_array_2d(X, "X")
-        return np.exp(self._log_gaussian_prob(X, self.means_, self.covariances_))
+        out = np.empty((X.shape[0], self.n_components))
+        for rows in BatchPlan(X.shape[0], batch_size):
+            np.exp(
+                self._log_gaussian_prob(X[rows], self.means_, self.covariances_),
+                out=out[rows],
+            )
+        return out
 
     def sample(self, n_samples: int, random_state: RandomState = None) -> np.ndarray:
         """Draw ``n_samples`` variates from the fitted mixture."""

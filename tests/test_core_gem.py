@@ -56,9 +56,13 @@ class TestConfig:
             ("normalization", "max"),
             ("fit_mode", "global"),
             ("value_transform", "sqrt"),
+            ("value_transform", "logsquash"),
             ("composition", "sum"),
             ("gmm_init", "pca"),
             ("feature_clip", 0.0),
+            ("batch_size", 0),
+            ("batch_size", -5),
+            ("n_workers", 0),
         ],
     )
     def test_invalid_fields_rejected(self, field, value):
@@ -173,6 +177,69 @@ class TestCompositions:
         assert emb.shape == (len(tiny_corpus_module), 32)
 
 
+class TestBatchedTransform:
+    @pytest.mark.parametrize("batch_size", [1, 16, 200, None])
+    def test_batch_size_does_not_change_embeddings(self, tiny_corpus_module, batch_size):
+        base = GemEmbedder(config=GemConfig.fast(**FAST)).fit_transform(tiny_corpus_module)
+        batched = GemEmbedder(
+            config=GemConfig.fast(**FAST, batch_size=batch_size, cache_signatures=False)
+        ).fit_transform(tiny_corpus_module)
+        assert np.allclose(batched, base, atol=1e-10, rtol=0)
+
+    def test_batch_size_threaded_from_config(self, tiny_corpus_module):
+        gem = GemEmbedder(config=GemConfig.fast(**FAST, batch_size=32))
+        assert gem.config.batch_size == 32
+        emb = gem.fit_transform(tiny_corpus_module)
+        assert np.all(np.isfinite(emb))
+
+    def test_all_blocks_disabled_raises_clear_error(self, fitted, tiny_corpus_module):
+        # GemConfig rejects the combination up front; a config that bypassed
+        # validation must still fail loudly in transform, not inside compose.
+        cfg = fitted.config
+        object.__setattr__(cfg, "use_distributional", False)
+        object.__setattr__(cfg, "use_statistical", False)
+        object.__setattr__(cfg, "use_contextual", False)
+        try:
+            with pytest.raises(ValueError, match="nothing to embed"):
+                fitted.transform(tiny_corpus_module)
+        finally:
+            object.__setattr__(cfg, "use_distributional", True)
+            object.__setattr__(cfg, "use_statistical", True)
+
+    def test_embedding_dim_derived_from_feature_names(self, fitted):
+        from repro.core import STATISTICAL_FEATURE_NAMES
+
+        assert fitted.embedding_dim == 8 + len(STATISTICAL_FEATURE_NAMES)
+
+
+class TestPerColumnWorkers:
+    def test_workers_do_not_change_result(self, tiny_corpus_module):
+        serial = GemEmbedder(
+            config=GemConfig.fast(n_components=4, fit_mode="per_column", n_init=1)
+        ).fit_transform(tiny_corpus_module)
+        threaded = GemEmbedder(
+            config=GemConfig.fast(
+                n_components=4, fit_mode="per_column", n_init=1, n_workers=4
+            )
+        ).fit_transform(tiny_corpus_module)
+        assert np.allclose(threaded, serial)
+
+    def test_generator_random_state_deterministic_across_workers(self, tiny_corpus_module):
+        # A shared Generator must not make threaded fits depend on thread
+        # scheduling: seeds are pre-drawn serially, so any worker count
+        # (and repeated runs) agree.
+        def run(n_workers):
+            cfg = GemConfig.fast(
+                n_components=4, fit_mode="per_column", n_init=1,
+                n_workers=n_workers, random_state=np.random.default_rng(0),
+            )
+            return GemEmbedder(config=cfg).fit_transform(tiny_corpus_module)
+
+        serial = run(1)
+        assert np.allclose(run(4), serial)
+        assert np.allclose(run(4), serial)
+
+
 class TestValueTransforms:
     @pytest.mark.parametrize("transform", ["none", "log_squash", "standardize"])
     def test_all_transforms_produce_valid_embeddings(self, tiny_corpus_module, transform):
@@ -186,6 +253,18 @@ class TestValueTransforms:
         assert out[1] == 0.0
         assert np.isclose(out[2], np.log(11.0))
         assert np.isclose(out[0], -np.log(11.0))
+
+    def test_typo_rejected_at_config_level(self):
+        with pytest.raises(ValueError, match="value_transform"):
+            GemConfig(value_transform="logsquash")
+
+    def test_unknown_transform_not_silently_zscored(self, tiny_corpus_module):
+        # A config that bypassed __post_init__ must raise, not fall through
+        # to the standardize branch.
+        gem = GemEmbedder(config=GemConfig.fast(**FAST))
+        object.__setattr__(gem.config, "value_transform", "logsquash")
+        with pytest.raises(ValueError, match="unknown value_transform"):
+            gem.fit(tiny_corpus_module)
 
 
 class TestPerColumnMode:

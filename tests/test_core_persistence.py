@@ -62,6 +62,60 @@ class TestRoundtrip:
         assert np.array_equal(restored.gmm_.covariances_, gem.gmm_.covariances_)
 
 
+class TestBatchingFieldsRoundtrip:
+    def test_batching_knobs_survive(self, tiny_corpus, tmp_path):
+        cfg = GemConfig.fast(
+            n_components=6, n_init=1, batch_size=128,
+            cache_signatures=False, n_workers=3,
+        )
+        gem = GemEmbedder(config=cfg)
+        gem.fit(tiny_corpus)
+        path = tmp_path / "gem.npz"
+        save_gem(gem, path)
+        restored = load_gem(path)
+        assert restored.config == cfg
+        assert restored.config.batch_size == 128
+        assert restored.config.cache_signatures is False
+        assert restored.config.n_workers == 3
+        assert restored._signature_cache is None
+
+    def test_chunked_transform_bit_identical_after_reload(self, tiny_corpus, tmp_path):
+        cfg = GemConfig.fast(n_components=6, n_init=1, batch_size=17)
+        gem = GemEmbedder(config=cfg)
+        gem.fit(tiny_corpus)
+        original = gem.transform(tiny_corpus)
+        path = tmp_path / "gem.npz"
+        save_gem(gem, path)
+        restored = load_gem(path)
+        assert len(restored._signature_cache) == 0  # cache is transient
+        assert np.array_equal(restored.transform(tiny_corpus), original)
+
+    def test_legacy_archive_without_batching_fields_loads(self, tiny_corpus, tmp_path):
+        import json
+
+        gem = GemEmbedder(config=FAST)
+        gem.fit(tiny_corpus)
+        path = tmp_path / "gem.npz"
+        save_gem(gem, path)
+        # Rewrite the embedded config as an older version would have
+        # written it: no batching keys, plus a key this version never had.
+        with np.load(path) as payload:
+            arrays = {k: payload[k] for k in payload.files}
+        cfg_dict = json.loads(bytes(arrays["config_json"]).decode("utf-8"))
+        for key in ("batch_size", "cache_signatures", "n_workers", "bic_candidates"):
+            cfg_dict.pop(key)
+        cfg_dict["retired_future_knob"] = 42
+        arrays["config_json"] = np.frombuffer(
+            json.dumps(cfg_dict).encode("utf-8"), dtype=np.uint8
+        )
+        np.savez(path, **arrays)
+        with pytest.warns(RuntimeWarning, match="retired_future_knob"):
+            restored = load_gem(path)
+        assert restored.config.batch_size is None  # dataclass default
+        assert restored.config.cache_signatures is True
+        assert np.allclose(restored.transform(tiny_corpus), gem.transform(tiny_corpus))
+
+
 class TestValidation:
     def test_unfitted_save_rejected(self, tmp_path):
         with pytest.raises(RuntimeError, match="unfitted"):

@@ -3,7 +3,11 @@
 import numpy as np
 import pytest
 
-from repro.core.signature import mean_component_probabilities, signature_matrix
+from repro.core.signature import (
+    column_offsets,
+    mean_component_probabilities,
+    signature_matrix,
+)
 from repro.gmm import GaussianMixture
 
 
@@ -51,6 +55,62 @@ class TestMeanComponentProbabilities:
     def test_empty_columns_rejected(self, fitted_gmm):
         with pytest.raises(ValueError):
             mean_component_probabilities(fitted_gmm, [])
+
+    def test_zero_length_column_rejected_with_index(self, fitted_gmm):
+        cols = [np.arange(4.0), np.array([]), np.arange(3.0)]
+        with pytest.raises(ValueError, match="column 1 has no values"):
+            mean_component_probabilities(fitted_gmm, cols)
+
+    def test_vectorised_pooling_matches_python_loop(self, fitted_gmm, rng):
+        cols = [rng.normal(25, 10, n) for n in (1, 8, 33, 2, 120)]
+        M = mean_component_probabilities(fitted_gmm, cols)
+        per_value = fitted_gmm.predict_proba(np.concatenate(cols).reshape(-1, 1))
+        start = 0
+        for i, col in enumerate(cols):
+            assert np.allclose(M[i], per_value[start : start + col.size].mean(axis=0))
+            start += col.size
+
+
+class TestColumnOffsets:
+    def test_offsets_bracket_each_column(self):
+        sizes, offsets = column_offsets([np.arange(3.0), np.arange(5.0), np.arange(1.0)])
+        assert sizes.tolist() == [3, 5, 1]
+        assert offsets.tolist() == [0, 3, 8, 9]
+
+    def test_empty_column_named(self):
+        with pytest.raises(ValueError, match="column 2"):
+            column_offsets([np.arange(2.0), np.arange(2.0), np.array([])])
+
+
+class TestBatchedPooling:
+    @pytest.fixture(scope="class")
+    def columns(self):
+        rng = np.random.default_rng(3)
+        return [
+            rng.normal(rng.uniform(-5, 55), rng.uniform(0.5, 5), rng.integers(1, 90))
+            for _ in range(40)
+        ]
+
+    @pytest.mark.parametrize("batch_size", [1, 2, 17, 256, 100_000])
+    @pytest.mark.parametrize("kind", ["responsibility", "pdf"])
+    def test_chunked_pooling_matches_unchunked(self, fitted_gmm, columns, batch_size, kind):
+        full = mean_component_probabilities(fitted_gmm, columns, kind=kind)
+        chunked = mean_component_probabilities(
+            fitted_gmm, columns, kind=kind, batch_size=batch_size
+        )
+        assert np.allclose(chunked, full, atol=1e-10, rtol=0)
+
+    def test_chunk_boundary_inside_column(self, fitted_gmm):
+        # One 50-value column split across many chunks must still pool to
+        # its full mean.
+        col = np.random.default_rng(5).normal(0, 1, 50)
+        full = mean_component_probabilities(fitted_gmm, [col])
+        chunked = mean_component_probabilities(fitted_gmm, [col], batch_size=7)
+        assert np.allclose(chunked, full, atol=1e-12)
+
+    def test_rows_remain_stochastic_under_chunking(self, fitted_gmm, columns):
+        M = mean_component_probabilities(fitted_gmm, columns, batch_size=13)
+        assert np.allclose(M.sum(axis=1), 1.0)
 
 
 class TestSignatureMatrix:

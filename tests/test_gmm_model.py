@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.gmm import GaussianMixture, select_n_components_bic
+from repro.gmm import BatchPlan, GaussianMixture, select_n_components_bic
 
 
 @pytest.fixture
@@ -126,6 +126,108 @@ class TestInference:
         gm = GaussianMixture(2, n_init=2, random_state=0).fit(bimodal)
         draws = gm.sample(20_000, random_state=1)
         assert abs(draws.mean() - bimodal.mean()) < 0.3
+
+
+class TestBatchPlan:
+    def test_slices_cover_range_in_order(self):
+        plan = BatchPlan(10, 3)
+        slices = list(plan)
+        assert slices == [slice(0, 3), slice(3, 6), slice(6, 9), slice(9, 10)]
+        assert plan.n_batches == len(plan) == 4
+
+    def test_none_batch_size_is_single_slice(self):
+        assert list(BatchPlan(1000, None)) == [slice(0, 1000)]
+        assert BatchPlan(1000, None).n_batches == 1
+
+    def test_oversized_batch_clamped(self):
+        assert list(BatchPlan(5, 100)) == [slice(0, 5)]
+
+    def test_empty_plan(self):
+        assert list(BatchPlan(0, 4)) == []
+        assert BatchPlan(0, 4).n_batches == 0
+
+    def test_exact_multiple(self):
+        assert [s.stop - s.start for s in BatchPlan(12, 4)] == [4, 4, 4]
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_invalid_batch_size_rejected(self, bad):
+        with pytest.raises(ValueError, match="batch_size"):
+            BatchPlan(10, bad)
+
+    def test_negative_n_samples_rejected(self):
+        with pytest.raises(ValueError, match="n_samples"):
+            BatchPlan(-1)
+
+
+class TestChunkedInference:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        rng = np.random.default_rng(7)
+        stack = np.concatenate([rng.normal(0, 1, 400), rng.normal(12, 2, 300)])
+        return GaussianMixture(3, n_init=2, random_state=0).fit(stack), stack.reshape(-1, 1)
+
+    @pytest.mark.parametrize("batch_size", [1, 7, 64, 699, 700, 10_000])
+    def test_predict_proba_chunked_identical(self, fitted, batch_size):
+        gm, X = fitted
+        assert np.array_equal(
+            gm.predict_proba(X, batch_size=batch_size), gm.predict_proba(X)
+        )
+
+    @pytest.mark.parametrize("batch_size", [1, 7, 64, 10_000])
+    def test_score_samples_chunked_identical(self, fitted, batch_size):
+        gm, X = fitted
+        assert np.array_equal(
+            gm.score_samples(X, batch_size=batch_size), gm.score_samples(X)
+        )
+
+    @pytest.mark.parametrize("batch_size", [1, 7, 64, 10_000])
+    def test_component_pdf_chunked_identical(self, fitted, batch_size):
+        gm, X = fitted
+        assert np.array_equal(
+            gm.component_pdf(X, batch_size=batch_size), gm.component_pdf(X)
+        )
+
+    @pytest.mark.parametrize("batch_size", [1, 7, 10_000])
+    def test_predict_and_score_chunked_identical(self, fitted, batch_size):
+        gm, X = fitted
+        assert np.array_equal(gm.predict(X, batch_size=batch_size), gm.predict(X))
+        assert gm.score(X, batch_size=batch_size) == gm.score(X)
+
+
+class TestExtremeOutliers:
+    """Regression: a value whose every component log-density underflows to
+    -inf must not yield NaN responsibilities (the in-place E-step previously
+    lacked the amax guard of the module-level _logsumexp)."""
+
+    @pytest.fixture(scope="class")
+    def fitted(self, bimodal_class):
+        return GaussianMixture(2, n_init=2, random_state=0).fit(bimodal_class)
+
+    @pytest.fixture(scope="class")
+    def bimodal_class(self):
+        rng = np.random.default_rng(12345)
+        return np.concatenate([rng.normal(0, 1, 400), rng.normal(10, 0.5, 200)])
+
+    def test_far_outlier_responsibilities_finite(self, fitted):
+        X = np.array([[1e200], [0.0], [-1e300]])
+        resp = fitted.predict_proba(X)
+        assert np.all(np.isfinite(resp))
+        assert np.allclose(resp.sum(axis=1), 1.0)
+
+    def test_far_outlier_uniform_fallback(self, fitted):
+        resp = fitted.predict_proba(np.array([[1e200]]))
+        assert np.allclose(resp, 0.5)
+
+    def test_far_outlier_loglik_is_neg_inf(self, fitted):
+        log_norm = fitted.score_samples(np.array([[1e200], [0.0]]))
+        assert log_norm[0] == -np.inf
+        assert np.isfinite(log_norm[1])
+
+    def test_moderate_values_unaffected_by_guard(self, fitted, bimodal_class):
+        X = bimodal_class.reshape(-1, 1)
+        resp = fitted.predict_proba(X)
+        assert np.all(np.isfinite(resp))
+        assert np.allclose(resp.sum(axis=1), 1.0)
 
 
 class TestModelSelection:
