@@ -17,6 +17,7 @@ _NORMALIZATIONS = ("l1", "l2", "none")
 _FIT_MODES = ("stacked", "per_column")
 _VALUE_TRANSFORMS = ("none", "log_squash", "standardize")
 _COMPOSITIONS = ("concatenation", "aggregation", "autoencoder")
+_FIT_ENGINES = ("auto", "batched", "serial")
 
 
 @dataclass(frozen=True)
@@ -35,8 +36,29 @@ class GemConfig:
         as the fallback if no candidate is feasible.
     bic_candidates:
         Component counts evaluated when ``auto_components`` is on.
+    warm_start_bic:
+        Run the BIC sweep warm-started: only the smallest candidate is
+        fitted from scratch; every larger candidate starts from that
+        converged mixture grown by splitting its heaviest components (see
+        :mod:`repro.gmm.selection`) and is refined by a single EM run,
+        fanning out over ``n_workers``. Dramatically cheaper for wide
+        sweeps; BIC scores differ slightly from cold refits, so leave off
+        when reproducing the paper's sweep exactly.
     tol / n_init / max_iter / covariance_floor:
         EM parameters (§3.1, §4.1.4).
+    fit_engine:
+        Training engine: ``"auto"`` (default) runs all ``n_init`` restarts
+        simultaneously as one restart-vectorized streaming EM on the 1-D
+        stacked values; ``"batched"`` forces that engine; ``"serial"`` runs
+        restarts one at a time through the same primitives (bit-identical
+        results, for debugging/benchmarking).
+    fit_batch_size:
+        Rows per E-step chunk while *fitting* the shared GMM. ``None``
+        uses the engine default (2048); beyond the input stack itself (and
+        transient O(n) seeding scratch such as the quantile sort), fit-time
+        peak memory is ``O(fit_batch_size * n_init * n_components)`` floats
+        no matter how many values are stacked, and every batch size yields
+        bit-identical parameters (reductions run on a fixed block grid).
     gmm_init:
         EM initialisation: ``"quantile"`` (default — density-proportional
         component seeding, essential on heavy-tailed raw value stacks),
@@ -98,10 +120,13 @@ class GemConfig:
     n_components: int = 50
     auto_components: bool = False
     bic_candidates: tuple[int, ...] = (5, 10, 20, 50, 100)
+    warm_start_bic: bool = False
     tol: float = 1e-3
     n_init: int = 10
     max_iter: int = 200
     covariance_floor: float = 1e-6
+    fit_engine: str = "auto"
+    fit_batch_size: int | None = None
     gmm_init: str = "quantile"
     feature_clip: float = 3.0
     use_distributional: bool = True
@@ -133,6 +158,14 @@ class GemConfig:
         if self.gmm_init not in ("quantile", "kmeans", "random"):
             raise ValueError(
                 f"gmm_init must be 'quantile', 'kmeans' or 'random', got {self.gmm_init!r}"
+            )
+        if self.fit_engine not in _FIT_ENGINES:
+            raise ValueError(
+                f"fit_engine must be one of {_FIT_ENGINES}, got {self.fit_engine!r}"
+            )
+        if self.fit_batch_size is not None and self.fit_batch_size < 1:
+            raise ValueError(
+                f"fit_batch_size must be None or >= 1, got {self.fit_batch_size}"
             )
         if self.feature_clip <= 0:
             raise ValueError(f"feature_clip must be > 0, got {self.feature_clip}")

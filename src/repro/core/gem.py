@@ -18,6 +18,7 @@ comparable.
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
@@ -29,7 +30,7 @@ from repro.core.signature import mean_component_probabilities, signature_matrix
 from repro.core.statistics import STATISTICAL_FEATURE_NAMES, column_statistics, statistics_matrix
 from repro.data.table import ColumnCorpus
 from repro.gmm.model import GaussianMixture
-from repro.gmm.selection import select_n_components_bic
+from repro.gmm.selection import SelectionReport, select_n_components_bic
 from repro.text.embedder import HashingTextEmbedder
 from repro.utils.preprocessing import l1_normalize
 from repro.utils.rng import RandomState, check_random_state, spawn_seeds
@@ -99,6 +100,7 @@ class GemEmbedder:
         self._header_embedder = HashingTextEmbedder(dim=cfg.header_dim)
         self.gmm_: GaussianMixture | None = None
         self.bic_scores_: dict[int, float] | None = None
+        self.selection_report_: SelectionReport | None = None
         self._transform_stats: tuple[float, float] | None = None
         self._feature_mean: np.ndarray | None = None
         self._feature_std: np.ndarray | None = None
@@ -126,6 +128,14 @@ class GemEmbedder:
         stacked = corpus.stacked_values()
         stacked = self._fit_value_transform(stacked)
         n_components = cfg.n_components
+        if cfg.auto_components and cfg.fit_mode != "stacked":
+            warnings.warn(
+                "auto_components=True is ignored with fit_mode='per_column': "
+                "the BIC sweep selects the component count of the shared "
+                "stacked GMM, which per-column mode never fits",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         if cfg.auto_components and cfg.fit_mode == "stacked":
             n_components = self._select_components(stacked)
         if cfg.fit_mode == "stacked":
@@ -136,6 +146,8 @@ class GemEmbedder:
                 max_iter=cfg.max_iter,
                 reg_covar=cfg.covariance_floor,
                 init=cfg.gmm_init,
+                fit_engine=cfg.fit_engine,
+                fit_batch_size=cfg.fit_batch_size,
                 random_state=cfg.random_state,
             ).fit(stacked.reshape(-1, 1))
         else:
@@ -152,6 +164,9 @@ class GemEmbedder:
 
         Runs on a 10k-value subsample: BIC rankings on stacked 1-D value
         data stabilise well below that, and the full fit follows anyway.
+        The sweep seeds with the same ``gmm_init`` strategy as the final
+        fit, warm-starts larger candidates when ``warm_start_bic`` is on,
+        and fans independent candidates out over ``n_workers``.
         """
         cfg = self.config
         sample = stacked
@@ -159,17 +174,23 @@ class GemEmbedder:
             rng = check_random_state(cfg.random_state)
             sample = rng.choice(sample, size=10_000, replace=False)
         try:
-            best, scores = select_n_components_bic(
+            report = select_n_components_bic(
                 sample,
                 candidates=cfg.bic_candidates,
                 n_init=1,
                 max_iter=min(cfg.max_iter, 100),
+                init=cfg.gmm_init,
+                warm_start=cfg.warm_start_bic,
+                n_workers=cfg.n_workers,
+                fit_engine=cfg.fit_engine,
+                fit_batch_size=cfg.fit_batch_size,
                 random_state=cfg.random_state,
             )
         except ValueError:
             return cfg.n_components
-        self.bic_scores_ = scores
-        return best
+        self.bic_scores_ = report.scores
+        self.selection_report_ = report
+        return report.best
 
     def _fit_value_transform(self, stacked: np.ndarray) -> np.ndarray:
         transform = self.config.value_transform
@@ -332,6 +353,9 @@ class GemEmbedder:
             n_init=1,
             max_iter=cfg.max_iter,
             reg_covar=cfg.covariance_floor,
+            init=cfg.gmm_init,
+            fit_engine=cfg.fit_engine,
+            fit_batch_size=cfg.fit_batch_size,
             random_state=random_state,
         ).fit(v.reshape(-1, 1))
         order = np.argsort(gmm.means_.ravel())
@@ -384,7 +408,22 @@ class GemEmbedder:
         dimensions that are component likelihoods are the distributional
         ones, so the argmax is taken there — each column is assigned to the
         Gaussian component most responsible for its values.
+
+        Requires ``fit_mode="stacked"``: per-column mode has no shared
+        components to assign columns to — its embedding rows are sorted
+        (weight, mean, std) parameter triplets of independent per-column
+        mixtures, so an argmax over them would index into unrelated
+        parameter slots, not probabilities.
         """
+        if self.config.fit_mode != "stacked":
+            raise ValueError(
+                "cluster() requires fit_mode='stacked': with "
+                f"fit_mode={self.config.fit_mode!r} the embedding rows are "
+                "sorted (weight, mean, std) parameters of per-column "
+                "mixtures, not shared-component probabilities, so a hard "
+                "component assignment is undefined. Cluster the embeddings "
+                "with KMeans (repro.gmm) instead."
+            )
         probs = self.mean_probabilities(corpus)
         return np.argmax(probs, axis=1)
 

@@ -5,8 +5,10 @@ parameters + feature standardisation + config); deployments fit once over a
 data lake and embed new columns later. ``save_gem`` / ``load_gem`` round-trip
 everything through a single ``.npz`` archive (config as embedded JSON,
 arrays natively). The transform-engine knobs (``batch_size``,
-``cache_signatures``, ``n_workers``) travel with the config; the signature
-cache itself is transient and starts empty on load.
+``cache_signatures``, ``n_workers``) and the fit-engine knobs
+(``fit_engine``, ``fit_batch_size``, ``warm_start_bic``) travel with the
+config, so a reloaded embedder refits with the same engine and memory
+profile; the signature cache itself is transient and starts empty on load.
 """
 
 from __future__ import annotations
@@ -81,10 +83,18 @@ def load_gem(path: str | Path) -> GemEmbedder:
             stats = payload["transform_stats"]
             gem._transform_stats = (float(stats[0]), float(stats[1]))
         if "gmm_weights" in payload:
+            # Reconstruct with the full training configuration so a refit of
+            # the loaded mixture behaves like the original embedder's.
             gmm = GaussianMixture(
                 n_components=int(payload["gmm_weights"].shape[0]),
                 tol=config.tol,
+                n_init=config.n_init,
+                max_iter=config.max_iter,
                 reg_covar=config.covariance_floor,
+                init=config.gmm_init,
+                fit_engine=config.fit_engine,
+                fit_batch_size=config.fit_batch_size,
+                random_state=config.random_state,
             )
             gmm.weights_ = payload["gmm_weights"]
             gmm.means_ = payload["gmm_means"]

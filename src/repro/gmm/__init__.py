@@ -12,18 +12,29 @@ fully-tested implementation:
   restarts and a covariance floor;
 * :class:`~repro.gmm.model.BatchPlan` — the row-chunking plan behind the
   bounded-memory ``batch_size`` option of every inference method;
+* :class:`~repro.gmm.model.FitPlan` — the block-aligned chunking plan of
+  the streaming fit engine (``fit_batch_size``), whose reductions make
+  chunked and unchunked fits bit-identical;
+* :func:`~repro.gmm.kmeans.seed_restarts_1d` — restart-batched 1-D seeding
+  shared by the serial and batched fit engines;
 * :func:`~repro.gmm.selection.select_n_components_bic` — the BIC sweep the
-  paper uses to argue component-count robustness (§4.1.4, Figure 4).
+  paper uses to argue component-count robustness (§4.1.4, Figure 4), now a
+  warm-started parallel sweep returning a
+  :class:`~repro.gmm.selection.SelectionReport`.
 """
 
-from repro.gmm.kmeans import KMeans, kmeans_plus_plus_init
-from repro.gmm.model import BatchPlan, GaussianMixture
-from repro.gmm.selection import select_n_components_bic
+from repro.gmm.kmeans import KMeans, kmeans_plus_plus_init, seed_restarts_1d
+from repro.gmm.model import BatchPlan, FitPlan, GaussianMixture
+from repro.gmm.selection import SelectionReport, select_n_components_bic, split_components
 
 __all__ = [
     "KMeans",
     "kmeans_plus_plus_init",
+    "seed_restarts_1d",
     "BatchPlan",
+    "FitPlan",
     "GaussianMixture",
+    "SelectionReport",
     "select_n_components_bic",
+    "split_components",
 ]

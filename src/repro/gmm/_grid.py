@@ -1,0 +1,17 @@
+"""The shared sample-reduction grid of the streaming fit engine.
+
+Every cross-chunk accumulation on the training path — the E-step sufficient
+statistics in :mod:`repro.gmm.model` and the seeding segment sums in
+:mod:`repro.gmm.kmeans` — folds rows in fixed ``REDUCE_BLOCK``-row blocks
+laid on a single global grid. Because chunk boundaries are rounded to
+multiples of the same constant, the summation tree depends only on the
+grid, never on the chunking, which is what makes a fit bit-identical for
+every ``fit_batch_size``. Both modules import the constant from here so the
+grids cannot drift apart silently.
+"""
+
+from __future__ import annotations
+
+REDUCE_BLOCK = 512
+
+__all__ = ["REDUCE_BLOCK"]

@@ -3,14 +3,23 @@
 Used to initialise the GMM's EM iterations (the standard trick to avoid the
 worst local optima of random-responsibility starts) and as a general
 clustering primitive elsewhere in the library.
+
+Besides the :class:`KMeans` estimator, this module provides the
+restart-batched 1-D seeding path of the streaming fit engine
+(:func:`seed_restarts_1d`): all ``n_init`` GMM restarts are seeded in one
+call, with the Lloyd assignment step vectorised across restarts and chunked
+over samples so seeding peak memory is bounded like the EM that follows it.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.gmm._grid import REDUCE_BLOCK
 from repro.utils.rng import RandomState, check_random_state
 from repro.utils.validation import check_array_2d, check_fitted, check_positive_int
+
+_SEED_CHUNK = 8192
 
 
 def kmeans_plus_plus_init(
@@ -170,3 +179,164 @@ class KMeans:
                 # current assignment, the standard repair strategy.
                 new_centers[k] = X[int(np.argmax(dists))]
         return new_centers
+
+
+# ------------------------------------------------- restart-batched seeding
+
+def _lloyd_restarts_1d(
+    x: np.ndarray,
+    centers: np.ndarray,
+    *,
+    max_iter: int,
+    tol: float | None,
+    repair_empty: bool,
+    batch_size: int | None = None,
+) -> np.ndarray:
+    """Lloyd iterations for ``R`` stacked 1-D restarts at once.
+
+    ``centers`` has shape ``(R, k)``; the refined centres are returned in
+    the same shape. Nothing of size ``O(n)`` is ever materialised: the
+    assignment step is vectorised across all still-active restarts and
+    streamed over sample chunks of ``batch_size`` rows, and the centre
+    updates accumulate per-cluster counts/sums via ``np.bincount`` segment
+    sums *inside* each chunk, so peak memory is ``O(batch_size * R * k)``
+    no matter how many values are stacked.
+
+    All cross-chunk accumulations (cluster sums, inertia) run on a fixed
+    ``REDUCE_BLOCK``-row grid and per-cluster contributions arrive in
+    ascending sample order, so the refined centres are bit-identical for
+    every ``batch_size`` and for any number of co-batched restarts — the
+    property the fit engine's serial/batched and chunked/unchunked
+    equivalence guarantees rest on.
+
+    With ``tol`` set, a restart whose inertia decrease falls below it is
+    frozen and stops contributing compute; ``repair_empty`` relocates an
+    emptied centre to the restart's farthest point (the :class:`KMeans`
+    repair strategy), otherwise empty centres are left in place (the
+    quantile-seeding behaviour).
+    """
+    n = x.size
+    R, k = centers.shape
+    centers = centers.astype(np.float64, copy=True)
+    step = batch_size if batch_size is not None else _SEED_CHUNK
+    step = max(REDUCE_BLOCK, int(step) - int(step) % REDUCE_BLOCK)
+    step = min(step, n)
+    active = np.arange(R)
+    prev_inertia = np.full(R, np.inf)
+
+    def _assign_stats(
+        idx: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """One streamed assignment pass for the restarts in ``idx``.
+
+        Returns per-restart cluster counts ``(A, k)``, cluster value sums
+        ``(A, k)``, inertia ``(A,)`` and farthest-point index ``(A,)``.
+        """
+        A = idx.size
+        counts = np.zeros(A * k)
+        sums = np.zeros(A * k)
+        inertia = np.zeros(A)
+        far_val = np.full(A, -np.inf)
+        far_idx = np.zeros(A, dtype=np.intp)
+        offsets = (np.arange(A) * k)[None, :]
+        cen = centers[idx]  # (A, k)
+        for start in range(0, n, step):
+            stop = min(start + step, n)
+            xc = x[start:stop]
+            d2 = (xc[:, None, None] - cen[None, :, :]) ** 2  # (B, A, k)
+            lab = np.argmin(d2, axis=2)  # (B, A)
+            dmin = np.take_along_axis(d2, lab[:, :, None], axis=2)[:, :, 0]
+            flat = lab + offsets
+            # Contiguous per-restart rows keep the inertia reduction tree
+            # independent of how many restarts are co-batched.
+            dmin_t = np.ascontiguousarray(dmin.T)  # (A, B)
+            for s in range(0, xc.size, REDUCE_BLOCK):
+                fb = flat[s : s + REDUCE_BLOCK].ravel()
+                counts += np.bincount(fb, minlength=A * k)
+                xb = np.broadcast_to(
+                    xc[s : s + REDUCE_BLOCK, None], flat[s : s + REDUCE_BLOCK].shape
+                ).ravel()
+                sums += np.bincount(fb, weights=xb, minlength=A * k)
+                inertia += dmin_t[:, s : s + REDUCE_BLOCK].sum(axis=1)
+            chunk_arg = np.argmax(dmin, axis=0)  # (A,)
+            chunk_val = dmin[chunk_arg, np.arange(A)]
+            better = chunk_val > far_val
+            far_val[better] = chunk_val[better]
+            far_idx[better] = chunk_arg[better] + start
+        return counts.reshape(A, k), sums.reshape(A, k), inertia, far_idx
+
+    for _ in range(max_iter):
+        if active.size == 0:
+            break
+        counts, sums, inertia, far_idx = _assign_stats(active)
+        for a, r in enumerate(active):
+            nonempty = counts[a] > 0
+            centers[r, nonempty] = sums[a, nonempty] / counts[a, nonempty]
+            if repair_empty and not np.all(nonempty):
+                centers[r, ~nonempty] = x[far_idx[a]]
+        if tol is not None:
+            done = (prev_inertia[active] - inertia) < tol
+            prev_inertia[active] = inertia
+            active = active[~done]
+    return centers
+
+
+def seed_restarts_1d(
+    x: np.ndarray,
+    n_components: int,
+    seeds: list[int],
+    init: str,
+    *,
+    batch_size: int | None = None,
+) -> np.ndarray:
+    """Seed every GMM restart at once: ``(R, m)`` refined centres, 1-D data.
+
+    One call covers all ``len(seeds)`` restarts; restart ``r`` derives its
+    stochastic choices from ``np.random.default_rng(seeds[r])`` only, and
+    the Lloyd refinement treats restarts independently, so each returned
+    centre row is bit-identical no matter how many restarts share the call
+    — the serial and batched fit engines see the same seeds. The
+    refinement streams over ``batch_size``-row chunks and never stores a
+    per-sample array (see :func:`_lloyd_restarts_1d`).
+
+    ``init`` follows :class:`~repro.gmm.model.GaussianMixture`:
+
+    * ``"quantile"`` — centres at jittered data quantiles, refined by 5
+      Lloyd rounds without empty-cluster repair (density-proportional
+      seeding for heavy-tailed stacks);
+    * ``"kmeans"`` — per-restart k-means++ centres refined by up to 15
+      Lloyd rounds with empty-cluster repair (the seeding the serial path
+      historically ran through :class:`KMeans`).
+
+    ``"random"`` initialisation draws dense responsibilities, not centres,
+    and is handled inside the fit engine.
+    """
+    x = np.asarray(x, dtype=np.float64).ravel()
+    n_components = check_positive_int(n_components, "n_components")
+    if x.size < n_components:
+        raise ValueError(
+            f"n_samples={x.size} must be >= n_components={n_components}"
+        )
+    R = len(seeds)
+    if init == "quantile":
+        qs = np.linspace(0, 1, n_components + 2)[1:-1]
+        q_all = np.empty((R, n_components))
+        for r, seed in enumerate(seeds):
+            rng = np.random.default_rng(seed)
+            jitter = rng.uniform(-0.4, 0.4, size=n_components) / (n_components + 1)
+            q_all[r] = np.clip(qs + jitter, 0.0, 1.0)
+        # One shared sort serves every restart's quantile lookup.
+        centers = np.quantile(x, q_all.ravel()).reshape(R, n_components)
+        return _lloyd_restarts_1d(
+            x, centers, max_iter=5, tol=None, repair_empty=False, batch_size=batch_size
+        )
+    if init == "kmeans":
+        X2 = x.reshape(-1, 1)
+        centers = np.empty((R, n_components))
+        for r, seed in enumerate(seeds):
+            rng = np.random.default_rng(seed)
+            centers[r] = kmeans_plus_plus_init(X2, n_components, rng)[:, 0]
+        return _lloyd_restarts_1d(
+            x, centers, max_iter=15, tol=1e-6, repair_empty=True, batch_size=batch_size
+        )
+    raise ValueError(f"init must be 'quantile' or 'kmeans' for centre seeding, got {init!r}")

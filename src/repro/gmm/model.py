@@ -20,12 +20,13 @@ Numerical care:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
+from typing import ClassVar, Iterator
 
 import numpy as np
 from scipy.linalg import solve_triangular
 
-from repro.gmm.kmeans import KMeans
+from repro.gmm._grid import REDUCE_BLOCK
+from repro.gmm.kmeans import KMeans, seed_restarts_1d
 from repro.utils.rng import RandomState, check_random_state, spawn_seeds
 from repro.utils.validation import (
     check_array_2d,
@@ -34,6 +35,8 @@ from repro.utils.validation import (
 )
 
 _LOG_2PI = float(np.log(2.0 * np.pi))
+
+_FIT_ENGINES = ("auto", "batched", "serial")
 
 
 @dataclass(frozen=True)
@@ -79,12 +82,322 @@ class BatchPlan:
             yield slice(start, min(start + step, self.n_samples))
 
 
+class FitPlan(BatchPlan):
+    """Row-chunking plan for the streaming fit engine.
+
+    Extends :class:`BatchPlan` with one extra guarantee the training path
+    needs: every chunk boundary falls on a multiple of ``REDUCE_BLOCK``
+    (the requested ``batch_size`` is rounded down to the nearest multiple,
+    never below one block). Combined with :func:`_block_accumulate`, which
+    folds chunk rows into the M-step sufficient statistics in fixed
+    ``REDUCE_BLOCK``-row blocks, the summation tree over samples depends
+    only on the global block grid — not on how rows were chunked — so a fit
+    is **bit-for-bit identical for every ``fit_batch_size``**, including the
+    single-chunk (unchunked) case.
+
+    ``batch_size=None`` resolves to ``DEFAULT_BATCH`` rather than the full
+    corpus: fit-time peak memory is bounded by default, and the unchunked
+    path remains reachable by passing any ``batch_size >= n_samples``.
+    """
+
+    REDUCE_BLOCK: ClassVar[int] = REDUCE_BLOCK  # shared grid, repro.gmm._grid
+    DEFAULT_BATCH: ClassVar[int] = 2048
+
+    @property
+    def effective_batch_size(self) -> int:
+        n = max(self.n_samples, 1)
+        if self.batch_size is None:
+            step = self.DEFAULT_BATCH
+        else:
+            step = max(self.batch_size, self.REDUCE_BLOCK)
+        step -= step % self.REDUCE_BLOCK
+        return min(step, n)
+
+
+def _block_accumulate(acc: np.ndarray, chunk: np.ndarray) -> None:
+    """``acc += chunk.sum(axis=0)`` accumulated in fixed-size row blocks.
+
+    The per-block partial sums and their left-to-right accumulation depend
+    only on the global ``FitPlan.REDUCE_BLOCK`` grid, so feeding the same
+    rows in any chunking whose boundaries sit on that grid produces
+    bit-identical totals (see :class:`FitPlan`).
+    """
+    block = FitPlan.REDUCE_BLOCK
+    for start in range(0, chunk.shape[0], block):
+        acc += chunk[start : start + block].sum(axis=0)
+
+
 def _logsumexp(a: np.ndarray, axis: int = 1) -> np.ndarray:
     """Stable ``log(sum(exp(a)))`` along ``axis``."""
     amax = np.max(a, axis=axis, keepdims=True)
     amax = np.where(np.isfinite(amax), amax, 0.0)
     out = np.log(np.sum(np.exp(a - amax), axis=axis)) + np.squeeze(amax, axis=axis)
     return out
+
+
+class _BatchedEM:
+    """Restart-stacked streaming EM core for 1-D mixtures.
+
+    Runs ``A`` restarts as one vectorized EM over parameter arrays of shape
+    ``(A, m)``: every iteration performs a single fused E-step/M-step for
+    all restarts at once, streaming the E-step over :class:`FitPlan` chunks
+    so peak memory is ``O(batch_size * A * m)`` regardless of the corpus
+    size, and accumulating the M-step sufficient statistics with
+    :func:`_block_accumulate` so results are bit-identical for every
+    ``fit_batch_size``. Restarts whose lower bound converges are compressed
+    out of the stacked arrays and stop contributing compute.
+
+    Numerics mirror the legacy per-restart path (log-sum-exp E-step with
+    the uniform-posterior fallback for fully-underflowed rows); the second
+    moment is accumulated around the *current* means ``c`` — reusing the
+    squared deviations the E-step already computed — and the M-step recovers
+    the exact centred variance via ``S2c/nk - (mu_new - c)^2``, which avoids
+    the catastrophic cancellation a raw ``E[x^2] - mu^2`` update would
+    suffer on far-from-origin value stacks.
+    """
+
+    def __init__(
+        self,
+        x: np.ndarray,
+        n_components: int,
+        *,
+        tol: float,
+        max_iter: int,
+        reg_covar: float,
+        plan: FitPlan,
+    ) -> None:
+        self.x = x
+        self.m = n_components
+        self.tol = tol
+        self.max_iter = max_iter
+        self.reg_covar = reg_covar
+        self.plan = plan
+
+    # ------------------------------------------------------------- building
+
+    def initial_from_centers(
+        self, centers: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Initial (weights, means, variances) from ``(R, m)`` seed centres.
+
+        Streams two hard-assignment passes over the plan: the first
+        accumulates per-component counts and first moments via flat
+        ``np.bincount`` segment sums, the second accumulates squared
+        deviations around the freshly computed means — the centred initial
+        M-step in ``O(batch_size * R * m)`` memory, never materialising a
+        per-sample labels array. Accumulation runs on the fixed
+        ``REDUCE_BLOCK`` grid with per-component contributions in ascending
+        sample order, so the result is bit-identical for every
+        ``fit_batch_size`` and for any number of co-batched restarts.
+        """
+        x, m = self.x, self.m
+        n = x.size
+        R = centers.shape[0]
+        block = FitPlan.REDUCE_BLOCK
+        offsets = (np.arange(R) * m)[None, :]
+        ridx = np.arange(R)[None, :]
+
+        def _pass(means: np.ndarray | None) -> tuple[np.ndarray, ...]:
+            counts = np.zeros(R * m)
+            s1 = np.zeros(R * m)
+            s2 = np.zeros(R * m)
+            for rows in self.plan:
+                xc = x[rows]
+                d2 = (xc[:, None, None] - centers[None]) ** 2  # (B, R, m)
+                lab = np.argmin(d2, axis=2)  # (B, R)
+                flat = lab + offsets
+                if means is not None:
+                    dev2 = (xc[:, None] - means[ridx, lab]) ** 2  # (B, R)
+                for s in range(0, xc.size, block):
+                    fb = flat[s : s + block].ravel()
+                    if means is None:
+                        counts += np.bincount(fb, minlength=R * m)
+                        xb = np.broadcast_to(
+                            xc[s : s + block, None], flat[s : s + block].shape
+                        ).ravel()
+                        s1 += np.bincount(fb, weights=xb, minlength=R * m)
+                    else:
+                        s2 += np.bincount(
+                            fb, weights=dev2[s : s + block].ravel(), minlength=R * m
+                        )
+            return counts, s1, s2
+
+        counts, s1, _ = _pass(None)
+        nk = counts.reshape(R, m) + 10.0 * np.finfo(float).tiny
+        weights = nk / n
+        means = s1.reshape(R, m) / nk
+        _, _, s2 = _pass(means)
+        var = s2.reshape(R, m) / nk + self.reg_covar
+        return weights, means, var
+
+    def initial_from_random(
+        self, seed: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Initial parameters for ONE restart from random responsibilities.
+
+        The ``init='random'`` path. Responsibility rows are drawn and
+        row-normalised one ``REDUCE_BLOCK`` of samples at a time — never as
+        a dense ``(n, m)`` matrix — and the second pass re-draws the
+        identical stream from a fresh generator on the same seed, so peak
+        memory is ``O(REDUCE_BLOCK * m)`` and the result is independent of
+        ``fit_batch_size`` (the fixed block grid is the only chunking).
+        """
+        x = self.x
+        n = x.size
+        block = FitPlan.REDUCE_BLOCK
+
+        def _blocks(rng: np.random.Generator):
+            for start in range(0, n, block):
+                resp = rng.random((min(block, n - start), self.m))
+                resp /= resp.sum(axis=1, keepdims=True)
+                yield start, resp
+
+        nk = np.zeros(self.m)
+        s1 = np.zeros(self.m)
+        for start, resp in _blocks(np.random.default_rng(seed)):
+            nk += resp.sum(axis=0)
+            s1 += (resp * x[start : start + resp.shape[0], None]).sum(axis=0)
+        nk += 10.0 * np.finfo(float).tiny
+        weights = nk / n
+        means = s1 / nk
+        s2 = np.zeros(self.m)
+        for start, resp in _blocks(np.random.default_rng(seed)):
+            dev2 = (x[start : start + resp.shape[0], None] - means[None, :]) ** 2
+            s2 += (resp * dev2).sum(axis=0)
+        var = s2 / nk + self.reg_covar
+        return weights[None], means[None], var[None]
+
+    # ------------------------------------------------------------ iteration
+
+    def sweep(
+        self, weights: np.ndarray, means: np.ndarray, variances: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """One streamed E-step over the plan for every stacked restart.
+
+        Returns block-accumulated sufficient statistics ``(nk, s1, s2c,
+        ll_sum)`` where ``s2c`` is the second moment around the current
+        means and ``ll_sum`` the per-restart sum of log marginal
+        likelihoods. A single ``exp`` pass per chunk produces the
+        responsibilities (the legacy path pays two), and all large
+        temporaries are reused across chunks.
+        """
+        A, m = weights.shape
+        tiny = np.finfo(float).tiny
+        nk = np.zeros((A, m))
+        s1 = np.zeros((A, m))
+        s2 = np.zeros((A, m))
+        ll = np.zeros(A)
+        var = np.maximum(variances, tiny)
+        log_w = np.log(np.maximum(weights, tiny))
+        base = _LOG_2PI + np.log(var)
+        width = self.plan.effective_batch_size
+        sq = np.empty((width, A, m))
+        prob = np.empty((width, A, m))
+        tmp = np.empty((width, A, m))
+        for rows in self.plan:
+            xc = self.x[rows]
+            b = xc.size
+            sq_b, prob_b, tmp_b = sq[:b], prob[:b], tmp[:b]
+            with np.errstate(over="ignore", divide="ignore"):
+                np.subtract(xc[:, None, None], means[None], out=tmp_b)
+                np.multiply(tmp_b, tmp_b, out=sq_b)
+                np.divide(sq_b, var[None], out=prob_b)
+                np.add(prob_b, base[None], out=prob_b)
+                prob_b *= -0.5
+                prob_b += log_w[None]
+                amax = np.max(prob_b, axis=2, keepdims=True)
+                amax = np.where(np.isfinite(amax), amax, 0.0)
+                prob_b -= amax
+                np.exp(prob_b, out=prob_b)
+                sumexp = prob_b.sum(axis=2, keepdims=True)
+                degenerate = ~(sumexp[..., 0] > 0)
+                any_degenerate = bool(np.any(degenerate))
+                if any_degenerate:
+                    # Marginal likelihood underflowed for these rows: report
+                    # log p(x) = -inf but keep the posterior usable with the
+                    # uniform fallback (mirrors GaussianMixture._e_step).
+                    prob_b[degenerate] = 1.0
+                    sumexp[degenerate] = float(m)
+                log_norm = np.log(sumexp[..., 0]) + amax[..., 0]
+                if any_degenerate:
+                    log_norm[degenerate] = -np.inf
+                prob_b /= sumexp
+            _block_accumulate(nk, prob_b)
+            np.multiply(prob_b, xc[:, None, None], out=tmp_b)
+            _block_accumulate(s1, tmp_b)
+            np.multiply(prob_b, sq_b, out=tmp_b)
+            _block_accumulate(s2, tmp_b)
+            # Reduce log-likelihoods along a contiguous per-restart axis: the
+            # pairwise tree then depends only on the block length, never on
+            # how many restarts are stacked, keeping the serial and batched
+            # engines bit-identical (a (block, 1) column sum would pick a
+            # different tree than (block, A)).
+            ln_t = np.ascontiguousarray(log_norm.T)  # (A, b)
+            block = FitPlan.REDUCE_BLOCK
+            for start in range(0, b, block):
+                ll += ln_t[:, start : start + block].sum(axis=1)
+        return nk, s1, s2, ll
+
+    def m_step(
+        self,
+        nk: np.ndarray,
+        s1: np.ndarray,
+        s2: np.ndarray,
+        shift: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Eqs. 3-5 from sufficient statistics accumulated around ``shift``."""
+        nk = nk + 10.0 * np.finfo(float).tiny
+        weights = nk / self.x.size
+        means = s1 / nk
+        var = s2 / nk - (means - shift) ** 2 + self.reg_covar
+        # The legacy centred M-step guarantees var >= reg_covar; the shifted
+        # form can dip below it when a component's mean moves far in one
+        # step over near-constant far-from-origin values and the two ~equal
+        # O(shift^2) terms cancel. Restore the same floor (tiny covers the
+        # reg_covar=0 configuration).
+        np.maximum(var, max(self.reg_covar, np.finfo(float).tiny), out=var)
+        return weights, means, var
+
+    def run(
+        self, weights: np.ndarray, means: np.ndarray, variances: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """EM to convergence for every stacked restart.
+
+        Returns ``(weights, means, variances, lower_bounds, n_iters,
+        converged)`` with the restart axis first. Convergence is judged per
+        restart on the change of mean per-sample log-likelihood; converged
+        restarts are frozen and compressed out of the working arrays.
+        """
+        R, m = weights.shape
+        n = self.x.size
+        out_w = weights.copy()
+        out_mu = means.copy()
+        out_var = variances.copy()
+        bounds = np.full(R, -np.inf)
+        n_iters = np.zeros(R, dtype=int)
+        converged = np.zeros(R, dtype=bool)
+        active = np.arange(R)
+        w, mu, var = weights, means, variances
+        for it in range(1, self.max_iter + 1):
+            nk, s1, s2, ll = self.sweep(w, mu, var)
+            w, mu, var = self.m_step(nk, s1, s2, mu)
+            new_bound = ll / n
+            with np.errstate(invalid="ignore"):
+                delta = np.abs(new_bound - bounds[active])
+            done = delta < self.tol  # False for the first iteration's inf/nan
+            out_w[active] = w
+            out_mu[active] = mu
+            out_var[active] = var
+            bounds[active] = new_bound
+            n_iters[active] = it
+            if np.any(done):
+                converged[active[done]] = True
+                keep = ~done
+                active = active[keep]
+                w, mu, var = w[keep], mu[keep], var[keep]
+            if active.size == 0:
+                break
+        return out_w, out_mu, out_var, bounds, n_iters, converged
 
 
 class GaussianMixture:
@@ -112,6 +425,19 @@ class GaussianMixture:
         proportionally to data *density*, which matters on heavy-tailed
         value stacks where SSE-driven k-means++ would spend nearly all
         components on the tail and leave the dense bands unresolved.
+    fit_engine:
+        ``"auto"`` (default) runs the restart-vectorized streaming engine
+        for 1-D data and the per-restart full-matrix loop otherwise;
+        ``"batched"`` forces the streaming engine (1-D only);
+        ``"serial"`` runs restarts one at a time through the same streaming
+        primitives (1-D) or the legacy loop (multivariate). The batched and
+        serial 1-D paths are bit-identical per restart.
+    fit_batch_size:
+        Rows per E-step chunk during fitting. ``None`` resolves to
+        ``FitPlan.DEFAULT_BATCH``; any value is rounded down to a multiple
+        of ``FitPlan.REDUCE_BLOCK`` so every chunking yields bit-identical
+        parameters. Peak fit memory for 1-D data is
+        ``O(fit_batch_size * n_init * n_components)``.
     random_state:
         Seed or generator.
 
@@ -136,6 +462,8 @@ class GaussianMixture:
         n_init: int = 1,
         reg_covar: float = 1e-6,
         init: str = "kmeans",
+        fit_engine: str = "auto",
+        fit_batch_size: int | None = None,
         random_state: RandomState = None,
     ) -> None:
         self.n_components = check_positive_int(n_components, "n_components")
@@ -148,6 +476,12 @@ class GaussianMixture:
         if init not in ("kmeans", "random", "quantile"):
             raise ValueError(f"init must be 'kmeans', 'random' or 'quantile', got {init!r}")
         self.init = init
+        if fit_engine not in _FIT_ENGINES:
+            raise ValueError(f"fit_engine must be one of {_FIT_ENGINES}, got {fit_engine!r}")
+        self.fit_engine = fit_engine
+        if fit_batch_size is not None and fit_batch_size < 1:
+            raise ValueError(f"fit_batch_size must be None or >= 1, got {fit_batch_size}")
+        self.fit_batch_size = fit_batch_size
         self.random_state = random_state
         self.weights_: np.ndarray | None = None
         self.means_: np.ndarray | None = None
@@ -162,21 +496,30 @@ class GaussianMixture:
         """Fit the mixture to ``X`` (shape ``(n_samples, n_features)``).
 
         1-D input is accepted and treated as a single feature, matching the
-        paper's use on stacked column values.
+        paper's use on stacked column values. On 1-D data the restarts run
+        through the streaming engine (see ``fit_engine``):
+        all ``n_init`` restarts advance together as one vectorized EM with
+        per-restart convergence masking, and the E-step streams over
+        ``fit_batch_size``-row chunks so peak memory never scales with the
+        corpus.
         """
         X = check_array_2d(X, "X")
         if X.shape[0] < self.n_components:
             raise ValueError(
                 f"n_samples={X.shape[0]} must be >= n_components={self.n_components}"
             )
+        engine = self._resolve_engine(X.shape[1])
         seeds = spawn_seeds(self.random_state, self.n_init)
-        best: tuple[float, dict] | None = None
-        for seed in seeds:
-            params = self._single_fit(X, np.random.default_rng(seed))
-            if best is None or params["lower_bound"] > best[0]:
-                best = (params["lower_bound"], params)
-        assert best is not None
-        chosen = best[1]
+        if X.shape[1] == 1:
+            chosen = self._fit_1d(X[:, 0], seeds, stacked=(engine == "batched"))
+        else:
+            best: tuple[float, dict] | None = None
+            for seed in seeds:
+                params = self._single_fit(X, np.random.default_rng(seed))
+                if best is None or params["lower_bound"] > best[0]:
+                    best = (params["lower_bound"], params)
+            assert best is not None
+            chosen = best[1]
         self.weights_ = chosen["weights"]
         self.means_ = chosen["means"]
         self.covariances_ = chosen["covariances"]
@@ -184,6 +527,166 @@ class GaussianMixture:
         self.n_iter_ = chosen["n_iter"]
         self.lower_bound_ = chosen["lower_bound"]
         return self
+
+    def _resolve_engine(self, n_features: int) -> str:
+        if self.fit_engine == "batched" and n_features != 1:
+            raise ValueError(
+                "fit_engine='batched' requires 1-D data (the paper's stacked "
+                f"value setting); got n_features={n_features}. Use 'auto' or "
+                "'serial' for multivariate fits."
+            )
+        if self.fit_engine == "auto":
+            return "batched" if n_features == 1 else "serial"
+        return self.fit_engine
+
+    def _fit_1d(self, x: np.ndarray, seeds: list[int], *, stacked: bool) -> dict:
+        """Run all restarts through the streaming 1-D engine.
+
+        ``stacked=True`` advances every restart together in one vectorized
+        EM (the batched engine); ``stacked=False`` runs the same streaming
+        primitives one restart at a time (the serial engine). Seeding and
+        per-restart arithmetic are shared, so both orders produce
+        bit-identical parameters and pick the same winning restart.
+        """
+        plan = FitPlan(x.size, self.fit_batch_size)
+        em = _BatchedEM(
+            x,
+            self.n_components,
+            tol=self.tol,
+            max_iter=self.max_iter,
+            reg_covar=self.reg_covar,
+            plan=plan,
+        )
+        R = len(seeds)
+        m = self.n_components
+        if self.init == "random":
+            w0 = np.empty((R, m))
+            mu0 = np.empty((R, m))
+            var0 = np.empty((R, m))
+            for r, seed in enumerate(seeds):
+                w0[r], mu0[r], var0[r] = (a[0] for a in em.initial_from_random(seed))
+        else:
+            centers = seed_restarts_1d(
+                x, m, seeds, self.init, batch_size=plan.effective_batch_size
+            )
+            w0, mu0, var0 = em.initial_from_centers(centers)
+        if stacked:
+            out_w, out_mu, out_var, bounds, n_iters, converged = em.run(w0, mu0, var0)
+        else:
+            out_w = np.empty((R, m))
+            out_mu = np.empty((R, m))
+            out_var = np.empty((R, m))
+            bounds = np.empty(R)
+            n_iters = np.empty(R, dtype=int)
+            converged = np.empty(R, dtype=bool)
+            for r in range(R):
+                res = em.run(w0[r : r + 1], mu0[r : r + 1], var0[r : r + 1])
+                out_w[r], out_mu[r], out_var[r] = res[0][0], res[1][0], res[2][0]
+                bounds[r], n_iters[r], converged[r] = res[3][0], res[4][0], res[5][0]
+        # First-max tie-break matches the serial loop's strict-improvement rule.
+        win = int(np.argmax(bounds))
+        return {
+            "weights": out_w[win],
+            "means": out_mu[win].reshape(m, 1),
+            "covariances": out_var[win].reshape(m, 1, 1),
+            "lower_bound": float(bounds[win]),
+            "converged": bool(converged[win]),
+            "n_iter": int(n_iters[win]),
+        }
+
+    def fit_from(
+        self,
+        X: np.ndarray,
+        weights: np.ndarray,
+        means: np.ndarray,
+        covariances: np.ndarray,
+    ) -> "GaussianMixture":
+        """Warm-start: run EM from explicit parameters (single run, no seeding).
+
+        The warm-started BIC sweep uses this to refine split parameters from
+        a smaller converged mixture. 1-D data streams through the batched
+        engine; multivariate data runs the full-matrix loop. Parameter
+        shapes must match ``n_components``.
+        """
+        X = check_array_2d(X, "X")
+        if X.shape[0] < self.n_components:
+            raise ValueError(
+                f"n_samples={X.shape[0]} must be >= n_components={self.n_components}"
+            )
+        weights = np.asarray(weights, dtype=np.float64).ravel()
+        means = np.asarray(means, dtype=np.float64)
+        covariances = np.asarray(covariances, dtype=np.float64)
+        d = X.shape[1]
+        if means.ndim == 1:
+            means = means.reshape(-1, 1)
+        if weights.shape[0] != self.n_components or means.shape != (self.n_components, d):
+            raise ValueError(
+                f"warm-start parameters must have n_components={self.n_components} "
+                f"rows and {d} feature columns; got weights {weights.shape}, "
+                f"means {means.shape}"
+            )
+        if covariances.shape != (self.n_components, d, d):
+            raise ValueError(
+                f"covariances must have shape ({self.n_components}, {d}, {d}), "
+                f"got {covariances.shape}"
+            )
+        if d == 1:
+            plan = FitPlan(X.shape[0], self.fit_batch_size)
+            em = _BatchedEM(
+                X[:, 0],
+                self.n_components,
+                tol=self.tol,
+                max_iter=self.max_iter,
+                reg_covar=self.reg_covar,
+                plan=plan,
+            )
+            out_w, out_mu, out_var, bounds, n_iters, converged = em.run(
+                weights[None].copy(), means[:, 0][None].copy(), covariances[:, 0, 0][None].copy()
+            )
+            self.weights_ = out_w[0]
+            self.means_ = out_mu[0].reshape(-1, 1)
+            self.covariances_ = out_var[0].reshape(-1, 1, 1)
+            self.lower_bound_ = float(bounds[0])
+            self.n_iter_ = int(n_iters[0])
+            self.converged_ = bool(converged[0])
+            return self
+        params = self._warm_fit_legacy(X, weights, means, covariances)
+        self.weights_ = params["weights"]
+        self.means_ = params["means"]
+        self.covariances_ = params["covariances"]
+        self.converged_ = params["converged"]
+        self.n_iter_ = params["n_iter"]
+        self.lower_bound_ = params["lower_bound"]
+        return self
+
+    def _warm_fit_legacy(
+        self,
+        X: np.ndarray,
+        weights: np.ndarray,
+        means: np.ndarray,
+        covariances: np.ndarray,
+    ) -> dict:
+        """Full-matrix EM from given parameters (multivariate warm start)."""
+        lower_bound = -np.inf
+        converged = False
+        n_iter = 0
+        for n_iter in range(1, self.max_iter + 1):
+            log_resp, log_norm = self._e_step(X, weights, means, covariances)
+            weights, means, covariances = self._m_step(X, np.exp(log_resp))
+            new_bound = float(np.mean(log_norm))
+            if abs(new_bound - lower_bound) < self.tol:
+                lower_bound = new_bound
+                converged = True
+                break
+            lower_bound = new_bound
+        return {
+            "weights": weights,
+            "means": means,
+            "covariances": covariances,
+            "lower_bound": lower_bound,
+            "converged": converged,
+            "n_iter": n_iter,
+        }
 
     def _single_fit(self, X: np.ndarray, rng: np.random.Generator) -> dict:
         resp = self._initial_resp(X, rng)

@@ -240,6 +240,16 @@ class TestPerColumnWorkers:
         assert np.allclose(run(4), serial)
 
 
+class TestPerColumnCluster:
+    def test_cluster_rejected_in_per_column_mode(self, tiny_corpus_module):
+        # Per-column rows are sorted (weight, mean, std) parameters, not
+        # component probabilities; an argmax over them was meaningless.
+        cfg = GemConfig.fast(n_components=4, fit_mode="per_column", n_init=1)
+        gem = GemEmbedder(config=cfg).fit(tiny_corpus_module)
+        with pytest.raises(ValueError, match="fit_mode='stacked'"):
+            gem.cluster(tiny_corpus_module)
+
+
 class TestValueTransforms:
     @pytest.mark.parametrize("transform", ["none", "log_squash", "standardize"])
     def test_all_transforms_produce_valid_embeddings(self, tiny_corpus_module, transform):

@@ -52,3 +52,62 @@ class TestAutoComponents:
 
     def test_off_by_default(self):
         assert GemConfig().auto_components is False
+
+    def test_selection_report_exposed(self, three_mode_corpus):
+        cfg = GemConfig.fast(auto_components=True, bic_candidates=(3, 30), n_init=1)
+        gem = GemEmbedder(config=cfg).fit(three_mode_corpus)
+        report = gem.selection_report_
+        assert report is not None
+        assert report.best == 3
+        assert report.scores == gem.bic_scores_
+        assert report.warm_started is False
+
+    def test_sweep_uses_configured_gmm_init(self, three_mode_corpus, monkeypatch):
+        # The sweep must seed candidates the same way as the final fit.
+        import repro.core.gem as gem_module
+
+        seen: dict[str, object] = {}
+        real = gem_module.select_n_components_bic
+
+        def spy(X, **kwargs):
+            seen.update(kwargs)
+            return real(X, **kwargs)
+
+        monkeypatch.setattr(gem_module, "select_n_components_bic", spy)
+        cfg = GemConfig.fast(
+            auto_components=True, bic_candidates=(3,), n_init=1, gmm_init="quantile"
+        )
+        GemEmbedder(config=cfg).fit(three_mode_corpus)
+        assert seen["init"] == "quantile"
+        assert seen["warm_start"] is False
+        assert seen["fit_engine"] == cfg.fit_engine
+        assert seen["fit_batch_size"] == cfg.fit_batch_size
+
+    def test_warm_start_bic_selects_same_structure(self, three_mode_corpus):
+        cold = GemEmbedder(
+            config=GemConfig.fast(auto_components=True, bic_candidates=(3, 30), n_init=1)
+        ).fit(three_mode_corpus)
+        warm = GemEmbedder(
+            config=GemConfig.fast(
+                auto_components=True, bic_candidates=(3, 30), n_init=1,
+                warm_start_bic=True,
+            )
+        ).fit(three_mode_corpus)
+        assert warm.gmm_.n_components == cold.gmm_.n_components == 3
+        assert warm.selection_report_.warm_started is True
+
+
+class TestPerColumnAutoComponentsWarning:
+    def test_warns_when_flag_is_silently_ignored(self, three_mode_corpus):
+        cfg = GemConfig.fast(
+            auto_components=True, fit_mode="per_column", n_components=3, n_init=1
+        )
+        gem = GemEmbedder(config=cfg)
+        with pytest.warns(RuntimeWarning, match="auto_components"):
+            gem.fit(three_mode_corpus)
+        assert gem.gmm_ is None
+
+    def test_no_warning_in_stacked_mode(self, three_mode_corpus, recwarn):
+        cfg = GemConfig.fast(auto_components=True, bic_candidates=(3,), n_init=1)
+        GemEmbedder(config=cfg).fit(three_mode_corpus)
+        assert not [w for w in recwarn if issubclass(w.category, RuntimeWarning)]

@@ -90,6 +90,25 @@ class TestBatchingFieldsRoundtrip:
         assert len(restored._signature_cache) == 0  # cache is transient
         assert np.array_equal(restored.transform(tiny_corpus), original)
 
+    def test_fit_engine_knobs_survive(self, tiny_corpus, tmp_path):
+        cfg = GemConfig.fast(
+            n_components=6, n_init=1, fit_engine="batched",
+            fit_batch_size=1024, warm_start_bic=True,
+        )
+        gem = GemEmbedder(config=cfg)
+        gem.fit(tiny_corpus)
+        path = tmp_path / "gem.npz"
+        save_gem(gem, path)
+        restored = load_gem(path)
+        assert restored.config == cfg
+        assert restored.config.fit_engine == "batched"
+        assert restored.config.fit_batch_size == 1024
+        assert restored.config.warm_start_bic is True
+        # The reconstructed mixture carries the training profile too.
+        assert restored.gmm_.fit_engine == "batched"
+        assert restored.gmm_.fit_batch_size == 1024
+        assert restored.gmm_.init == cfg.gmm_init
+
     def test_legacy_archive_without_batching_fields_loads(self, tiny_corpus, tmp_path):
         import json
 
