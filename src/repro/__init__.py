@@ -9,6 +9,8 @@ surface:
   /``make_git_tables``), tabular types and CSV I/O;
 * :mod:`repro.baselines` — every comparator of the evaluation;
 * :mod:`repro.evaluation` — precision@k, clustering ACC/ARI;
+* :mod:`repro.index` — lake-scale cosine-similarity serving
+  (:class:`GemIndex`: exact blocked search and IVF approximate search);
 * :mod:`repro.clustering` — SDCN and TableDC deep clustering;
 * :mod:`repro.experiments` — runners regenerating every table and figure.
 
@@ -38,6 +40,7 @@ from repro.evaluation import (
     clustering_accuracy,
     precision_recall_at_k,
 )
+from repro.index import GemIndex, load_index, save_index
 
 __version__ = "0.1.0"
 
@@ -55,5 +58,8 @@ __all__ = [
     "precision_recall_at_k",
     "clustering_accuracy",
     "adjusted_rand_index",
+    "GemIndex",
+    "save_index",
+    "load_index",
     "__version__",
 ]

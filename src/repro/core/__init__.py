@@ -21,7 +21,7 @@ from repro.core.cache import SignatureCache, array_fingerprint
 from repro.core.composition import compose
 from repro.core.config import GemConfig
 from repro.core.gem import GemEmbedder
-from repro.core.persistence import load_gem, save_gem
+from repro.core.persistence import gem_fingerprint, load_gem, save_gem
 from repro.core.signature import (
     column_offsets,
     mean_component_probabilities,
@@ -37,6 +37,7 @@ __all__ = [
     "compose",
     "save_gem",
     "load_gem",
+    "gem_fingerprint",
     "column_offsets",
     "mean_component_probabilities",
     "signature_matrix",

@@ -60,14 +60,22 @@ class SignatureCache:
         return key in self._rows
 
     def get(self, key: str) -> np.ndarray | None:
-        """The cached row for ``key``, or ``None``; counts hit/miss."""
+        """The cached row for ``key``, or ``None``; counts hit/miss.
+
+        The returned array is a read-only *view* of the stored row, never
+        the stored array itself: handing out the owning array would let a
+        caller flip its ``writeable`` flag back on and mutate it, silently
+        poisoning every future hit for that column. A view of a read-only
+        base cannot be made writeable, so the cached row is safe however
+        the caller treats the result (copy it to modify it).
+        """
         row = self._rows.get(key)
         if row is None:
             self.misses += 1
             return None
         self._rows.move_to_end(key)
         self.hits += 1
-        return row
+        return row.view()
 
     def put(self, key: str, row: np.ndarray) -> None:
         """Store a copy of ``row`` under ``key``, evicting LRU if full."""

@@ -18,6 +18,7 @@ _FIT_MODES = ("stacked", "per_column")
 _VALUE_TRANSFORMS = ("none", "log_squash", "standardize")
 _COMPOSITIONS = ("concatenation", "aggregation", "autoencoder")
 _FIT_ENGINES = ("auto", "batched", "serial")
+_INDEX_BACKENDS = ("exact", "ivf")
 
 
 @dataclass(frozen=True)
@@ -108,11 +109,26 @@ class GemConfig:
         wildly different magnitudes to cosine similarity (a 50-dim signature
         would drown a 256-dim header block); balancing makes the
         concatenation behave the way Table 3 reports. Disable to get the
-        strictly literal Eq. 11.
+        strictly literal Eq. 11. In stacked mode the block norms (like the
+        signature's feature-block scale) are frozen on the fit corpus, so
+        ``transform`` embeds a column identically whatever corpus it
+        arrives in.
     header_dim:
         Dimensionality of the contextual header embeddings.
     ae_latent_dim / ae_epochs:
         Autoencoder-composition hyper-parameters.
+    index_backend:
+        Default backend for :meth:`GemEmbedder.build_index`: ``"exact"``
+        (streamed blocked search, bit-identical to the dense path) or
+        ``"ivf"`` (partitioned approximate search).
+    index_block_size:
+        Stored rows scored per matmul on the exact search path. A memory
+        knob only — results are bit-identical for any value.
+    index_n_lists:
+        Inverted lists for the IVF coarse quantizer; ``None`` resolves to
+        ``round(sqrt(n))`` when the quantizer trains.
+    index_n_probe:
+        Inverted lists probed per IVF query — the recall/speed trade-off.
     random_state:
         Seed threaded through every stochastic stage.
     """
@@ -144,6 +160,10 @@ class GemConfig:
     header_dim: int = 256
     ae_latent_dim: int = 64
     ae_epochs: int = 150
+    index_backend: str = "exact"
+    index_block_size: int = 4096
+    index_n_lists: int | None = None
+    index_n_probe: int = 8
     random_state: RandomState = 0
 
     def __post_init__(self) -> None:
@@ -193,6 +213,20 @@ class GemConfig:
             )
         if not (self.use_distributional or self.use_statistical or self.use_contextual):
             raise ValueError("at least one of D/S/C feature families must be enabled")
+        if self.index_backend not in _INDEX_BACKENDS:
+            raise ValueError(
+                f"index_backend must be one of {_INDEX_BACKENDS}, got {self.index_backend!r}"
+            )
+        if self.index_block_size < 1:
+            raise ValueError(
+                f"index_block_size must be >= 1, got {self.index_block_size}"
+            )
+        if self.index_n_lists is not None and self.index_n_lists < 1:
+            raise ValueError(
+                f"index_n_lists must be None or >= 1, got {self.index_n_lists}"
+            )
+        if self.index_n_probe < 1:
+            raise ValueError(f"index_n_probe must be >= 1, got {self.index_n_probe}")
 
     def with_features(
         self,

@@ -46,6 +46,21 @@ def _balance(block: np.ndarray) -> np.ndarray:
     return block / mean_norm
 
 
+def _balance_structure(cfg: GemConfig) -> tuple[bool, bool]:
+    """Which corpus-level balance steps a config's transform performs.
+
+    Returns ``(joint, multi)``: whether the D+S signature derives a joint
+    feature-block scale, and whether ``balance_blocks`` equalises multiple
+    blocks. The freezing logic and the corpus-dependence guard both key on
+    this pair — keep them reading one definition so they cannot drift.
+    """
+    joint = cfg.use_distributional and cfg.use_statistical
+    n_blocks = int(cfg.use_distributional or cfg.use_statistical) + int(
+        cfg.use_contextual
+    )
+    return joint, cfg.balance_blocks and n_blocks > 1
+
+
 def log_squash(values: np.ndarray) -> np.ndarray:
     """Sign-preserving log squash ``sign(x) * log(1 + |x|)``.
 
@@ -104,6 +119,8 @@ class GemEmbedder:
         self._transform_stats: tuple[float, float] | None = None
         self._feature_mean: np.ndarray | None = None
         self._feature_std: np.ndarray | None = None
+        self._signature_balance: float | None = None
+        self._block_norms: list[float] | None = None
         self._signature_cache: SignatureCache | None = (
             SignatureCache()
             if cfg.cache_signatures and cfg.fit_mode == "stacked"
@@ -157,7 +174,52 @@ class GemEmbedder:
         std = raw_feats.std(axis=0)
         self._feature_std = np.where(std == 0, 1.0, std)
         self._fitted = True
+        self._freeze_balance(corpus, raw_feats)
         return self
+
+    def _freeze_balance(self, corpus: ColumnCorpus, raw_feats: np.ndarray) -> None:
+        """Freeze the corpus-level balance statistics on the fit corpus.
+
+        Two balance steps otherwise recompute corpus means per ``transform``
+        call — the feature-block scale inside :func:`signature_matrix` and
+        the per-block norm equalisation of ``balance_blocks`` — which would
+        embed the same column differently depending on what else is in the
+        transformed corpus. Freezing them here (like the feature
+        standardisation above) makes the stacked-mode transform
+        corpus-independent, so an index can serve queries from any corpus.
+        ``fit_mode="per_column"`` cannot freeze (its distributional block
+        is fitted at transform time) and stays corpus-dependent.
+
+        ``raw_feats`` is fit's per-column statistics matrix, reused here so
+        freezing adds no second statistics pass. The mixture scoring pass
+        it does need is memoised by the signature cache and reused by the
+        next ``transform`` when ``cache_signatures`` is on (the default);
+        with the cache off it is a genuine extra scoring pass — small next
+        to the EM fit itself.
+        """
+        cfg = self.config
+        self._signature_balance = None
+        self._block_norms = None
+        if cfg.fit_mode != "stacked":
+            return
+        joint, multi = _balance_structure(cfg)
+        if not (joint or multi):
+            return
+        probs = feats = None
+        if cfg.use_statistical:
+            feats = self._standardize_features(raw_feats)
+        if joint:
+            probs = self.mean_probabilities(corpus)
+            prob_mass = float(np.abs(probs).sum(axis=1).mean())
+            feat_mass = float(np.abs(feats).sum(axis=1).mean())
+            self._signature_balance = (
+                prob_mass / feat_mass if feat_mass > 0 and prob_mass > 0 else 1.0
+            )
+        if multi:
+            blocks = self._assemble_blocks(corpus, probs=probs, feats=feats)
+            self._block_norms = [
+                float(np.linalg.norm(b, axis=1).mean()) for b in blocks
+            ]
 
     def _select_components(self, stacked: np.ndarray) -> int:
         """BIC sweep over the configured candidates (paper §4.1.4).
@@ -222,37 +284,62 @@ class GemEmbedder:
 
     # ------------------------------------------------------------ transform
 
-    def transform(self, corpus: ColumnCorpus) -> np.ndarray:
-        """Embed every column of ``corpus`` per the configured D/S/C mix."""
-        self._check_fitted()
+    def _assemble_blocks(
+        self,
+        corpus: ColumnCorpus,
+        *,
+        probs: np.ndarray | None = None,
+        feats: np.ndarray | None = None,
+    ) -> list[np.ndarray]:
+        """The enabled D/S/C blocks of ``corpus``, pre-balance.
+
+        ``probs``/``feats`` accept already-computed mean probabilities and
+        standardised features so fit-time freezing does not score or
+        summarise the corpus twice.
+        """
         cfg = self.config
         blocks: list[np.ndarray] = []
         if cfg.use_distributional and cfg.use_statistical:
             # Paper pipeline: joint normalisation of [m_i || f~_i] (Eqs. 8-9).
             blocks.append(
                 signature_matrix(
-                    self.mean_probabilities(corpus),
-                    self.statistical_embeddings(corpus),
+                    probs if probs is not None else self.mean_probabilities(corpus),
+                    feats if feats is not None else self.statistical_embeddings(corpus),
                     normalization=cfg.normalization,
+                    balance_scale=self._signature_balance,
                 )
             )
         elif cfg.use_distributional:
             blocks.append(
                 signature_matrix(
-                    self.mean_probabilities(corpus), normalization=cfg.normalization
+                    probs if probs is not None else self.mean_probabilities(corpus),
+                    normalization=cfg.normalization,
                 )
             )
         elif cfg.use_statistical:
-            blocks.append(self.statistical_embeddings(corpus))
+            blocks.append(feats if feats is not None else self.statistical_embeddings(corpus))
         if cfg.use_contextual:
             blocks.append(self.contextual_embeddings(corpus))
+        return blocks
+
+    def transform(self, corpus: ColumnCorpus) -> np.ndarray:
+        """Embed every column of ``corpus`` per the configured D/S/C mix."""
+        self._check_fitted()
+        cfg = self.config
+        blocks = self._assemble_blocks(corpus)
         if not blocks:
             raise ValueError(
                 "nothing to embed: enable at least one of use_distributional, "
                 "use_statistical or use_contextual in GemConfig"
             )
         if cfg.balance_blocks and len(blocks) > 1:
-            blocks = [_balance(b) for b in blocks]
+            if self._block_norms is not None:
+                blocks = [
+                    b / norm if norm else b
+                    for b, norm in zip(blocks, self._block_norms)
+                ]
+            else:
+                blocks = [_balance(b) for b in blocks]
         return compose(
             blocks,
             cfg.composition,
@@ -373,6 +460,10 @@ class GemEmbedder:
         """
         self._check_fitted()
         raw = np.stack([column_statistics(c.values) for c in corpus])
+        return self._standardize_features(raw)
+
+    def _standardize_features(self, raw: np.ndarray) -> np.ndarray:
+        """Frozen-moment z-scoring + winsorisation of raw feature rows."""
         z = (raw - self._feature_mean) / self._feature_std
         clip = self.config.feature_clip
         if np.isfinite(clip):
@@ -397,7 +488,107 @@ class GemEmbedder:
             self.mean_probabilities(corpus),
             self.statistical_embeddings(corpus),
             normalization=self.config.normalization,
+            balance_scale=self._signature_balance,
         )
+
+    # --------------------------------------------------------------- serving
+
+    @property
+    def transform_is_corpus_dependent(self) -> bool:
+        """Whether ``transform`` output depends on the corpus as a whole.
+
+        In stacked mode every corpus-level statistic the transform uses —
+        feature standardisation, the signature's feature-block scale, the
+        ``balance_blocks`` per-block norms — is frozen on the fit corpus
+        (see ``_freeze_balance``), so embedding a column yields the same
+        row whatever corpus it arrives in. Two configurations remain
+        genuinely corpus-dependent: the autoencoder composition trains its
+        projection on each transformed corpus, and ``per_column`` mode
+        fits its distributional block at transform time so the balance
+        statistics cannot be frozen. Under those, rows embedded from
+        different corpora live in different spaces and must not be
+        compared by cosine — the serving path (:meth:`build_index` /
+        ``GemIndex.search_corpus``) refuses cross-corpus queries.
+        """
+        cfg = self.config
+        if cfg.composition == "autoencoder":
+            return True
+        joint, multi = _balance_structure(cfg)
+        if cfg.fit_mode != "stacked":
+            # per_column fits its distributional block at transform time:
+            # the balance statistics cannot be frozen, and a stateful
+            # Generator seed additionally makes even repeat transforms of
+            # the same corpus differ (fresh per-column seeds are drawn per
+            # call), so rows from separate calls are never comparable.
+            return (
+                joint
+                or multi
+                or isinstance(cfg.random_state, np.random.Generator)
+            )
+        if not (joint or multi):
+            return False
+        if getattr(self, "_fitted", False) is not True:
+            return False  # fit() will freeze the balance statistics
+        # A fitted stacked embedder normally carries frozen statistics, but
+        # one restored from a pre-freezing archive does not — its transform
+        # falls back to per-corpus balance and really is corpus-dependent.
+        return (joint and self._signature_balance is None) or (
+            multi and self._block_norms is None
+        )
+
+    def build_index(
+        self,
+        corpus: ColumnCorpus,
+        *,
+        ids: list[str] | None = None,
+        backend: str | None = None,
+        **index_overrides: object,
+    ):
+        """Embed ``corpus`` and build a :class:`~repro.index.GemIndex` on it.
+
+        The serving path for the paper's retrieval workload (§4.1.2) at
+        lake scale: the index answers ``search``/``search_corpus`` without
+        ever forming the ``(n, n)`` similarity matrix. The index is stamped
+        with this embedder's model fingerprint and keeps the embedder
+        attached, so ``index.search_corpus(other_corpus, k)`` embeds
+        through the frozen model — and refuses to serve after a refit.
+
+        Parameters
+        ----------
+        corpus:
+            Columns to store.
+        ids:
+            Stable column ids, one per column; defaults to
+            ``"<position>:<header>"`` (:func:`repro.index.corpus_column_ids`).
+        backend:
+            ``"exact"`` or ``"ivf"``; defaults to ``config.index_backend``.
+        **index_overrides:
+            Forwarded to :class:`~repro.index.GemIndex` (``block_size``,
+            ``n_lists``, ``n_probe``, …), overriding the config defaults.
+        """
+        from repro.index import GemIndex, corpus_column_ids
+
+        self._check_fitted()
+        cfg = self.config
+        embeddings = self.transform(corpus)
+        if ids is None:
+            ids = corpus_column_ids(corpus)
+        # Content hashes of the raw cell values let search_corpus recognise
+        # a query column's own stored row exactly, even when the transform
+        # itself is not call-reproducible.
+        value_fps = [array_fingerprint(c.values) for c in corpus]
+        kwargs: dict[str, object] = dict(
+            backend=backend if backend is not None else cfg.index_backend,
+            block_size=cfg.index_block_size,
+            n_lists=cfg.index_n_lists,
+            n_probe=cfg.index_n_probe,
+            random_state=cfg.random_state,
+        )
+        kwargs.update(index_overrides)
+        index = GemIndex(embeddings.shape[1], **kwargs)  # type: ignore[arg-type]
+        index.add(ids, embeddings, value_fingerprints=value_fps)
+        index.attach(self)
+        return index
 
     # ------------------------------------------------------------ clustering
 

@@ -14,15 +14,122 @@ profile; the signature cache itself is transient and starts empty on load.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 import warnings
 from pathlib import Path
 
 import numpy as np
 
+from repro.core.cache import array_fingerprint
 from repro.core.config import GemConfig
 from repro.core.gem import GemEmbedder
 from repro.gmm.model import GaussianMixture
+
+# Config fields that change what a fitted embedder outputs at transform
+# time. Engine/fit-time knobs (batch_size, fit_engine, n_init, …) are
+# deliberately absent: they shape *how* the frozen parameters below were
+# obtained or are applied, not the embedding space itself, so two embedders
+# differing only in those serve interchangeable rows. Exception: under
+# fit_mode="per_column" the GMMs are fitted *at transform time*, so the EM
+# knobs do shape the output there — _PER_COLUMN_FIT_FIELDS covers them.
+_FINGERPRINT_CONFIG_FIELDS = (
+    "n_components",
+    "use_distributional",
+    "use_statistical",
+    "use_contextual",
+    "signature_kind",
+    "normalization",
+    "fit_mode",
+    "value_transform",
+    "composition",
+    "balance_blocks",
+    "feature_clip",
+    "header_dim",
+    "ae_latent_dim",
+    "ae_epochs",
+)
+
+# EM knobs read by GemEmbedder._fit_column_mixture at transform time; part
+# of the embedding space only in per_column mode (in stacked mode their
+# effect is already frozen into the hashed gmm_ arrays).
+_PER_COLUMN_FIT_FIELDS = ("gmm_init", "tol", "max_iter", "covariance_floor")
+
+
+def npz_path(path: str | Path) -> Path:
+    """The path ``np.savez`` actually writes: ``.npz`` is appended if absent.
+
+    ``np.savez`` silently appends the extension while ``np.load`` does not;
+    every archive writer/reader in this library resolves paths through this
+    helper so a save/load pair always agrees on the file name.
+    """
+    path = Path(path)
+    return path if path.suffix == ".npz" else path.with_name(path.name + ".npz")
+
+
+def json_to_array(obj: object) -> np.ndarray:
+    """Encode a JSON-serialisable object as a uint8 array for ``.npz``.
+
+    The shared trick of every archive in this library (Gem models, search
+    indexes): ``np.savez`` only stores arrays, so structured config rides
+    along as UTF-8 bytes.
+    """
+    return np.frombuffer(json.dumps(obj).encode("utf-8"), dtype=np.uint8)
+
+
+def json_from_array(array: np.ndarray) -> object:
+    """Decode an object written by :func:`json_to_array`."""
+    return json.loads(bytes(array).decode("utf-8"))
+
+
+def gem_fingerprint(gem: GemEmbedder) -> str:
+    """Content fingerprint of a fitted embedder's embedding space.
+
+    Hashes everything that determines a transform's output: the fitted GMM
+    parameters, the frozen feature standardisation, the value-transform
+    statistics and the output-shaping config fields. Two embedders share a
+    fingerprint iff they embed columns identically, so a
+    :class:`~repro.index.core.GemIndex` stamped with this value can detect
+    a refit model and refuse to serve stale neighbours.
+
+    Raises
+    ------
+    RuntimeError
+        If the embedder has not been fitted.
+    """
+    gem._check_fitted()
+    digest = hashlib.blake2b(digest_size=16)
+    fields = _FINGERPRINT_CONFIG_FIELDS
+    if gem.config.fit_mode == "per_column":
+        fields = fields + _PER_COLUMN_FIT_FIELDS
+    for name in fields:
+        digest.update(f"{name}={getattr(gem.config, name)!r};".encode("utf-8"))
+    # random_state only shapes transform output when a transform stage is
+    # stochastic: per-column GMM fits or autoencoder training. In plain
+    # stacked mode it influenced only the (already hashed) fitted arrays,
+    # and hashing it anyway would spuriously refuse a save_gem/load_gem
+    # round trip of a Generator-seeded model (save_gem drops the
+    # unserialisable Generator). A Generator's repr embeds its memory
+    # address, so generators hash as their bit-generator type only;
+    # int/None seeds hash exactly.
+    if gem.config.fit_mode == "per_column" or gem.config.composition == "autoencoder":
+        rs = gem.config.random_state
+        if isinstance(rs, np.random.Generator):
+            rs_token = f"Generator({type(rs.bit_generator).__name__})"
+        else:
+            rs_token = repr(rs)
+        digest.update(f"random_state={rs_token};".encode("utf-8"))
+    for arr in (gem._feature_mean, gem._feature_std):
+        digest.update(array_fingerprint(np.asarray(arr)).encode("ascii"))
+    if gem._transform_stats is not None:
+        digest.update(repr(tuple(gem._transform_stats)).encode("utf-8"))
+    # Frozen balance statistics are part of the embedding space too.
+    digest.update(repr(gem._signature_balance).encode("utf-8"))
+    digest.update(repr(gem._block_norms).encode("utf-8"))
+    if gem.gmm_ is not None:
+        for arr in (gem.gmm_.weights_, gem.gmm_.means_, gem.gmm_.covariances_):
+            digest.update(array_fingerprint(np.asarray(arr)).encode("ascii"))
+    return digest.hexdigest()
 
 
 def save_gem(gem: GemEmbedder, path: str | Path) -> None:
@@ -37,18 +144,33 @@ def save_gem(gem: GemEmbedder, path: str | Path) -> None:
         raise RuntimeError("cannot save an unfitted GemEmbedder; call fit() first")
     cfg = dataclasses.asdict(gem.config)
     cfg["bic_candidates"] = list(cfg["bic_candidates"])
+    if isinstance(cfg["random_state"], np.random.Generator):
+        # A Generator's state is not JSON-serialisable; the archive keeps
+        # the fitted arrays (which captured the draws that mattered), so
+        # the reloaded embedder falls back to the default seed.
+        warnings.warn(
+            "random_state is a np.random.Generator and cannot be "
+            "persisted; the reloaded embedder will use the default seed",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        del cfg["random_state"]
     arrays: dict[str, np.ndarray] = {
-        "config_json": np.frombuffer(json.dumps(cfg).encode("utf-8"), dtype=np.uint8),
+        "config_json": json_to_array(cfg),
         "feature_mean": gem._feature_mean,
         "feature_std": gem._feature_std,
     }
     if gem._transform_stats is not None:
         arrays["transform_stats"] = np.asarray(gem._transform_stats)
+    if gem._signature_balance is not None:
+        arrays["signature_balance"] = np.asarray([gem._signature_balance])
+    if gem._block_norms is not None:
+        arrays["block_norms"] = np.asarray(gem._block_norms)
     if gem.gmm_ is not None:
         arrays["gmm_weights"] = gem.gmm_.weights_
         arrays["gmm_means"] = gem.gmm_.means_
         arrays["gmm_covariances"] = gem.gmm_.covariances_
-    np.savez(Path(path), **arrays)
+    np.savez(npz_path(path), **arrays)
 
 
 def load_gem(path: str | Path) -> GemEmbedder:
@@ -57,8 +179,8 @@ def load_gem(path: str | Path) -> GemEmbedder:
     The returned embedder is ready to ``transform`` new corpora; the fitted
     GMM and feature standardisation are restored exactly.
     """
-    with np.load(Path(path)) as payload:
-        cfg_dict = json.loads(bytes(payload["config_json"]).decode("utf-8"))
+    with np.load(npz_path(path)) as payload:
+        cfg_dict = json_from_array(payload["config_json"])
         if "bic_candidates" in cfg_dict:
             cfg_dict["bic_candidates"] = tuple(cfg_dict["bic_candidates"])
         # Archives written by other library versions may carry config keys
@@ -82,6 +204,10 @@ def load_gem(path: str | Path) -> GemEmbedder:
         if "transform_stats" in payload:
             stats = payload["transform_stats"]
             gem._transform_stats = (float(stats[0]), float(stats[1]))
+        if "signature_balance" in payload:
+            gem._signature_balance = float(payload["signature_balance"][0])
+        if "block_norms" in payload:
+            gem._block_norms = [float(v) for v in payload["block_norms"]]
         if "gmm_weights" in payload:
             # Reconstruct with the full training configuration so a refit of
             # the loaded mixture behaves like the original embedder's.
@@ -105,4 +231,11 @@ def load_gem(path: str | Path) -> GemEmbedder:
     return gem
 
 
-__all__ = ["save_gem", "load_gem"]
+__all__ = [
+    "save_gem",
+    "load_gem",
+    "gem_fingerprint",
+    "json_to_array",
+    "json_from_array",
+    "npz_path",
+]

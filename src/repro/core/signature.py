@@ -105,6 +105,7 @@ def signature_matrix(
     *,
     normalization: str = "l1",
     balance: bool = True,
+    balance_scale: float | None = None,
 ) -> np.ndarray:
     """Augment mean probabilities with features and normalise (Eqs. 8-9).
 
@@ -122,6 +123,13 @@ def signature_matrix(
         before the joint normalisation. Mean responsibilities carry total
         mass 1.0 while seven winsorised z-scores can carry up to 21, so an
         unbalanced Eq. 9 would all but erase the distributional block.
+    balance_scale:
+        Use this fixed feature-block scale instead of deriving it from the
+        matrices at hand. The derived scale is a *corpus-level* statistic
+        (mean row masses), so a serving pipeline that must embed columns
+        consistently across corpora freezes the scale on the fit corpus
+        (see :meth:`~repro.core.gem.GemEmbedder.fit`) and passes it here.
+        Ignored when ``balance`` is false.
     """
     probs = check_array_2d(mean_probabilities, "mean_probabilities")
     if statistical_features is not None:
@@ -132,10 +140,17 @@ def signature_matrix(
                 f"{feats.shape[0]} feature rows"
             )
         if balance:
-            prob_mass = float(np.abs(probs).sum(axis=1).mean())
-            feat_mass = float(np.abs(feats).sum(axis=1).mean())
-            if feat_mass > 0 and prob_mass > 0:
-                feats = feats * (prob_mass / feat_mass)
+            scale = balance_scale
+            if scale is None:
+                prob_mass = float(np.abs(probs).sum(axis=1).mean())
+                feat_mass = float(np.abs(feats).sum(axis=1).mean())
+                scale = (
+                    prob_mass / feat_mass
+                    if feat_mass > 0 and prob_mass > 0
+                    else None
+                )
+            if scale is not None:
+                feats = feats * scale
         augmented = np.hstack([probs, feats])
     else:
         augmented = probs

@@ -13,7 +13,12 @@ Implements the paper's protocols (§4.1.2):
 
 from repro.evaluation.cluster_metrics import adjusted_rand_index, clustering_accuracy
 from repro.evaluation.hungarian import hungarian_assignment
-from repro.evaluation.neighbors import cosine_similarity_matrix, top_k_neighbors
+from repro.evaluation.neighbors import (
+    cosine_similarity_matrix,
+    top_k_desc,
+    top_k_neighbors,
+    unit_rows,
+)
 from repro.evaluation.precision import (
     EvaluationResult,
     average_precision_at_k,
@@ -22,7 +27,9 @@ from repro.evaluation.precision import (
 
 __all__ = [
     "cosine_similarity_matrix",
+    "top_k_desc",
     "top_k_neighbors",
+    "unit_rows",
     "precision_recall_at_k",
     "average_precision_at_k",
     "EvaluationResult",

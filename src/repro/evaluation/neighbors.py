@@ -2,27 +2,94 @@
 
 The paper's type-detection evaluation ranks all other columns by cosine
 similarity of their embeddings and inspects the top k (§4.1.2).
+
+Two functions here are shared with the lake-scale searcher in
+:mod:`repro.index` so the dense and blocked paths agree bit-for-bit:
+
+* :func:`unit_rows` — the row normalisation both paths apply before any dot
+  product (row-wise, so normalising a block of rows equals normalising the
+  full matrix and slicing);
+* :func:`top_k_desc` — deterministic top-k selection ordered by descending
+  score with ties broken by ascending index. ``np.argpartition`` alone
+  orders equal scores arbitrarily, which made repeated runs (and the blocked
+  searcher vs. this dense path) disagree on which of two tied columns is the
+  k-th neighbour.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.utils.preprocessing import l2_normalize
 from repro.utils.validation import check_array_2d, check_positive_int
+
+
+def unit_rows(embeddings: np.ndarray) -> np.ndarray:
+    """Rows scaled to unit L2 norm; zero rows stay zero.
+
+    A validated view of :func:`repro.utils.preprocessing.l2_normalize`,
+    whose max-abs pre-scaling keeps subnormal- and huge-magnitude rows
+    normalising correctly. The operation is strictly row-wise:
+    ``unit_rows(X)[a:b]`` is bit-identical to ``unit_rows(X[a:b])``, which
+    is what lets the blocked searcher normalise incrementally added rows
+    and still match the dense path.
+    """
+    return l2_normalize(check_array_2d(embeddings, "embeddings"))
+
+
+def pairwise_cosine(unit_a: np.ndarray, unit_b: np.ndarray) -> np.ndarray:
+    """Clipped dot products of two sets of unit rows — the shared kernel.
+
+    Deliberately computed with ``np.einsum`` rather than ``@``: BLAS gemm
+    picks shape-dependent kernels, so the same pair of rows multiplied
+    inside differently sized blocks yields bit-different dot products —
+    fatal for the guarantee that the blocked searcher reproduces the dense
+    matrix exactly. einsum accumulates the contraction in a fixed order per
+    output element, so ``pairwise_cosine(A, B)[i, j]`` is bit-identical no
+    matter how A and B are sliced out of larger matrices (~3x slower than
+    gemm, which the block-local working set amortises).
+    """
+    sim = np.einsum("qd,nd->qn", unit_a, unit_b)
+    return np.clip(sim, -1.0, 1.0)
 
 
 def cosine_similarity_matrix(embeddings: np.ndarray) -> np.ndarray:
     """Pairwise cosine similarities of embedding rows.
 
     Zero rows (possible for empty headers) are treated as orthogonal to
-    everything rather than producing NaNs.
+    everything rather than producing NaNs. Computed with the same
+    blocking-invariant kernel as the streamed searcher in
+    :mod:`repro.index`, so the two agree bit-for-bit.
     """
-    X = check_array_2d(embeddings, "embeddings")
-    norms = np.linalg.norm(X, axis=1, keepdims=True)
-    norms = np.where(norms == 0, 1.0, norms)
-    unit = X / norms
-    sim = unit @ unit.T
-    return np.clip(sim, -1.0, 1.0)
+    unit = unit_rows(embeddings)
+    return pairwise_cosine(unit, unit)
+
+
+def top_k_desc(scores: np.ndarray, indices: np.ndarray, k: int) -> np.ndarray:
+    """Positions of the ``k`` best candidates per row, deterministically.
+
+    Candidates are ordered by descending ``scores`` with ties broken by
+    ascending ``indices`` — a strict total order whenever indices are
+    unique per row, so the selected set and its ordering are reproducible
+    and merging per-block top-k sets yields exactly the global top-k.
+
+    Parameters
+    ----------
+    scores:
+        ``(n_rows, n_candidates)`` candidate scores.
+    indices:
+        Same shape; the tie-breaking identity of each candidate (e.g. its
+        column index in the corpus).
+    k:
+        Candidates kept per row (must not exceed ``n_candidates``).
+
+    Returns
+    -------
+    numpy.ndarray of shape (n_rows, k)
+        Positions into the candidate axis, best first.
+    """
+    order = np.lexsort((indices, -scores), axis=-1)
+    return order[:, :k]
 
 
 def top_k_neighbors(
@@ -45,7 +112,11 @@ def top_k_neighbors(
     Returns
     -------
     numpy.ndarray of shape (n, k)
-        Neighbour indices sorted by decreasing similarity.
+        Neighbour indices sorted by decreasing similarity; ties broken by
+        ascending index. For a single-row matrix with ``exclude_self=True``
+        there is no possible neighbour, so the result is an empty ``(1, 0)``
+        array rather than an error — single-column corpora evaluate to
+        "no neighbours" instead of crashing.
     """
     sim = check_array_2d(similarity, "similarity").copy()
     if sim.shape[0] != sim.shape[1]:
@@ -58,11 +129,17 @@ def top_k_neighbors(
     else:
         k = min(k, n)
     if k < 1:
-        raise ValueError("not enough rows for any neighbour")
-    part = np.argpartition(-sim, kth=k - 1, axis=1)[:, :k]
-    rows = np.arange(n)[:, None]
-    order = np.argsort(-sim[rows, part], axis=1)
-    return part[rows, order]
+        # Only reachable for n == 1 with exclude_self: the lone row has no
+        # possible neighbour.
+        return np.empty((n, 0), dtype=np.intp)
+    cols = np.broadcast_to(np.arange(n), sim.shape)
+    return top_k_desc(sim, cols, k)
 
 
-__all__ = ["cosine_similarity_matrix", "top_k_neighbors"]
+__all__ = [
+    "cosine_similarity_matrix",
+    "pairwise_cosine",
+    "top_k_desc",
+    "top_k_neighbors",
+    "unit_rows",
+]

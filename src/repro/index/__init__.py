@@ -1,0 +1,32 @@
+"""Lake-scale similarity index over Gem embedding rows.
+
+The paper's retrieval workload (§4.1.2) — rank every other column by cosine
+similarity of its Gem signature — is served here without ever materialising
+the ``(n, n)`` similarity matrix:
+
+* :class:`GemIndex` — stores signature rows under stable column ids, with
+  incremental ``add``/``remove`` and two backends: **exact** (streamed
+  blocked matmuls, bit-identical to the dense
+  :func:`repro.evaluation.neighbors.top_k_neighbors` path for any block
+  size) and **ivf** (k-means-partitioned approximate search with an
+  ``n_probe`` recall/speed knob);
+* :func:`save_index` / :func:`load_index` — persistence that embeds the
+  owning Gem model's fingerprint, so a stale index refuses to serve a refit
+  model (:class:`StaleIndexError`).
+
+Build one from a fitted embedder with
+:meth:`repro.core.gem.GemEmbedder.build_index`, or assemble one by hand
+from any embedding rows.
+"""
+
+from repro.index.core import GemIndex, SearchResult, StaleIndexError, corpus_column_ids
+from repro.index.persistence import load_index, save_index
+
+__all__ = [
+    "GemIndex",
+    "SearchResult",
+    "StaleIndexError",
+    "corpus_column_ids",
+    "save_index",
+    "load_index",
+]

@@ -1,0 +1,518 @@
+"""The :class:`GemIndex`: a lake-scale cosine-similarity index over Gem rows.
+
+The paper's headline workload is retrieval — rank every other column in the
+lake by cosine similarity of its Gem signature and inspect the top k
+(§4.1.2). The dense path needs the full ``(n, n)`` similarity matrix;
+``GemIndex`` answers the same queries without ever forming it:
+
+* the **exact** backend streams blocked matmuls over the stored rows
+  (:mod:`repro.index.exact`) — bit-identical to the dense path for any
+  ``block_size``, peak search memory ``O(query_block × block_size)``;
+* the **ivf** backend partitions rows with a k-means coarse quantizer
+  (:mod:`repro.index.ivf`) and probes only the ``n_probe`` closest lists —
+  sub-linear scanned work for a measured recall@k trade-off.
+
+Rows are stored under **stable string column ids**: positions shift when
+rows are removed, ids never do. An index built from a fitted embedder
+(:meth:`repro.core.gem.GemEmbedder.build_index`) carries the owning model's
+fingerprint, and every model-mediated operation re-checks it, so a stale
+index refuses to serve a refit model (:class:`StaleIndexError`) instead of
+silently mixing embedding spaces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.config import _INDEX_BACKENDS as _BACKENDS
+from repro.evaluation.neighbors import unit_rows
+from repro.index.exact import blocked_topk
+from repro.index.ivf import IVFPartition, ivf_topk
+from repro.utils.rng import RandomState
+from repro.utils.validation import check_array_2d, check_positive_int
+
+
+class StaleIndexError(RuntimeError):
+    """The index was built against a different fitted Gem model.
+
+    Signature rows are only comparable within one embedding space; serving
+    queries embedded by a refit (or different) model against stored rows
+    from the old one would return confidently wrong neighbours. Rebuild the
+    index from the current model instead.
+    """
+
+
+def corpus_column_ids(corpus: Iterable) -> list[str]:
+    """Default stable ids for a corpus's columns: ``"<position>:<header>"``.
+
+    Deterministic for a given corpus, so embedding the same corpus again
+    (e.g. to query it against its own index) reproduces the ids and
+    self-exclusion works without bookkeeping.
+    """
+    return [f"{i}:{getattr(col, 'name', '')}" for i, col in enumerate(corpus)]
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Top-k neighbours for a batch of queries, best first per row.
+
+    Attributes
+    ----------
+    ids:
+        ``(n_queries, k)`` object array of stored column ids; ``None``
+        where a slot could not be filled (IVF probing fewer than k rows).
+    positions:
+        Stored positions at search time (``-1`` for unfilled slots).
+        Positions are transient — they shift on :meth:`GemIndex.remove` —
+        use ``ids`` for anything persistent.
+    scores:
+        Cosine similarities (``-inf`` for unfilled slots).
+    """
+
+    ids: np.ndarray
+    positions: np.ndarray
+    scores: np.ndarray
+
+    @property
+    def k(self) -> int:
+        return int(self.positions.shape[1])
+
+
+class GemIndex:
+    """Incremental cosine-similarity index over Gem embedding rows.
+
+    Parameters
+    ----------
+    dim:
+        Dimensionality of the stored rows.
+    backend:
+        ``"exact"`` (blocked full scan, bit-identical to the dense path) or
+        ``"ivf"`` (partitioned approximate search).
+    block_size:
+        Stored rows scored per matmul on the exact path. A memory knob
+        only: any value returns bit-identical results.
+    n_lists:
+        Inverted lists for the IVF quantizer (``None`` → ``round(sqrt(n))``
+        at training time).
+    n_probe:
+        Lists probed per query on the IVF path — the recall/speed knob.
+    random_state:
+        Seeds the k-means quantizer.
+    model_fingerprint:
+        Fingerprint of the owning fitted Gem model (see
+        :func:`repro.core.persistence.gem_fingerprint`); stamped by
+        ``GemEmbedder.build_index`` and enforced on every model-mediated
+        call.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        *,
+        backend: str = "exact",
+        block_size: int = 4096,
+        n_lists: int | None = None,
+        n_probe: int = 8,
+        random_state: RandomState = 0,
+        model_fingerprint: str | None = None,
+    ) -> None:
+        self.dim = check_positive_int(dim, "dim")
+        if backend not in _BACKENDS:
+            raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
+        self.backend = backend
+        self.block_size = check_positive_int(block_size, "block_size")
+        if n_lists is not None:
+            n_lists = check_positive_int(n_lists, "n_lists")
+        self.n_probe = check_positive_int(n_probe, "n_probe")
+        # Row storage is an amortized-growth buffer: the live rows are the
+        # first _n_rows of each buffer (exposed as the _rows/_unit views),
+        # and add() doubles capacity instead of reallocating per call, so
+        # incremental ingestion stays O(n) instead of quadratic.
+        self._rows_buf = np.empty((0, self.dim))
+        self._unit_buf = np.empty((0, self.dim))
+        self._n_rows = 0
+        self._ids: list[str] = []
+        self._pos: dict[str, int] = {}
+        self._id_lookup: np.ndarray | None = None
+        # Content hash of the *raw column values* behind each stored row,
+        # when known (rows added via build_index); the self-exclusion
+        # criterion that survives non-reproducible transforms.
+        self._value_fps: dict[str, str] = {}
+        self._partition = (
+            IVFPartition(n_lists, random_state) if backend == "ivf" else None
+        )
+        self.model_fingerprint = model_fingerprint
+        self._embedder = None
+
+    # -------------------------------------------------------------- basics
+
+    @property
+    def _rows(self) -> np.ndarray:
+        """View of the live raw rows (first ``_n_rows`` of the buffer)."""
+        return self._rows_buf[: self._n_rows]
+
+    @property
+    def _unit(self) -> np.ndarray:
+        """View of the live unit-normalised rows."""
+        return self._unit_buf[: self._n_rows]
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __contains__(self, column_id: str) -> bool:
+        return column_id in self._pos
+
+    @property
+    def ids(self) -> tuple[str, ...]:
+        """Stored column ids in storage order."""
+        return tuple(self._ids)
+
+    def vectors(self) -> np.ndarray:
+        """Copy of the raw stored rows, in storage order."""
+        return self._rows.copy()
+
+    # ----------------------------------------------------------- add/remove
+
+    def add(
+        self,
+        ids: Sequence[str],
+        vectors: np.ndarray,
+        *,
+        value_fingerprints: Sequence[str] | None = None,
+    ) -> None:
+        """Store ``vectors`` under ``ids`` (appended in order).
+
+        Ids must be unique strings not already present. On a trained IVF
+        index, new rows are assigned to their nearest existing centroid
+        without retraining; call :meth:`train` after heavy churn to refresh
+        the quantizer.
+
+        ``value_fingerprints`` optionally records a content hash of the raw
+        column values behind each vector (``build_index`` supplies these);
+        :meth:`search_corpus` uses them to recognise a query column's own
+        stored row exactly, independent of transform reproducibility.
+        """
+        X = check_array_2d(vectors, "vectors", min_rows=1)
+        if X.shape[1] != self.dim:
+            raise ValueError(f"vectors have dim {X.shape[1]}, index has dim {self.dim}")
+        ids = list(ids)
+        if len(ids) != X.shape[0]:
+            raise ValueError(f"{len(ids)} ids for {X.shape[0]} vectors")
+        for column_id in ids:
+            if not isinstance(column_id, str):
+                raise TypeError(
+                    f"column ids must be strings, got {type(column_id).__name__}"
+                )
+            if column_id in self._pos:
+                raise ValueError(f"column id {column_id!r} is already stored")
+        if len(set(ids)) != len(ids):
+            raise ValueError("column ids within one add() call must be unique")
+        if value_fingerprints is not None and len(value_fingerprints) != len(ids):
+            raise ValueError(
+                f"{len(value_fingerprints)} value_fingerprints for {len(ids)} ids"
+            )
+        unit = unit_rows(X)
+        base = len(self._ids)
+        needed = self._n_rows + X.shape[0]
+        if needed > self._rows_buf.shape[0]:
+            capacity = max(needed, 2 * self._rows_buf.shape[0], 64)
+            for name in ("_rows_buf", "_unit_buf"):
+                grown = np.empty((capacity, self.dim))
+                grown[: self._n_rows] = getattr(self, name)[: self._n_rows]
+                setattr(self, name, grown)
+        self._rows_buf[self._n_rows : needed] = X
+        self._unit_buf[self._n_rows : needed] = unit
+        self._n_rows = needed
+        self._ids.extend(ids)
+        self._id_lookup = None
+        for offset, column_id in enumerate(ids):
+            self._pos[column_id] = base + offset
+        if value_fingerprints is not None:
+            self._value_fps.update(zip(ids, value_fingerprints))
+        if self._partition is not None and self._partition.trained:
+            self._partition.extend(unit)
+
+    def remove(self, ids: Sequence[str]) -> None:
+        """Drop the rows stored under ``ids``; unknown ids raise ``KeyError``."""
+        ids = list(ids)
+        for column_id in ids:
+            if column_id not in self._pos:
+                raise KeyError(f"column id {column_id!r} is not stored")
+        drop = {self._pos[column_id] for column_id in ids}
+        keep = np.ones(len(self._ids), dtype=bool)
+        keep[list(drop)] = False
+        self._rows_buf = self._rows[keep]
+        self._unit_buf = self._unit[keep]
+        self._n_rows = int(keep.sum())
+        self._ids = [cid for i, cid in enumerate(self._ids) if keep[i]]
+        self._id_lookup = None
+        self._pos = {cid: i for i, cid in enumerate(self._ids)}
+        for column_id in ids:
+            self._value_fps.pop(column_id, None)
+        if self._partition is not None and self._partition.trained:
+            self._partition.compact(keep)
+
+    # --------------------------------------------------------------- search
+
+    def train(self) -> "GemIndex":
+        """(Re)fit the IVF coarse quantizer on the current rows.
+
+        A no-op for the exact backend. Called implicitly by the first IVF
+        search; call it explicitly after bulk adds/removes to rebalance the
+        inverted lists.
+        """
+        if self._partition is not None:
+            self._partition.train(self._unit)
+        return self
+
+    def search(
+        self,
+        queries: np.ndarray,
+        k: int,
+        *,
+        exclude_ids: Sequence[str | None] | None = None,
+    ) -> SearchResult:
+        """Top-k stored neighbours of each query row by cosine similarity.
+
+        Parameters
+        ----------
+        queries:
+            ``(n_queries, dim)`` raw embedding rows (normalised internally
+            exactly as the dense path normalises them).
+        k:
+            Neighbours per query; capped at the number of stored rows
+            (minus one under exclusion, mirroring ``top_k_neighbors``).
+        exclude_ids:
+            Optional per-query stored id to exclude (length ``n_queries``)
+            — self-exclusion for corpus-vs-itself retrieval. ``None``
+            entries and ids not in the index exclude nothing. When every
+            id resolves, ``k`` is capped at ``n - 1`` (mirroring
+            ``top_k_neighbors``); in a mixed batch the cap stays at ``n``
+            so queries without a resolved exclusion never lose their k-th
+            neighbour — a query *with* one then pads its final slot
+            (position ``-1``, score ``-inf``) when ``k`` reaches ``n``.
+        """
+        Q = check_array_2d(queries, "queries", min_rows=1)
+        if Q.shape[1] != self.dim:
+            raise ValueError(f"queries have dim {Q.shape[1]}, index has dim {self.dim}")
+        k = check_positive_int(k, "k")
+        n = len(self)
+        exclude_positions = None
+        if exclude_ids is not None:
+            exclude_ids = list(exclude_ids)
+            if len(exclude_ids) != Q.shape[0]:
+                raise ValueError(
+                    f"{len(exclude_ids)} exclude_ids for {Q.shape[0]} queries"
+                )
+            exclude_positions = np.array(
+                [self._pos.get(cid, -1) for cid in exclude_ids], dtype=np.intp
+            )
+            resolved = exclude_positions >= 0
+            if not resolved.any():
+                # Nothing actually resolves to a stored row: capping k would
+                # silently drop every query's k-th neighbour.
+                exclude_positions = None
+                k_eff = min(k, n)
+            elif resolved.all():
+                k_eff = min(k, n - 1)
+            else:
+                # Mixed batch: capping at n - 1 would cost every
+                # unresolved query its k-th neighbour, so keep the full
+                # range and let resolved queries pad their final slot.
+                k_eff = min(k, n)
+        else:
+            k_eff = min(k, n)
+        if k_eff < 1:
+            empty = np.empty((Q.shape[0], 0))
+            return SearchResult(
+                ids=empty.astype(object),
+                positions=empty.astype(np.intp),
+                scores=empty,
+            )
+        unit_q = unit_rows(Q)
+        if self.backend == "ivf":
+            assert self._partition is not None
+            if not self._partition.trained:
+                self.train()
+            pos, scores = ivf_topk(
+                unit_q,
+                self._unit,
+                self._partition,
+                k_eff,
+                n_probe=self.n_probe,
+                exclude_positions=exclude_positions,
+            )
+        else:
+            pos, scores = blocked_topk(
+                unit_q,
+                self._unit,
+                k_eff,
+                block_size=self.block_size,
+                exclude_positions=exclude_positions,
+            )
+        # Unfilled or masked slots (score -inf) carry no real neighbour.
+        pad = np.isneginf(scores)
+        pos[pad] = -1
+        ids_arr = np.empty(pos.shape, dtype=object)
+        if self._id_lookup is None:
+            # O(n) to build; cached across searches (serving workloads issue
+            # many small queries against a large frozen store).
+            self._id_lookup = np.array(self._ids, dtype=object)
+        valid = ~pad
+        ids_arr[valid] = self._id_lookup[pos[valid]]
+        return SearchResult(ids=ids_arr, positions=pos, scores=scores)
+
+    def search_corpus(self, corpus, k: int, *, exclude_self: bool = True) -> SearchResult:
+        """Embed ``corpus`` through the attached model and search it.
+
+        Requires an attached embedder (set by ``GemEmbedder.build_index``
+        or :meth:`attach`); the model fingerprint is re-checked on every
+        call, so a refit model raises :class:`StaleIndexError` instead of
+        serving stale neighbours. With ``exclude_self`` (default), each
+        column's own stored row is excluded from its results — the §4.1.2
+        protocol. "Own row" is identified by the content hash of the raw
+        cell values recorded at :meth:`~repro.core.gem.GemEmbedder.build_index`
+        time (see :meth:`_self_exclusion_ids`), so exclusion neither masks
+        an unrelated stored column whose positional id happens to recur in
+        another corpus, nor silently no-ops when the transform is not
+        call-reproducible or the index was built with custom ids.
+        """
+        if self._embedder is None:
+            raise RuntimeError(
+                "no embedder attached: build the index with "
+                "GemEmbedder.build_index() or call index.attach(embedder)"
+            )
+        self._check_fresh(self._embedder)
+        corpus_dependent = getattr(
+            self._embedder, "transform_is_corpus_dependent", False
+        )
+        if not corpus_dependent:
+            rows = self._embedder.transform(corpus)
+            # Ownership resolution hashes every query column's raw values;
+            # skip it when the exclusion list does not need it (the
+            # exclude_self=False hot path).
+            owners = self._self_exclusion_ids(corpus, rows) if exclude_self else None
+        else:
+            # Don't transform yet: on this path the stored rows are used
+            # (below), so a fresh transform — a complete autoencoder
+            # training run, or per-column refits — would be discarded.
+            owners = self._self_exclusion_ids(corpus, None)
+            # The embedder scales/projects per transformed corpus
+            # (autoencoder composition, or per_column mode whose balance
+            # statistics cannot be frozen at fit), so embeddings are only
+            # comparable to the stored rows when the query corpus IS the
+            # indexed corpus, column for column — even a subset rescales by
+            # its own corpus statistics and lands in a different space.
+            # (Checked by content: every query column must resolve to the
+            # stored row at its own position.)
+            same_corpus = len(owners) == len(self._ids) and all(
+                cid == stored for cid, stored in zip(owners, self._ids)
+            )
+            if not same_corpus:
+                raise ValueError(
+                    "search_corpus received a corpus that is not exactly "
+                    "the indexed one, but this embedder's transform is "
+                    "corpus-dependent (composition='autoencoder', "
+                    "fit_mode='per_column' with balanced blocks, or a model "
+                    "restored from an archive without frozen balance "
+                    "statistics), so its embeddings are not comparable to "
+                    "the stored rows — "
+                    "even a subset of the indexed corpus rescales "
+                    "differently. Query the full indexed corpus, or "
+                    "rebuild the index from an embedder without "
+                    "corpus-dependent stages."
+                )
+            # The corpus IS the indexed one (owners == stored ids in
+            # order), so query with the stored rows themselves: a fresh
+            # transform would be a different stochastic realization
+            # (per-column GMM refits or autoencoder retraining under a
+            # Generator seed), and ranking it against the stored rows
+            # would mix embedding spaces.
+            rows = self._rows
+        return self.search(rows, k, exclude_ids=owners if exclude_self else None)
+
+    def _self_exclusion_ids(
+        self, corpus, rows: np.ndarray | None
+    ) -> list[str | None]:
+        """The stored id that *is* each query column, or ``None``.
+
+        A column is "itself" only when the *whole query corpus* is the
+        indexed corpus — verified by content hashes (recorded by
+        ``build_index``) either under the columns' default corpus ids or
+        position-for-position under custom ids. Then each column excludes
+        its own stored row, mirroring the dense path's diagonal, and
+        exact-duplicate columns keep each other as neighbours. Any other
+        corpus has no diagonal to exclude: a per-column coincidence —
+        same content at the same position, or under the same positional
+        id, in a *different* corpus (id-like ``1..n`` columns make this
+        common) — is a legitimate perfect-score neighbour that must not
+        be silently dropped.
+
+        Fallback for indexes whose rows were stored without content
+        hashes: bitwise equality of each column's fresh embedding with
+        the stored row under its default id (best effort — defeated by
+        non-reproducible transforms; skipped when no fresh embeddings
+        were computed, i.e. ``rows`` is ``None``).
+        """
+        from repro.core.cache import array_fingerprint
+
+        ids = corpus_column_ids(corpus)
+        fps = [array_fingerprint(column.values) for column in corpus]
+        if len(fps) == len(self._ids) and self._value_fps:
+            if all(self._value_fps.get(cid) == fp for cid, fp in zip(ids, fps)):
+                return list(ids)
+            if all(
+                self._value_fps.get(sid) == fp
+                for sid, fp in zip(self._ids, fps)
+            ):
+                return list(self._ids)
+        exclude: list[str | None] = []
+        for i, cid in enumerate(ids):
+            pos = self._pos.get(cid, -1)
+            if (
+                rows is not None
+                and pos >= 0
+                and cid not in self._value_fps
+                and np.array_equal(self._rows[pos], rows[i])
+            ):
+                exclude.append(cid)
+            else:
+                exclude.append(None)
+        return exclude
+
+    # ------------------------------------------------------ model freshness
+
+    def attach(self, embedder) -> "GemIndex":
+        """Bind a fitted embedder for :meth:`search_corpus`.
+
+        If the index carries a model fingerprint (built or loaded from
+        one), the embedder must match it; otherwise the embedder's
+        fingerprint is adopted.
+        """
+        self._check_fresh(embedder)
+        if self.model_fingerprint is None:
+            from repro.core.persistence import gem_fingerprint
+
+            self.model_fingerprint = gem_fingerprint(embedder)
+        self._embedder = embedder
+        return self
+
+    def _check_fresh(self, embedder) -> None:
+        from repro.core.persistence import gem_fingerprint
+
+        if self.model_fingerprint is None:
+            return
+        current = gem_fingerprint(embedder)
+        if current != self.model_fingerprint:
+            raise StaleIndexError(
+                "index is stale: it was built against a different fitted Gem "
+                f"model (index fingerprint {self.model_fingerprint[:12]}…, "
+                f"embedder fingerprint {current[:12]}…). Rebuild the index "
+                "with GemEmbedder.build_index() after refitting."
+            )
+
+
+__all__ = ["GemIndex", "SearchResult", "StaleIndexError", "corpus_column_ids"]

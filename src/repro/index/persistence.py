@@ -1,0 +1,116 @@
+"""Persistence for :class:`~repro.index.core.GemIndex`.
+
+``save_index`` / ``load_index`` round-trip the stored rows, their stable
+column ids, the backend configuration, a trained IVF quantizer and — most
+importantly — the owning Gem model's fingerprint through one ``.npz``
+archive. Unit rows are *not* persisted: row normalisation is strictly
+row-wise, so recomputing it on load reproduces them bit-for-bit.
+
+The fingerprint is the staleness guard: a loaded index must be re-attached
+to a fitted embedder before it can serve ``search_corpus``, and the attach
+(and every subsequent call) verifies the embedder still matches the model
+the index was built from. A refit model raises
+:class:`~repro.index.core.StaleIndexError` instead of mixing embedding
+spaces.
+"""
+
+from __future__ import annotations
+
+import warnings
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.persistence import json_from_array, json_to_array, npz_path
+from repro.index.core import GemIndex
+
+_SCHEMA_VERSION = 1
+
+
+def save_index(index: GemIndex, path: str | Path) -> None:
+    """Serialise an index to ``path`` (.npz archive; the suffix is appended
+    if missing, and :func:`load_index` applies the same rule)."""
+    random_state = None
+    if index._partition is not None and isinstance(
+        index._partition.random_state, (int, np.integer)
+    ):
+        random_state = int(index._partition.random_state)
+    elif index._partition is not None and index._partition.random_state is not None:
+        warnings.warn(
+            "index random_state is a Generator and cannot be persisted; the "
+            "loaded index will seed its quantizer from 0",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        random_state = 0
+    config = {
+        "schema_version": _SCHEMA_VERSION,
+        "dim": index.dim,
+        "backend": index.backend,
+        "block_size": index.block_size,
+        "n_lists": index._partition.n_lists if index._partition is not None else None,
+        "n_probe": index.n_probe,
+        "random_state": random_state,
+        "model_fingerprint": index.model_fingerprint,
+    }
+    arrays: dict[str, np.ndarray] = {
+        "config_json": json_to_array(config),
+        "rows": index._rows,
+        "ids": np.array(index._ids, dtype=np.str_),
+    }
+    if index._value_fps:
+        fp_ids = sorted(index._value_fps)
+        arrays["value_fp_ids"] = np.array(fp_ids, dtype=np.str_)
+        arrays["value_fp_hashes"] = np.array(
+            [index._value_fps[cid] for cid in fp_ids], dtype=np.str_
+        )
+    if index._partition is not None and index._partition.trained:
+        arrays["ivf_centroids"] = index._partition.centroids_
+        arrays["ivf_assignments"] = index._partition.assignments_
+    np.savez(npz_path(path), **arrays)
+
+
+def load_index(path: str | Path) -> GemIndex:
+    """Load an index written by :func:`save_index`.
+
+    The returned index serves raw-vector ``search`` immediately; attach a
+    fitted embedder (``index.attach(gem)``) to serve ``search_corpus`` —
+    the attach enforces the persisted model fingerprint.
+    """
+    with np.load(npz_path(path)) as payload:
+        config = json_from_array(payload["config_json"])
+        version = config.get("schema_version")
+        if version != _SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported index schema version {version!r} "
+                f"(this library reads version {_SCHEMA_VERSION})"
+            )
+        index = GemIndex(
+            int(config["dim"]),
+            backend=config["backend"],
+            block_size=int(config["block_size"]),
+            n_lists=config["n_lists"],
+            n_probe=int(config["n_probe"]),
+            random_state=config["random_state"] or 0,
+            model_fingerprint=config["model_fingerprint"],
+        )
+        rows = payload["rows"]
+        ids = [str(cid) for cid in payload["ids"]]
+        if rows.shape[0]:
+            index.add(ids, rows)
+        if "value_fp_ids" in payload:
+            index._value_fps = dict(
+                zip(
+                    (str(cid) for cid in payload["value_fp_ids"]),
+                    (str(fp) for fp in payload["value_fp_hashes"]),
+                )
+            )
+        if "ivf_centroids" in payload:
+            assert index._partition is not None
+            index._partition.restore(
+                payload["ivf_centroids"], payload["ivf_assignments"]
+            )
+    return index
+
+
+__all__ = ["save_index", "load_index"]

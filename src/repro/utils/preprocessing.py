@@ -27,11 +27,21 @@ def l1_normalize(matrix: np.ndarray, *, axis: int = 1) -> np.ndarray:
 
 
 def l2_normalize(matrix: np.ndarray, *, axis: int = 1) -> np.ndarray:
-    """Scale rows (or columns) to unit L2 norm; zero rows stay zero."""
+    """Scale rows (or columns) to unit L2 norm; zero rows stay zero.
+
+    Slices are pre-scaled by their max absolute entry before the norm is
+    taken: squaring a subnormal entry underflows (and a huge one overflows),
+    so the naive ``x / ||x||`` returns garbage for rows of extreme
+    magnitude. After pre-scaling every surviving entry is in [-1, 1] and
+    the norm is exact to float precision.
+    """
     arr = np.asarray(matrix, dtype=np.float64)
-    norms = np.linalg.norm(arr, axis=axis, keepdims=True)
+    scale = np.max(np.abs(arr), axis=axis, keepdims=True) if arr.size else np.ones(1)
+    scale = np.where(scale == 0, 1.0, scale)
+    scaled = arr / scale
+    norms = np.linalg.norm(scaled, axis=axis, keepdims=True)
     norms = np.where(norms == 0, 1.0, norms)
-    return arr / norms
+    return scaled / norms
 
 
 def standardize(vector: np.ndarray) -> np.ndarray:

@@ -5,6 +5,7 @@ import pytest
 
 from repro.core import GemConfig, GemEmbedder
 from repro.core.cache import SignatureCache, array_fingerprint
+from repro.core.signature import mean_component_probabilities
 from repro.data.table import ColumnCorpus, NumericColumn
 
 FAST = dict(n_components=6, n_init=1, max_iter=60)
@@ -51,6 +52,20 @@ class TestSignatureCache:
         assert stored[0] == 1.0
         with pytest.raises(ValueError):
             stored[0] = 5.0
+
+    def test_returned_row_cannot_be_made_writeable(self):
+        # Regression: get() used to return the owning stored array, whose
+        # writeable flag a caller could flip back on — mutating it would
+        # silently poison every future hit for that column. A view of the
+        # read-only base cannot be re-enabled.
+        cache = SignatureCache()
+        cache.put("k", np.array([1.0, 2.0]))
+        returned = cache.get("k")
+        with pytest.raises(ValueError):
+            returned.flags.writeable = True
+        returned = returned.copy()  # the supported way to modify a hit
+        returned[0] = -1.0
+        assert cache.get("k")[0] == 1.0
 
     def test_lru_eviction(self):
         cache = SignatureCache(max_entries=2)
@@ -121,11 +136,19 @@ class TestEmbedderCaching:
         )
         assert off._signature_cache is None
 
-    def test_refit_clears_cache(self, fitted, tiny_corpus):
+    def test_refit_replaces_stale_cache_rows(self, fitted, tiny_corpus, ambiguous_corpus):
         fitted.transform(tiny_corpus)
         assert len(fitted._signature_cache) > 0
-        fitted.fit(tiny_corpus)
-        assert len(fitted._signature_cache) == 0
+        # Refit on a different corpus: the old mixture's memoised rows must
+        # be gone. (fit itself re-warms the cache for the *new* mixture
+        # while freezing the corpus-level balance statistics, so the cache
+        # is not empty — but every row must match a fresh computation.)
+        fitted.fit(ambiguous_corpus)
+        fresh = mean_component_probabilities(
+            fitted.gmm_, [c.values for c in tiny_corpus]
+        )
+        cached = fitted.mean_probabilities(tiny_corpus)
+        assert np.allclose(cached, fresh, atol=1e-12, rtol=0)
 
     def test_empty_column_error_names_corpus_index(self, fitted):
         # ColumnCorpus cannot hold empty columns, but the cached scoring

@@ -18,6 +18,46 @@ class TestRoundtrip:
         restored = load_gem(path)
         assert np.allclose(restored.transform(tiny_corpus), original)
 
+    def test_suffixless_path_round_trips(self, tiny_corpus, tmp_path):
+        # np.savez appends .npz; save_gem/load_gem must agree on the
+        # resulting file instead of save succeeding and load raising.
+        gem = GemEmbedder(config=FAST)
+        gem.fit(tiny_corpus)
+        save_gem(gem, tmp_path / "model.gem")
+        assert (tmp_path / "model.gem.npz").exists()
+        restored = load_gem(tmp_path / "model.gem")
+        assert np.allclose(restored.transform(tiny_corpus), gem.transform(tiny_corpus))
+
+    def test_frozen_balance_state_survives(self, tiny_corpus, tmp_path):
+        cfg = GemConfig.fast(n_components=6, n_init=1, use_contextual=True)
+        gem = GemEmbedder(config=cfg)
+        gem.fit(tiny_corpus)
+        assert gem._signature_balance is not None
+        assert gem._block_norms is not None
+        save_gem(gem, tmp_path / "gem.npz")
+        restored = load_gem(tmp_path / "gem.npz")
+        assert restored._signature_balance == gem._signature_balance
+        assert restored._block_norms == gem._block_norms
+        assert not restored.transform_is_corpus_dependent
+        sub = tiny_corpus.take(list(range(5)))
+        assert np.array_equal(
+            restored.transform(sub), gem.transform(tiny_corpus)[:5]
+        )
+
+    def test_generator_random_state_saves_with_warning(self, tiny_corpus, tmp_path):
+        # Regression: a Generator seed is not JSON-serialisable and used to
+        # crash save_gem with TypeError; the fitted arrays carry the draws
+        # that mattered, so the archive saves without it and warns.
+        gem = GemEmbedder(
+            n_components=6, n_init=1, max_iter=60,
+            random_state=np.random.default_rng(1),
+        )
+        gem.fit(tiny_corpus)
+        with pytest.warns(RuntimeWarning, match="cannot be persisted"):
+            save_gem(gem, tmp_path / "gen.npz")
+        restored = load_gem(tmp_path / "gen.npz")
+        assert np.allclose(restored.transform(tiny_corpus), gem.transform(tiny_corpus))
+
     def test_config_survives(self, tiny_corpus, tmp_path):
         cfg = GemConfig.fast(
             n_components=6, n_init=1, use_contextual=True, header_dim=64,

@@ -63,6 +63,42 @@ class TestTopKNeighbors:
         with pytest.raises(ValueError, match="square"):
             top_k_neighbors(np.zeros((2, 3)), 1)
 
+    def test_tied_similarities_break_by_ascending_index(self):
+        # Columns 1, 2 and 3 are exactly tied for row 0: deterministic
+        # tie-breaking must pick ascending indices, every run.
+        sim = np.array(
+            [
+                [1.0, 0.5, 0.5, 0.5],
+                [0.5, 1.0, 0.5, 0.5],
+                [0.5, 0.5, 1.0, 0.5],
+                [0.5, 0.5, 0.5, 1.0],
+            ]
+        )
+        for _ in range(5):
+            top = top_k_neighbors(sim, 2)
+            assert top[0].tolist() == [1, 2]
+            assert top[1].tolist() == [0, 2]
+            assert top[3].tolist() == [0, 1]
+
+    def test_duplicate_rows_deterministic(self, rng):
+        X = rng.normal(size=(8, 3))
+        X[5] = X[2]
+        X[7] = X[2]
+        sim = cosine_similarity_matrix(X)
+        runs = [top_k_neighbors(sim, 4) for _ in range(3)]
+        assert all(np.array_equal(runs[0], r) for r in runs[1:])
+        # Row 2's perfect matches are its duplicates, in ascending order.
+        assert runs[0][2, :2].tolist() == [5, 7]
+
+    def test_single_row_excluding_self_returns_empty(self):
+        top = top_k_neighbors(np.array([[1.0]]), 3)
+        assert top.shape == (1, 0)
+        assert top.dtype == np.intp
+
+    def test_single_row_including_self(self):
+        top = top_k_neighbors(np.array([[1.0]]), 3, exclude_self=False)
+        assert top.tolist() == [[0]]
+
 
 class TestPrecisionProtocol:
     def test_perfect_embeddings_score_one(self):
@@ -110,6 +146,23 @@ class TestPrecisionProtocol:
     def test_invalid_k_mode(self):
         with pytest.raises(ValueError, match="k_mode"):
             precision_recall_at_k(np.eye(4), ["a", "a", "b", "b"], k_mode="fixed")
+
+    def test_mismatched_similarity_rejected(self, rng):
+        X = rng.normal(size=(4, 3))
+        labels = ["a", "a", "b", "b"]
+        with pytest.raises(ValueError, match="square"):
+            precision_recall_at_k(X, labels, similarity=np.zeros((4, 5)))
+        with pytest.raises(ValueError, match="4 embedding rows"):
+            precision_recall_at_k(X, labels, similarity=np.zeros((3, 3)))
+
+    def test_matching_precomputed_similarity_accepted(self, rng):
+        X = rng.normal(size=(6, 4))
+        labels = ["a", "a", "a", "b", "b", "b"]
+        direct = precision_recall_at_k(X, labels)
+        precomputed = precision_recall_at_k(
+            X, labels, similarity=cosine_similarity_matrix(X)
+        )
+        assert direct.macro_precision == precomputed.macro_precision
 
     def test_cluster_size_mode_larger_k(self):
         X = np.array([[1.0, 0.0]] * 3 + [[0.0, 1.0]] * 3)
