@@ -5,7 +5,6 @@ statistic grows linearly (it fits seven distributions per column); Gem and
 Squashing GMM grow gently with column count.
 """
 
-import numpy as np
 
 from repro.experiments import run_experiment
 

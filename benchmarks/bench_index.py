@@ -30,6 +30,7 @@ Runs two ways:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 import tracemalloc
@@ -78,7 +79,7 @@ def _peak_bytes(fn) -> int:
     return peak
 
 
-def check_exact_matches_dense(n: int = 1_500) -> None:
+def check_exact_matches_dense(n: int = 1_500) -> dict:
     """Claim 1: blocked exact search is bit-identical to the dense path."""
     X = _clustered_rows(n, np.random.default_rng(0))
     X[3] = 0.0
@@ -94,9 +95,10 @@ def check_exact_matches_dense(n: int = 1_500) -> None:
         assert np.array_equal(result.scores, sim[rows, dense]), f"block_size={block_size}"
     print(f"exact backend bit-identical to dense path over {n} columns "
           "(block sizes 1, 257, 4096)")
+    return {"n": n, "block_sizes": [1, 257, 4096], "bit_identical": True}
 
 
-def check_search_memory_flat(growth_base: int) -> None:
+def check_search_memory_flat(growth_base: int) -> dict:
     """Claim 2: exact-search peak memory is flat at 10x corpus growth."""
     def peak_at(n: int) -> int:
         X = _clustered_rows(n, np.random.default_rng(1))
@@ -115,11 +117,15 @@ def check_search_memory_flat(growth_base: int) -> None:
         f"search memory grew with the corpus: {peak_small} -> {peak_large} bytes"
     )
     assert peak_large < dense_bytes / 50
+    return {
+        "n_small": small, "n_large": large,
+        "peak_small_bytes": peak_small, "peak_large_bytes": peak_large,
+    }
 
 
 def check_ivf_tradeoff(
     n: int, n_queries: int, n_lists: int, n_probe: int, *, strict_speedup: bool
-) -> None:
+) -> dict:
     """Claim 3: >= 5x IVF query speedup at recall@10 >= 0.95."""
     X = _clustered_rows(n, np.random.default_rng(2))
     queries = X[:n_queries]
@@ -147,6 +153,11 @@ def check_ivf_tradeoff(
     elif speedup < 5.0:
         print(f"WARNING: advisory speedup below 5x ({speedup:.2f}x) — "
               "expected only on heavily loaded shared runners")
+    return {
+        "n": n, "n_lists": n_lists, "n_probe": n_probe,
+        "recall_at_k": recall, "t_exact_s": t_exact, "t_ivf_s": t_ivf,
+        "speedup": speedup, "train_s": train_s,
+    }
 
 
 # ------------------------------------------------------- pytest entry points
@@ -177,14 +188,27 @@ def main(argv: list[str] | None = None) -> int:
         help="CI profile: smaller corpora; recall and memory gate, the "
         "wall-clock speedup assertion becomes advisory",
     )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write the measurements to PATH as JSON (nightly artifact)",
+    )
     args = parser.parse_args(argv)
     cfg = QUICK if args.quick else FULL
-    check_exact_matches_dense()
-    check_search_memory_flat(cfg["growth_base"])
-    check_ivf_tradeoff(
-        cfg["n"], cfg["n_queries"], cfg["n_lists"], cfg["n_probe"],
-        strict_speedup=not args.quick,
-    )
+    results = {
+        "profile": "quick" if args.quick else "full",
+        "exactness": check_exact_matches_dense(),
+        "memory": check_search_memory_flat(cfg["growth_base"]),
+        "ivf": check_ivf_tradeoff(
+            cfg["n"], cfg["n_queries"], cfg["n_lists"], cfg["n_probe"],
+            strict_speedup=not args.quick,
+        ),
+    }
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(results, fh, indent=2)
+        print(f"wrote {args.json}")
     print("bench_index: all checks passed")
     return 0
 

@@ -11,6 +11,9 @@ surface:
 * :mod:`repro.evaluation` — precision@k, clustering ACC/ARI;
 * :mod:`repro.index` — lake-scale cosine-similarity serving
   (:class:`GemIndex`: exact blocked search and IVF approximate search);
+* :mod:`repro.serve` — the online layer (:class:`GemService`:
+  micro-batched thread-safe embed/search over snapshot-isolated
+  ingest/evict);
 * :mod:`repro.clustering` — SDCN and TableDC deep clustering;
 * :mod:`repro.experiments` — runners regenerating every table and figure.
 
@@ -41,6 +44,7 @@ from repro.evaluation import (
     precision_recall_at_k,
 )
 from repro.index import GemIndex, load_index, save_index
+from repro.serve import GemService
 
 __version__ = "0.1.0"
 
@@ -61,5 +65,6 @@ __all__ = [
     "GemIndex",
     "save_index",
     "load_index",
+    "GemService",
     "__version__",
 ]

@@ -21,7 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.baselines.base import ColumnEmbedder, stratified_train_mask
-from repro.core.statistics import column_statistics
+from repro.core.statistics import columns_statistics_batch
 from repro.data.table import ColumnCorpus
 from repro.nn.gcn import GCNClassifier, knn_graph
 from repro.text.embedder import HashingTextEmbedder
@@ -69,7 +69,7 @@ class PythagorasSCEmbedder(ColumnEmbedder):
         self._train_embeddings: np.ndarray | None = None
 
     def _node_features(self, corpus: ColumnCorpus) -> tuple[np.ndarray, np.ndarray]:
-        stats = np.stack([column_statistics(c.values) for c in corpus])
+        stats = columns_statistics_batch([c.values for c in corpus])
         headers = self._header_embedder.encode(corpus.headers)
         return stats, headers
 

@@ -22,7 +22,7 @@ from repro.nn.gcn import GraphConvolution, knn_graph, normalized_adjacency
 from repro.nn.layers import ReLU, Sequential
 from repro.nn.losses import SoftmaxCrossEntropy
 from repro.nn.optim import Adam
-from repro.utils.rng import RandomState, spawn_seeds
+from repro.utils.rng import spawn_seeds
 from repro.utils.validation import check_positive_int
 
 

@@ -16,6 +16,7 @@ It is bounded LRU so long-running services cannot grow it without limit.
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 
 import numpy as np
@@ -38,6 +39,12 @@ def array_fingerprint(values: np.ndarray) -> str:
 class SignatureCache:
     """Bounded LRU map from column content-hash to pooled signature row.
 
+    Thread-safe: the serving layer (:mod:`repro.serve`) runs concurrent
+    transform batches against one embedder, so get/put/clear serialise on
+    an internal lock (the LRU reordering and eviction are multi-step
+    ``OrderedDict`` updates that individual-operation atomicity would not
+    protect).
+
     Parameters
     ----------
     max_entries:
@@ -50,6 +57,7 @@ class SignatureCache:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.max_entries = int(max_entries)
         self._rows: OrderedDict[str, np.ndarray] = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
@@ -69,28 +77,31 @@ class SignatureCache:
         base cannot be made writeable, so the cached row is safe however
         the caller treats the result (copy it to modify it).
         """
-        row = self._rows.get(key)
-        if row is None:
-            self.misses += 1
-            return None
-        self._rows.move_to_end(key)
-        self.hits += 1
-        return row.view()
+        with self._lock:
+            row = self._rows.get(key)
+            if row is None:
+                self.misses += 1
+                return None
+            self._rows.move_to_end(key)
+            self.hits += 1
+            return row.view()
 
     def put(self, key: str, row: np.ndarray) -> None:
         """Store a copy of ``row`` under ``key``, evicting LRU if full."""
         stored = np.array(row, dtype=float, copy=True)
         stored.flags.writeable = False
-        self._rows[key] = stored
-        self._rows.move_to_end(key)
-        while len(self._rows) > self.max_entries:
-            self._rows.popitem(last=False)
+        with self._lock:
+            self._rows[key] = stored
+            self._rows.move_to_end(key)
+            while len(self._rows) > self.max_entries:
+                self._rows.popitem(last=False)
 
     def clear(self) -> None:
         """Drop every entry and reset the hit/miss counters."""
-        self._rows.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._rows.clear()
+            self.hits = 0
+            self.misses = 0
 
     @property
     def stats(self) -> dict[str, int]:

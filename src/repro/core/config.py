@@ -129,6 +129,23 @@ class GemConfig:
         ``round(sqrt(n))`` when the quantizer trains.
     index_n_probe:
         Inverted lists probed per IVF query — the recall/speed trade-off.
+    serve_batch_window_ms:
+        Upper bound on how long a :class:`~repro.serve.GemService` batch
+        keeps collecting after its first request arrives. Collection seals
+        early — as soon as the batch fills or stops growing for a couple
+        of scheduler yields — so concurrent requests coalesce into one
+        vectorised ``transform``/``search`` pass (bit-identical to solo
+        calls) while an isolated request never idles out the window.
+        Under load, batches also keep collecting for the whole duration of
+        the previous batch's execution, which is the main batching engine.
+        ``0`` removes the linger entirely (execution-overlap batching
+        still applies).
+    serve_max_batch:
+        Maximum requests coalesced into one serving batch.
+    serve_max_workers:
+        Worker threads executing read batches in the serving layer (writes
+        are always applied by a single thread so snapshots publish in
+        order).
     random_state:
         Seed threaded through every stochastic stage.
     """
@@ -164,6 +181,9 @@ class GemConfig:
     index_block_size: int = 4096
     index_n_lists: int | None = None
     index_n_probe: int = 8
+    serve_batch_window_ms: float = 2.0
+    serve_max_batch: int = 64
+    serve_max_workers: int = 2
     random_state: RandomState = 0
 
     def __post_init__(self) -> None:
@@ -227,6 +247,18 @@ class GemConfig:
             )
         if self.index_n_probe < 1:
             raise ValueError(f"index_n_probe must be >= 1, got {self.index_n_probe}")
+        if self.serve_batch_window_ms < 0:
+            raise ValueError(
+                f"serve_batch_window_ms must be >= 0, got {self.serve_batch_window_ms}"
+            )
+        if self.serve_max_batch < 1:
+            raise ValueError(
+                f"serve_max_batch must be >= 1, got {self.serve_max_batch}"
+            )
+        if self.serve_max_workers < 1:
+            raise ValueError(
+                f"serve_max_workers must be >= 1, got {self.serve_max_workers}"
+            )
 
     def with_features(
         self,

@@ -27,14 +27,13 @@ from repro.core.cache import SignatureCache, array_fingerprint
 from repro.core.composition import compose
 from repro.core.config import GemConfig
 from repro.core.signature import mean_component_probabilities, signature_matrix
-from repro.core.statistics import STATISTICAL_FEATURE_NAMES, column_statistics, statistics_matrix
+from repro.core.statistics import STATISTICAL_FEATURE_NAMES, columns_statistics_batch
 from repro.data.table import ColumnCorpus
 from repro.gmm.model import GaussianMixture
 from repro.gmm.selection import SelectionReport, select_n_components_bic
 from repro.text.embedder import HashingTextEmbedder
 from repro.utils.preprocessing import l1_normalize
 from repro.utils.rng import RandomState, check_random_state, spawn_seeds
-from repro.utils.validation import check_fitted
 
 
 def _balance(block: np.ndarray) -> np.ndarray:
@@ -169,7 +168,7 @@ class GemEmbedder:
             ).fit(stacked.reshape(-1, 1))
         else:
             self.gmm_ = None  # per-column mode fits at transform time
-        raw_feats = np.stack([column_statistics(c.values) for c in corpus])
+        raw_feats = columns_statistics_batch([c.values for c in corpus])
         self._feature_mean = raw_feats.mean(axis=0)
         std = raw_feats.std(axis=0)
         self._feature_std = np.where(std == 0, 1.0, std)
@@ -459,7 +458,7 @@ class GemEmbedder:
         columns cannot monopolise the jointly normalised signature.
         """
         self._check_fitted()
-        raw = np.stack([column_statistics(c.values) for c in corpus])
+        raw = columns_statistics_batch([c.values for c in corpus])
         return self._standardize_features(raw)
 
     def _standardize_features(self, raw: np.ndarray) -> np.ndarray:
@@ -589,6 +588,22 @@ class GemEmbedder:
         index.add(ids, embeddings, value_fingerprints=value_fps)
         index.attach(self)
         return index
+
+    def serve(self, index=None, **serve_overrides: object):
+        """Wrap this fitted embedder in a :class:`~repro.serve.GemService`.
+
+        The service micro-batches concurrent ``embed``/``search`` requests
+        into single vectorised passes (bit-identical to solo calls) and
+        applies ``ingest``/``evict`` through snapshot-swapped writes, per
+        the ``serve_*`` knobs of :class:`~repro.core.config.GemConfig`.
+        ``index`` defaults to an empty index in this model's space; pass
+        ``self.build_index(corpus)`` (or a loaded archive) to serve an
+        existing corpus. Requires a corpus-independent transform — see
+        :attr:`transform_is_corpus_dependent`.
+        """
+        from repro.serve import GemService
+
+        return GemService(self, index, **serve_overrides)  # type: ignore[arg-type]
 
     # ------------------------------------------------------------ clustering
 

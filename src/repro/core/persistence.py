@@ -5,10 +5,14 @@ parameters + feature standardisation + config); deployments fit once over a
 data lake and embed new columns later. ``save_gem`` / ``load_gem`` round-trip
 everything through a single ``.npz`` archive (config as embedded JSON,
 arrays natively). The transform-engine knobs (``batch_size``,
-``cache_signatures``, ``n_workers``) and the fit-engine knobs
-(``fit_engine``, ``fit_batch_size``, ``warm_start_bic``) travel with the
-config, so a reloaded embedder refits with the same engine and memory
-profile; the signature cache itself is transient and starts empty on load.
+``cache_signatures``, ``n_workers``), the fit-engine knobs
+(``fit_engine``, ``fit_batch_size``, ``warm_start_bic``) and the serving
+knobs (``serve_batch_window_ms``, ``serve_max_batch``,
+``serve_max_workers``) travel with the config, so a reloaded embedder
+refits with the same engine and memory profile and a
+:meth:`~repro.serve.GemService.from_archives` warm start serves with the
+deployment's batching policy; the signature cache itself is transient and
+starts empty on load.
 """
 
 from __future__ import annotations

@@ -19,7 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.data.table import ColumnCorpus
-from repro.gmm.model import BatchPlan, GaussianMixture
+from repro.gmm.model import GaussianMixture
 from repro.utils.preprocessing import l1_normalize, l2_normalize
 from repro.utils.validation import check_array_2d
 
@@ -43,6 +43,45 @@ def column_offsets(columns: list[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
     return sizes, offsets
 
 
+def column_chunks(offsets: np.ndarray, batch_size: int | None):
+    """Column-aligned chunk slices over a stacked value array.
+
+    Yields ``slice`` objects covering ``[0, offsets[-1])`` such that every
+    chunk holds at most ``batch_size`` values and every chunk boundary
+    falls on a column start — except inside a single column longer than
+    ``batch_size``, which is split at multiples of ``batch_size`` *from its
+    own start*. A column's partition into chunks therefore depends only on
+    its own length and ``batch_size``, never on what other columns share
+    the stack: pooled sums accumulate in the same order whether the column
+    is scored alone or inside any batch. This composition invariance is
+    what lets the serving layer (:mod:`repro.serve`) coalesce many small
+    transform requests into one vectorised pass with bit-identical results.
+
+    ``batch_size=None`` yields the whole stack as one chunk.
+    """
+    total = int(offsets[-1])
+    if batch_size is None:
+        yield slice(0, total)
+        return
+    n_cols = len(offsets) - 1
+    i = 0
+    while i < n_cols:
+        start = int(offsets[i])
+        stop_i = int(offsets[i + 1])
+        if stop_i - start > batch_size:
+            # Oversized column: sub-chunks aligned to its own start.
+            for s in range(start, stop_i, batch_size):
+                yield slice(s, min(s + batch_size, stop_i))
+            i += 1
+            continue
+        # Pack whole columns while the chunk stays within batch_size.
+        j = i + 1
+        while j < n_cols and int(offsets[j + 1]) - start <= batch_size:
+            j += 1
+        yield slice(start, int(offsets[j]))
+        i = j
+
+
 def mean_component_probabilities(
     gmm: GaussianMixture,
     columns: list[np.ndarray],
@@ -57,8 +96,13 @@ def mean_component_probabilities(
     chunked scorer: with ``batch_size`` set, only one
     ``(batch_size, n_components)`` block of responsibilities is live at a
     time, so peak memory is bounded no matter how many values the corpus
-    stacks. Scoring is row-wise and each column is summed left-to-right
-    either way, so the chunked result matches the unchunked one.
+    stacks. Chunks are column-aligned (:func:`column_chunks`), so a
+    column's pooled row is **bit-identical whether it is scored alone or
+    inside any batch** — scoring is row-wise and each column's values are
+    summed in chunks determined only by its own length. Columns no longer
+    than ``batch_size`` additionally match the unchunked pass bitwise; a
+    column split across chunks matches it to machine precision (the
+    partial sums associate differently).
 
     Parameters
     ----------
@@ -86,7 +130,7 @@ def mean_component_probabilities(
     ).reshape(-1, 1)
     score = gmm.predict_proba if kind == "responsibility" else gmm.component_pdf
     sums = np.zeros((len(columns), gmm.means_.shape[0]))
-    for rows in BatchPlan(stacked.shape[0], batch_size):
+    for rows in column_chunks(offsets, batch_size):
         per_value = score(stacked[rows])
         # Columns overlapping this chunk: `first` contains row `rows.start`;
         # the segment boundaries are the column starts strictly inside the
@@ -170,6 +214,7 @@ def corpus_value_columns(corpus: ColumnCorpus) -> list[np.ndarray]:
 
 __all__ = [
     "column_offsets",
+    "column_chunks",
     "mean_component_probabilities",
     "signature_matrix",
     "corpus_value_columns",

@@ -21,7 +21,7 @@ contains the hard cases the paper discusses:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np

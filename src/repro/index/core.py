@@ -134,6 +134,15 @@ class GemIndex:
         self._rows_buf = np.empty((0, self.dim))
         self._unit_buf = np.empty((0, self.dim))
         self._n_rows = 0
+        # Copy-on-write tail claim. Forks made by snapshot() share the row
+        # buffers; rows below each holder's _n_rows are immutable, and the
+        # spare tail beyond the fork point may be extended in place by
+        # exactly ONE holder — whichever add()s first claims the shared
+        # cell. The other holder copies before writing. A single writer
+        # publishing snapshots therefore appends in place (O(batch)
+        # amortized, no per-publish buffer copy) while every published
+        # snapshot stays frozen.
+        self._tail_owner: list = [self]
         self._ids: list[str] = []
         self._pos: dict[str, int] = {}
         self._id_lookup: np.ndarray | None = None
@@ -217,12 +226,20 @@ class GemIndex:
         unit = unit_rows(X)
         base = len(self._ids)
         needed = self._n_rows + X.shape[0]
-        if needed > self._rows_buf.shape[0]:
+        cell = self._tail_owner
+        if cell[0] is None:
+            cell[0] = self  # first fork holder to write claims the tail
+        if needed > self._rows_buf.shape[0] or cell[0] is not self:
+            # Reallocate on growth — or copy-on-write when another fork
+            # holder already claimed the shared tail: every row a snapshot
+            # can see (below its _n_rows) is never written again, and two
+            # holders can never extend the same spare capacity.
             capacity = max(needed, 2 * self._rows_buf.shape[0], 64)
             for name in ("_rows_buf", "_unit_buf"):
                 grown = np.empty((capacity, self.dim))
                 grown[: self._n_rows] = getattr(self, name)[: self._n_rows]
                 setattr(self, name, grown)
+            self._tail_owner = [self]
         self._rows_buf[self._n_rows : needed] = X
         self._unit_buf[self._n_rows : needed] = unit
         self._n_rows = needed
@@ -246,6 +263,7 @@ class GemIndex:
         keep[list(drop)] = False
         self._rows_buf = self._rows[keep]
         self._unit_buf = self._unit[keep]
+        self._tail_owner = [self]  # fancy indexing allocated fresh buffers
         self._n_rows = int(keep.sum())
         self._ids = [cid for i, cid in enumerate(self._ids) if keep[i]]
         self._id_lookup = None
@@ -254,6 +272,59 @@ class GemIndex:
             self._value_fps.pop(column_id, None)
         if self._partition is not None and self._partition.trained:
             self._partition.compact(keep)
+
+    # ------------------------------------------------------------- snapshots
+
+    def snapshot(self) -> "GemIndex":
+        """An immutable-by-convention copy-on-write fork of this index.
+
+        The fork shares the row buffers (O(1)), the id bookkeeping is
+        copied (O(n) dict/list copies, no array copies) and a trained IVF
+        partition is forked shallowly. After the call, mutating *either*
+        object never changes what the other serves: ``remove`` reallocates,
+        rows below a fork's ``_n_rows`` are never written again, and the
+        spare tail capacity may be extended in place by whichever fork
+        ``add``s first (the ``_tail_owner`` claim) — the other fork copies
+        before writing. A single writer that keeps appending and publishing
+        snapshots therefore pays O(batch) amortized per write batch, not a
+        buffer copy per publish. (Mutating both forks concurrently from
+        different threads requires external synchronisation, as all
+        GemIndex mutation does; concurrent *reads* of any snapshot are
+        safe.)
+
+        This is the reader side of the serving layer's snapshot isolation
+        (:mod:`repro.serve`): a writer applies a batch of adds/removes to
+        its working index, then publishes ``working.snapshot()`` by a
+        single reference assignment. Readers holding an older snapshot keep
+        serving exactly the rows it had when published. Concurrent
+        ``search`` calls on one snapshot are thread-safe: the only lazy
+        state they touch (``_id_lookup``, the IVF member lists, an
+        untrained quantizer) is rebuilt deterministically, so racing
+        threads can only write identical values.
+        """
+        clone = GemIndex.__new__(GemIndex)
+        clone.dim = self.dim
+        clone.backend = self.backend
+        clone.block_size = self.block_size
+        clone.n_probe = self.n_probe
+        clone._rows_buf = self._rows_buf
+        clone._unit_buf = self._unit_buf
+        clone._n_rows = self._n_rows
+        clone._ids = list(self._ids)
+        clone._pos = dict(self._pos)
+        clone._id_lookup = self._id_lookup
+        clone._value_fps = dict(self._value_fps)
+        clone._partition = (
+            self._partition.fork() if self._partition is not None else None
+        )
+        clone.model_fingerprint = self.model_fingerprint
+        clone._embedder = self._embedder
+        # Fresh unclaimed tail cell shared by both sides: the first to
+        # add() claims the spare capacity, the other copies on write.
+        cell: list = [None]
+        self._tail_owner = cell
+        clone._tail_owner = cell
+        return clone
 
     # --------------------------------------------------------------- search
 

@@ -104,7 +104,18 @@ def blocked_topk(
                 mask = cand_pos == excl[:, None]
                 if mask.any():
                     sim = np.where(mask, -np.inf, sim)
-            run_scores, run_pos = merge_topk(run_scores, run_pos, sim, cand_pos, k)
+            # Per-block top-k first, then a tiny (q, 2k) merge. Candidate
+            # positions ascend along the axis, so a single-key *stable*
+            # argsort of -sim realises the same (score desc, position asc)
+            # total order as a two-key sort at half the work, and merging
+            # only per-block winners keeps the sorted width at k + block
+            # top-k instead of k + block.
+            k_block = min(k, sim.shape[1])
+            sel = np.argsort(-sim, axis=1, kind="stable")[:, :k_block]
+            rows = np.arange(sim.shape[0])[:, None]
+            run_scores, run_pos = merge_topk(
+                run_scores, run_pos, sim[rows, sel], cand_pos[rows, sel], k
+            )
         best_scores[q0:q1] = run_scores
         best_pos[q0:q1] = run_pos
     return best_pos, best_scores

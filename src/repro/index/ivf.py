@@ -111,7 +111,7 @@ class IVFPartition:
             order = np.argsort(self.assignments_, kind="stable")
             bounds = np.searchsorted(self.assignments_[order], np.arange(n_lists + 1))
             self._members = [
-                order[bounds[l] : bounds[l + 1]] for l in range(n_lists)
+                order[bounds[i] : bounds[i + 1]] for i in range(n_lists)
             ]
         return self._members
 
@@ -120,6 +120,21 @@ class IVFPartition:
         self.centroids_ = np.asarray(centroids, dtype=np.float64)
         self.assignments_ = np.asarray(assignments, dtype=np.intp)
         self._members = None
+
+    def fork(self) -> "IVFPartition":
+        """A snapshot copy sharing the (never-mutated-in-place) arrays.
+
+        Every mutation above *rebinds* ``centroids_`` / ``assignments_`` /
+        ``_members`` rather than writing into them, so a shallow copy fully
+        isolates the fork: training, extending or compacting either object
+        leaves the other's view intact. Used by
+        :meth:`repro.index.core.GemIndex.snapshot`.
+        """
+        clone = IVFPartition(self.n_lists, self.random_state)
+        clone.centroids_ = self.centroids_
+        clone.assignments_ = self.assignments_
+        clone._members = self._members
+        return clone
 
 
 def ivf_topk(
@@ -159,11 +174,11 @@ def ivf_topk(
         run_scores = best_scores[q0:q1]
         run_pos = best_pos[q0:q1]
         excl = exclude_positions[q0:q1] if exclude_positions is not None else None
-        for l in range(n_lists):
-            mem = members[l]
+        for list_id in range(n_lists):
+            mem = members[list_id]
             if mem.size == 0:
                 continue
-            qs = np.flatnonzero((probe == l).any(axis=1))
+            qs = np.flatnonzero((probe == list_id).any(axis=1))
             if qs.size == 0:
                 continue
             sim = pairwise_cosine(Q[qs], stored_unit[mem])

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.nn.layers import Dense, Layer, Parameter, ReLU, Sequential
+from repro.nn.layers import Layer, Parameter, ReLU, Sequential
 from repro.nn.losses import SoftmaxCrossEntropy
 from repro.nn.optim import Adam
 from repro.utils.rng import RandomState, check_random_state, spawn_seeds

@@ -1,0 +1,111 @@
+"""Counter surface of the serving layer.
+
+One :class:`ServiceMetrics` instance lives on each
+:class:`~repro.serve.service.GemService`; every public request records its
+operation, wall-clock latency and whether it shared a micro-batch, and
+every snapshot publish stamps a timestamp. The surface is deliberately
+minimal — enough to answer the operational questions ("is batching
+engaging?", "how stale is what readers see?") without pulling in a metrics
+framework:
+
+* ``requests`` — total and per-operation counts;
+* ``batched_ratio`` — fraction of requests that shared a batch with at
+  least one other request (the micro-batcher's engagement);
+* ``latency_p50_ms`` / ``latency_p99_ms`` — percentiles over a bounded
+  window of recent request latencies (queue wait + execution);
+* ``snapshot_age_s`` — seconds since the last snapshot publish, i.e. an
+  upper bound on how stale the corpus served to readers is;
+* ``snapshot_publishes`` / ``rows_ingested`` / ``rows_evicted`` — write
+  side throughput.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter, deque
+
+import numpy as np
+
+
+class ServiceMetrics:
+    """Thread-safe counters for one :class:`~repro.serve.GemService`.
+
+    Parameters
+    ----------
+    latency_window:
+        Number of most recent request latencies retained for the
+        percentile estimates (bounded so a long-running service cannot
+        grow it without limit).
+    """
+
+    def __init__(self, latency_window: int = 4096) -> None:
+        if latency_window < 1:
+            raise ValueError(f"latency_window must be >= 1, got {latency_window}")
+        self._lock = threading.Lock()
+        self._requests: Counter[str] = Counter()
+        self._batched = 0
+        self._batches = 0
+        self._latencies: deque[float] = deque(maxlen=int(latency_window))
+        self._rows_ingested = 0
+        self._rows_evicted = 0
+        self._snapshot_publishes = 0
+        self._snapshot_published_at: float | None = None
+
+    # ------------------------------------------------------------ recording
+
+    def record_request(self, op: str, latency_s: float, batch_size: int) -> None:
+        """Account one finished request of kind ``op``.
+
+        ``batch_size`` is the number of requests that shared its executed
+        batch; > 1 marks the request as batched.
+        """
+        with self._lock:
+            self._requests[op] += 1
+            if batch_size > 1:
+                self._batched += 1
+            self._latencies.append(float(latency_s))
+
+    def record_batch(self) -> None:
+        """Account one executed micro-batch."""
+        with self._lock:
+            self._batches += 1
+
+    def record_publish(self, n_ingested: int = 0, n_evicted: int = 0) -> None:
+        """Stamp a snapshot publish and its write sizes."""
+        with self._lock:
+            self._snapshot_publishes += 1
+            self._rows_ingested += int(n_ingested)
+            self._rows_evicted += int(n_evicted)
+            self._snapshot_published_at = time.monotonic()
+
+    # ------------------------------------------------------------- reporting
+
+    def snapshot(self) -> dict[str, object]:
+        """A point-in-time view of every counter, as plain Python values."""
+        with self._lock:
+            total = int(sum(self._requests.values()))
+            latencies = np.asarray(self._latencies, dtype=float)
+            published_at = self._snapshot_published_at
+            out: dict[str, object] = {
+                "requests": total,
+                "requests_by_op": dict(self._requests),
+                "batches": self._batches,
+                "batched_ratio": (self._batched / total) if total else 0.0,
+                "rows_ingested": self._rows_ingested,
+                "rows_evicted": self._rows_evicted,
+                "snapshot_publishes": self._snapshot_publishes,
+            }
+        if latencies.size:
+            p50, p99 = np.percentile(latencies, [50, 99])
+            out["latency_p50_ms"] = float(p50) * 1e3
+            out["latency_p99_ms"] = float(p99) * 1e3
+        else:
+            out["latency_p50_ms"] = out["latency_p99_ms"] = None
+        out["snapshot_age_s"] = (
+            time.monotonic() - published_at if published_at is not None else None
+        )
+        return out
+
+
+__all__ = ["ServiceMetrics"]

@@ -1,0 +1,326 @@
+"""`GemService`: a thread-safe online serving layer over Gem + GemIndex.
+
+The offline pipeline fits once and transforms a corpus; the serving
+workload is many concurrent callers issuing *small* requests — embed a
+handful of columns, find a column's neighbours, ingest a freshly crawled
+table, evict a retracted one. :class:`GemService` owns one fitted
+:class:`~repro.core.gem.GemEmbedder` and one
+:class:`~repro.index.GemIndex` and coordinates that traffic:
+
+* **micro-batching** — concurrent ``embed``/``search`` requests arriving
+  within ``serve_batch_window_ms`` of each other coalesce into one
+  vectorised ``transform``/``search`` pass. Results are **bit-identical**
+  to solo calls: signature pooling chunks are column-aligned (a column's
+  pooled row never depends on what shares the stack) and the top-k search
+  kernels are row-independent and blocking-invariant.
+* **snapshot isolation** — writes (``ingest``/``evict``) apply to the
+  single writer's working index and publish via an atomic snapshot swap
+  (:mod:`repro.serve.snapshot`); readers never block on writers and never
+  observe a half-applied batch. Within one write batch, ops apply in
+  arrival order, so evict + ingest of the same id resurrects the row.
+* **metrics** — request counts, batched ratio, p50/p99 latency and
+  snapshot age (:mod:`repro.serve.metrics`).
+
+Warm start from archives written by ``save_gem``/``save_index``::
+
+    service = GemService.from_archives("gem.npz", "lake.idx.npz")
+    hits = service.search(new_corpus, k=10)
+
+The index archive embeds the owning model's fingerprint; a mismatched
+pair raises :class:`~repro.index.StaleIndexError` instead of serving
+neighbours from a different embedding space.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.cache import array_fingerprint
+from repro.core.gem import GemEmbedder
+from repro.data.table import ColumnCorpus, NumericColumn
+from repro.index.core import GemIndex, SearchResult
+from repro.serve.batching import MicroBatcher
+from repro.serve.metrics import ServiceMetrics
+from repro.serve.snapshot import SnapshotStore, WriteOp
+
+
+def _as_columns(columns: object, what: str) -> list[NumericColumn]:
+    """Normalise a request payload to a list of NumericColumn."""
+    if isinstance(columns, ColumnCorpus):
+        return list(columns)
+    if isinstance(columns, NumericColumn):
+        return [columns]
+    cols = list(columns)  # type: ignore[arg-type]
+    for c in cols:
+        # Checked before the request joins a batch: malformed input would
+        # otherwise fail the whole coalesced transform pass and take
+        # innocent co-batched requests down with it. (NumericColumn itself
+        # guarantees non-empty finite values at construction.)
+        if not isinstance(c, NumericColumn):
+            raise TypeError(
+                f"{what} must be a ColumnCorpus or a sequence of "
+                f"NumericColumn, got an element of type {type(c).__name__}"
+            )
+    return cols
+
+
+class GemService:
+    """Thread-safe serving facade over a fitted embedder and an index.
+
+    Parameters
+    ----------
+    embedder:
+        A fitted :class:`~repro.core.gem.GemEmbedder` whose transform is
+        corpus-independent (stacked mode with frozen balance statistics;
+        the constructor refuses autoencoder/per-column configurations —
+        their embeddings are not comparable across requests).
+    index:
+        The index to serve and maintain; ``None`` starts empty. The
+        embedder is (re-)attached, so a warm-started index whose archive
+        fingerprint does not match raises
+        :class:`~repro.index.StaleIndexError`.
+    batch_window_ms / max_batch / max_workers:
+        Micro-batching knobs; default to the embedder config's
+        ``serve_batch_window_ms`` / ``serve_max_batch`` /
+        ``serve_max_workers``.
+
+    All four public operations may be called from any number of threads.
+    ``embed`` and ``search`` are reads: they run against the latest
+    published snapshot and coalesce into shared vectorised passes.
+    ``ingest`` and ``evict`` are writes: they are applied by a single
+    writer thread in arrival order and become visible atomically; both
+    block until their batch's snapshot is published, so a caller's own
+    subsequent search observes its write.
+    """
+
+    def __init__(
+        self,
+        embedder: GemEmbedder,
+        index: GemIndex | None = None,
+        *,
+        batch_window_ms: float | None = None,
+        max_batch: int | None = None,
+        max_workers: int | None = None,
+    ) -> None:
+        embedder._check_fitted()
+        if embedder.transform_is_corpus_dependent:
+            raise ValueError(
+                "GemService requires a corpus-independent transform: this "
+                "embedder's configuration (autoencoder composition, "
+                "fit_mode='per_column', or a model restored without frozen "
+                "balance statistics) embeds the same column differently "
+                "per request corpus, so served rows would not be mutually "
+                "comparable. Refit with fit_mode='stacked' and a "
+                "non-autoencoder composition."
+            )
+        cfg = embedder.config
+        self.embedder = embedder
+        if index is None:
+            index = GemIndex(
+                embedder.embedding_dim,
+                backend=cfg.index_backend,
+                block_size=cfg.index_block_size,
+                n_lists=cfg.index_n_lists,
+                n_probe=cfg.index_n_probe,
+                random_state=cfg.random_state,
+            )
+        index.attach(embedder)  # fingerprint-checked warm start
+        window = (
+            cfg.serve_batch_window_ms if batch_window_ms is None else batch_window_ms
+        )
+        batch = cfg.serve_max_batch if max_batch is None else max_batch
+        workers = cfg.serve_max_workers if max_workers is None else max_workers
+        self._store = SnapshotStore(index)
+        self.metrics = ServiceMetrics()
+        self._reads = MicroBatcher(
+            self._execute_reads,
+            window_ms=window,
+            max_batch=batch,
+            max_workers=workers,
+            name="gem-serve-read",
+        )
+        # Writes stay on one dispatcher thread: ops must apply in arrival
+        # order and snapshots must publish in order.
+        self._writes = MicroBatcher(
+            self._execute_writes,
+            window_ms=window,
+            max_batch=batch,
+            max_workers=1,
+            name="gem-serve-write",
+        )
+        self._closed = False
+
+    # ------------------------------------------------------------ lifecycle
+
+    @classmethod
+    def from_archives(
+        cls,
+        gem_path: str | Path,
+        index_path: str | Path | None = None,
+        **kwargs: object,
+    ) -> "GemService":
+        """Warm-start a service from ``save_gem``/``save_index`` archives.
+
+        The index archive carries the fingerprint of the model it was
+        built from; loading it against a different model raises
+        :class:`~repro.index.StaleIndexError` — a stale pairing is refused
+        at startup, not discovered per query.
+        """
+        from repro.core.persistence import load_gem
+        from repro.index.persistence import load_index
+
+        embedder = load_gem(gem_path)
+        index = load_index(index_path) if index_path is not None else None
+        return cls(embedder, index, **kwargs)  # type: ignore[arg-type]
+
+    def close(self) -> None:
+        """Refuse new requests; batches already open run to completion.
+
+        Graceful by design: every request that was accepted before the
+        close executes and its caller unblocks normally — only subsequent
+        submissions raise :class:`~repro.serve.BatcherClosedError`.
+        Idempotent.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._reads.close()
+        self._writes.close()
+
+    def __enter__(self) -> "GemService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        return len(self._store.current())
+
+    # ----------------------------------------------------------------- reads
+
+    def embed(self, columns: object) -> np.ndarray:
+        """Embedding rows for ``columns`` (micro-batched ``transform``)."""
+        cols = _as_columns(columns, "columns")
+        if not cols:
+            return np.empty((0, self.embedder.embedding_dim))
+        t0 = time.monotonic()
+        ticket = self._reads.submit(("embed", cols))
+        result = ticket.result()
+        self.metrics.record_request("embed", time.monotonic() - t0, ticket.batch_size)
+        return result  # type: ignore[return-value]
+
+    def search(self, columns: object, k: int) -> SearchResult:
+        """Top-``k`` stored neighbours of each column, best first.
+
+        Queries are embedded through the frozen model and searched against
+        the latest published snapshot; every result row is internally
+        consistent with exactly one snapshot (never a half-applied write
+        batch). Unlike the offline §4.1.2 protocol there is no
+        self-exclusion: serving queries are external columns ranked
+        against the stored corpus.
+        """
+        if not isinstance(k, (int, np.integer)) or isinstance(k, bool) or k < 1:
+            raise ValueError(f"k must be a positive integer, got {k!r}")
+        cols = _as_columns(columns, "columns")
+        if not cols:
+            empty = np.empty((0, 0))
+            return SearchResult(
+                ids=empty.astype(object), positions=empty.astype(np.intp), scores=empty
+            )
+        t0 = time.monotonic()
+        ticket = self._reads.submit(("search", cols, int(k)))
+        result = ticket.result()
+        self.metrics.record_request("search", time.monotonic() - t0, ticket.batch_size)
+        return result  # type: ignore[return-value]
+
+    # ---------------------------------------------------------------- writes
+
+    def ingest(self, ids: Sequence[str], columns: object) -> None:
+        """Embed ``columns`` and store them under ``ids``.
+
+        Blocks until the write's snapshot is published: on return, this
+        caller's (and everyone's) next search sees the rows. Ids must not
+        already be stored — except when the same write batch evicts them
+        first (evict + re-ingest of a changed column coalesces into an
+        atomic replace).
+        """
+        cols = _as_columns(columns, "columns")
+        ids = [str(cid) for cid in ids]
+        if len(ids) != len(cols):
+            raise ValueError(f"{len(ids)} ids for {len(cols)} columns")
+        if not ids:
+            return
+        t0 = time.monotonic()
+        embed_ticket = self._reads.submit(("embed", cols))
+        rows = embed_ticket.result()
+        value_fps = [array_fingerprint(c.values) for c in cols]
+        op = WriteOp("ingest", ids, rows=rows, value_fps=value_fps)
+        ticket = self._writes.submit(op)
+        ticket.result()
+        self.metrics.record_request("ingest", time.monotonic() - t0, ticket.batch_size)
+
+    def evict(self, ids: Sequence[str]) -> None:
+        """Drop the rows stored under ``ids``; blocks until published."""
+        ids = [str(cid) for cid in ids]
+        if not ids:
+            return
+        t0 = time.monotonic()
+        ticket = self._writes.submit(WriteOp("evict", ids))
+        ticket.result()
+        self.metrics.record_request("evict", time.monotonic() - t0, ticket.batch_size)
+
+    # ------------------------------------------------------------- internals
+
+    def snapshot(self) -> GemIndex:
+        """The current published snapshot (stable view for bulk readers)."""
+        return self._store.current()
+
+    def _execute_reads(self, payloads: list[object]) -> list[object]:
+        """One vectorised pass over a batch of embed/search requests."""
+        self.metrics.record_batch()
+        all_cols: list[NumericColumn] = []
+        spans: list[tuple[int, int]] = []
+        for payload in payloads:
+            cols = payload[1]  # type: ignore[index]
+            spans.append((len(all_cols), len(all_cols) + len(cols)))
+            all_cols.extend(cols)
+        rows = self.embedder.transform(ColumnCorpus(all_cols, name="serve-batch"))
+        results: list[object] = [None] * len(payloads)
+        # All searches of this batch run against one snapshot grab.
+        snap = self._store.current()
+        by_k: dict[int, list[int]] = {}
+        for i, payload in enumerate(payloads):
+            if payload[0] == "embed":  # type: ignore[index]
+                a, b = spans[i]
+                results[i] = rows[a:b]
+            else:
+                by_k.setdefault(payload[2], []).append(i)  # type: ignore[index]
+        for k, members in by_k.items():
+            stacked = np.concatenate([rows[spans[i][0] : spans[i][1]] for i in members])
+            found = snap.search(stacked, k)
+            offset = 0
+            for i in members:
+                a, b = spans[i]
+                n_i = b - a
+                results[i] = SearchResult(
+                    ids=found.ids[offset : offset + n_i],
+                    positions=found.positions[offset : offset + n_i],
+                    scores=found.scores[offset : offset + n_i],
+                )
+                offset += n_i
+        return results
+
+    def _execute_writes(self, payloads: list[object]) -> list[object]:
+        """Apply one write batch in arrival order, publish one snapshot."""
+        self.metrics.record_batch()
+        ops = [p for p in payloads if isinstance(p, WriteOp)]
+        outcomes, n_in, n_out = self._store.apply(ops)
+        self.metrics.record_publish(n_in, n_out)
+        return [exc if exc is not None else True for exc in outcomes]
+
+
+__all__ = ["GemService"]

@@ -1,0 +1,113 @@
+"""Snapshot isolation between serving reads and incremental writes.
+
+The serving concurrency model is single-writer / many-readers without
+locks on the read path:
+
+* readers (search requests) grab the currently *published*
+  :class:`~repro.index.GemIndex` snapshot — one attribute read, atomic
+  under the interpreter — and search it for as long as they like; the
+  snapshot's rows never change after publish
+  (:meth:`~repro.index.core.GemIndex.snapshot` copy-on-write);
+* the single writer applies a micro-batch of ingest/evict operations to
+  its private working index, then publishes ``working.snapshot()`` by one
+  reference assignment.
+
+Readers therefore observe either the pre-batch or the post-batch corpus,
+never a half-applied batch — and a slow reader mid-search keeps its old
+snapshot alive (plain garbage collection reclaims it when the last reader
+lets go). Operations inside one batch apply in arrival order, so an evict
+of a column id followed by an ingest of the same id resurrects the row
+under its fresh vector and content hash instead of raising on the stale
+one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.index.core import GemIndex
+
+
+@dataclass
+class WriteOp:
+    """One queued write: an ``ingest`` (with rows) or an ``evict``.
+
+    ``rows``/``value_fps`` are filled in by the service after embedding
+    the ingested columns; ``evict`` ops carry only ids.
+    """
+
+    kind: str  # "ingest" | "evict"
+    ids: list[str]
+    rows: np.ndarray | None = None
+    value_fps: list[str] | None = field(default=None)
+
+
+class SnapshotStore:
+    """Owns the writer's working index and the published read snapshot.
+
+    All mutation goes through :meth:`apply`, which the service calls from
+    exactly one thread (the write micro-batcher's dispatcher); reads call
+    :meth:`current` from any thread.
+    """
+
+    def __init__(self, index: GemIndex) -> None:
+        self._working = index
+        self._train_if_needed(self._working)
+        self._published = self._working.snapshot()
+
+    # --------------------------------------------------------------- reads
+
+    def current(self) -> GemIndex:
+        """The most recently published immutable snapshot."""
+        return self._published
+
+    # --------------------------------------------------------------- writes
+
+    def apply(self, ops: Sequence[WriteOp]) -> tuple[list[Exception | None], int, int]:
+        """Apply ``ops`` in order to the working index, then publish once.
+
+        Returns per-op outcomes (``None`` for success, the exception
+        otherwise — a failed op is skipped, the rest of the batch still
+        applies; each underlying ``add``/``remove`` validates before
+        mutating, so a failed op leaves no partial state) plus the total
+        rows ingested/evicted. The snapshot swap at the end is the only
+        point where readers can start seeing the batch.
+        """
+        outcomes: list[Exception | None] = []
+        n_in = n_out = 0
+        for op in ops:
+            try:
+                if op.kind == "ingest":
+                    assert op.rows is not None
+                    self._working.add(
+                        op.ids, op.rows, value_fingerprints=op.value_fps
+                    )
+                    n_in += len(op.ids)
+                elif op.kind == "evict":
+                    self._working.remove(op.ids)
+                    n_out += len(op.ids)
+                else:
+                    raise ValueError(f"unknown write op kind {op.kind!r}")
+            except Exception as exc:  # noqa: BLE001 — returned to the caller
+                outcomes.append(exc)
+            else:
+                outcomes.append(None)
+        self._train_if_needed(self._working)
+        self._published = self._working.snapshot()
+        return outcomes, n_in, n_out
+
+    @staticmethod
+    def _train_if_needed(index: GemIndex) -> None:
+        # An untrained IVF quantizer would otherwise train lazily inside
+        # the first search of *every* published snapshot; train the
+        # working index once so snapshots fork an already-trained
+        # partition. (Incremental adds extend the trained partition.)
+        partition = index._partition
+        if partition is not None and not partition.trained and len(index) > 0:
+            index.train()
+
+
+__all__ = ["SnapshotStore", "WriteOp"]

@@ -86,7 +86,7 @@ def format_bar_chart(
     if len(labels) != len(values):
         raise ValueError("labels and values must have the same length")
     vmax = max((abs(v) for v in values), default=1.0) or 1.0
-    label_w = max((len(l) for l in labels), default=0)
+    label_w = max((len(lbl) for lbl in labels), default=0)
     lines = [title] if title else []
     for label, value in zip(labels, values):
         bar = "#" * max(0, int(round(width * abs(value) / vmax)))

@@ -7,7 +7,7 @@ or an existing :class:`numpy.random.Generator`.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

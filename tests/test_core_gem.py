@@ -63,6 +63,9 @@ class TestConfig:
             ("batch_size", 0),
             ("batch_size", -5),
             ("n_workers", 0),
+            ("serve_batch_window_ms", -0.5),
+            ("serve_max_batch", 0),
+            ("serve_max_workers", 0),
         ],
     )
     def test_invalid_fields_rejected(self, field, value):

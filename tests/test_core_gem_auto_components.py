@@ -1,6 +1,5 @@
 """Tests for BIC-based automatic component selection (paper §4.1.4)."""
 
-import numpy as np
 import pytest
 
 from repro.core import GemConfig, GemEmbedder

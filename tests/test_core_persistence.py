@@ -149,6 +149,28 @@ class TestBatchingFieldsRoundtrip:
         assert restored.gmm_.fit_batch_size == 1024
         assert restored.gmm_.init == cfg.gmm_init
 
+    def test_serve_knobs_survive(self, tiny_corpus, tmp_path):
+        cfg = GemConfig.fast(
+            n_components=6, n_init=1, serve_batch_window_ms=7.5,
+            serve_max_batch=32, serve_max_workers=4,
+        )
+        gem = GemEmbedder(config=cfg)
+        gem.fit(tiny_corpus)
+        path = tmp_path / "gem.npz"
+        save_gem(gem, path)
+        restored = load_gem(path)
+        assert restored.config == cfg
+        assert restored.config.serve_batch_window_ms == 7.5
+        assert restored.config.serve_max_batch == 32
+        assert restored.config.serve_max_workers == 4
+        # A warm-started service adopts the archived batching policy.
+        service = restored.serve()
+        try:
+            assert service._reads._window_s == pytest.approx(7.5e-3)
+            assert service._reads._max_batch == 32
+        finally:
+            service.close()
+
     def test_legacy_archive_without_batching_fields_loads(self, tiny_corpus, tmp_path):
         import json
 

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.signature import (
+    column_chunks,
     column_offsets,
     mean_component_probabilities,
     signature_matrix,
@@ -111,6 +112,52 @@ class TestBatchedPooling:
     def test_rows_remain_stochastic_under_chunking(self, fitted_gmm, columns):
         M = mean_component_probabilities(fitted_gmm, columns, batch_size=13)
         assert np.allclose(M.sum(axis=1), 1.0)
+
+    @pytest.mark.parametrize("batch_size", [None, 1, 7, 64, 100_000])
+    def test_pooling_is_batch_composition_invariant(
+        self, fitted_gmm, columns, batch_size
+    ):
+        # The serve micro-batcher coalesces many small transform requests
+        # into one pass; results must be *bit-identical* to solo calls.
+        # Chunks are column-aligned, so a column's pooled row depends only
+        # on its own values, whatever else shares the stack.
+        combined = mean_component_probabilities(
+            fitted_gmm, columns, batch_size=batch_size
+        )
+        for i in (0, 3, len(columns) - 1):
+            solo = mean_component_probabilities(
+                fitted_gmm, [columns[i]], batch_size=batch_size
+            )
+            assert np.array_equal(solo[0], combined[i])
+        perm = list(reversed(range(len(columns))))
+        permuted = mean_component_probabilities(
+            fitted_gmm, [columns[i] for i in perm], batch_size=batch_size
+        )
+        assert np.array_equal(permuted, combined[perm])
+
+
+class TestColumnChunks:
+    def test_chunks_tile_the_stack_and_respect_the_bound(self):
+        cols = [np.arange(float(n)) for n in (3, 9, 1, 40, 2, 2)]
+        _, offsets = column_offsets(cols)
+        for batch_size in (1, 4, 9, 57, 1000):
+            chunks = list(column_chunks(offsets, batch_size))
+            assert chunks[0].start == 0
+            assert chunks[-1].stop == offsets[-1]
+            assert all(a.stop == b.start for a, b in zip(chunks, chunks[1:]))
+            assert all(c.stop - c.start <= batch_size for c in chunks)
+
+    def test_oversized_column_splits_relative_to_its_own_start(self):
+        # A 10-value column chunked at 4 splits 4/4/2 from its start,
+        # wherever it sits in the stack.
+        alone = list(column_chunks(np.array([0, 10]), 4))
+        shifted = list(column_chunks(np.array([0, 3, 13]), 4))
+        assert [(c.stop - c.start) for c in alone] == [4, 4, 2]
+        assert [(c.stop - c.start) for c in shifted[1:]] == [4, 4, 2]
+
+    def test_none_is_one_chunk(self):
+        chunks = list(column_chunks(np.array([0, 5, 8]), None))
+        assert chunks == [slice(0, 8)]
 
 
 class TestSignatureMatrix:

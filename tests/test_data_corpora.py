@@ -13,7 +13,6 @@ from repro.data import (
 )
 from repro.data.annotation import validate_hierarchy
 from repro.data.corpora import _resolve_scale
-from repro.data.synthesis import default_type_library
 from repro.text import tokenize_header
 
 

@@ -4,8 +4,6 @@ import numpy as np
 import pytest
 
 from repro.data import (
-    ColumnCorpus,
-    NumericColumn,
     Table,
     load_corpus,
     read_csv_table,

@@ -14,7 +14,6 @@ from repro.data.synthesis import (
     SequentialSampler,
     ShiftedSampler,
     UniformSampler,
-    default_type_library,
     expand_with_variants,
     header_for,
     make_column,

@@ -1,7 +1,6 @@
 """Tests for the from-scratch Kolmogorov-Smirnov statistic."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 from scipy import stats

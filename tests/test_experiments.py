@@ -4,7 +4,6 @@ The heavy experiments are exercised end-to-end by the benchmarks; here the
 cheap ones run for real and the expensive ones are validated structurally.
 """
 
-import numpy as np
 import pytest
 
 from repro.experiments import EXPERIMENTS, ExperimentResult, get_experiment, run_experiment

@@ -247,6 +247,37 @@ class TestIncrementalUpdates:
         index.add(["c2"], X[2:3] + 1.0)
         assert len(index) == 6
 
+    def test_remove_then_readd_resurrects_and_searches(self, rng):
+        # remove -> add of the same id must resurrect the row under a fresh
+        # content hash (the stale one was dropped by remove), and the
+        # remove -> add -> search sequence must serve the *new* vector.
+        X = rng.normal(size=(8, 4))
+        index = GemIndex(4)
+        index.add(_ids(8), X, value_fingerprints=[f"fp{i}" for i in range(8)])
+        index.remove(["c5"])
+        assert "c5" not in index._value_fps
+        new_vec = rng.normal(size=(1, 4))
+        index.add(["c5"], new_vec, value_fingerprints=["fp5-v2"])
+        assert len(index) == 8
+        assert index._value_fps["c5"] == "fp5-v2"
+        result = index.search(new_vec, 1)
+        assert result.ids[0, 0] == "c5"
+        assert result.scores[0, 0] == pytest.approx(1.0)
+        # The old vector must not resolve to c5 any more.
+        old = index.search(X[5:6], 8)
+        row = {cid: s for cid, s in zip(old.ids[0], old.scores[0])}
+        assert row["c5"] < 1.0 - 1e-9
+
+    def test_remove_then_readd_on_trained_ivf(self, rng):
+        X = rng.normal(size=(30, 4))
+        index = GemIndex(4, backend="ivf", n_lists=3, random_state=0)
+        index.add(_ids(30), X)
+        index.train()
+        index.remove(["c4", "c11"])
+        index.add(["c4", "c11"], X[[4, 11]] * 0.5)
+        result = index.search(X[4:5], 1)
+        assert result.ids[0, 0] == "c4"
+
     def test_remove_matches_fresh_build(self, rng):
         X = rng.normal(size=(30, 5))
         full = GemIndex(5, block_size=7)
@@ -279,6 +310,101 @@ class TestIncrementalUpdates:
         index.add(["a"], rng.normal(size=(1, 3)))
         with pytest.raises(ValueError, match="dim"):
             index.search(rng.normal(size=(1, 4)), 1)
+
+
+class TestSnapshots:
+    def test_snapshot_isolated_from_later_adds_and_removes(self, rng):
+        X = rng.normal(size=(20, 4))
+        index = GemIndex(4)
+        index.add(_ids(20), X)
+        snap = index.snapshot()
+        index.add(["new0", "new1"], rng.normal(size=(2, 4)))
+        index.remove(["c0", "c13"])
+        assert len(snap) == 20 and snap.ids == tuple(_ids(20))
+        assert np.array_equal(snap.vectors(), X)
+        # The snapshot serves exactly the pre-write corpus.
+        a = snap.search(X[:5], 4)
+        fresh = GemIndex(4)
+        fresh.add(_ids(20), X)
+        b = fresh.search(X[:5], 4)
+        assert np.array_equal(a.ids, b.ids)
+        assert np.array_equal(a.scores, b.scores)
+
+    def test_snapshot_chain_under_writer_discipline(self, rng):
+        # The serving pattern: one writer keeps mutating its working index
+        # and publishes a snapshot per batch; every published snapshot must
+        # stay frozen at its own corpus forever.
+        X = rng.normal(size=(64, 3))
+        writer = GemIndex(3)
+        snaps, sizes = [], []
+        for i in range(8):
+            writer.add([f"b{i}:{j}" for j in range(8)], X[8 * i : 8 * (i + 1)])
+            if i % 3 == 2:
+                writer.remove([f"b{i}:0"])
+            snaps.append(writer.snapshot())
+            sizes.append(len(writer))
+        for snap, size in zip(snaps, sizes):
+            assert len(snap) == size
+            result = snap.search(X[:2], min(4, size))
+            assert (result.positions < size).all()
+
+    def test_snapshot_buffers_shared_and_writer_appends_in_place(self, rng):
+        X = rng.normal(size=(10, 4))
+        index = GemIndex(4)
+        index.add(_ids(10), X)
+        snap = index.snapshot()
+        assert snap._rows_buf is index._rows_buf  # O(1) fork
+        # The single writer claims the spare tail and appends in place —
+        # no buffer copy per publish; the snapshot still reads only its
+        # own first _n_rows, which are never written again.
+        index.add(["z"], rng.normal(size=(1, 4)))
+        assert snap._rows_buf is index._rows_buf
+        assert np.array_equal(snap.vectors(), X)
+        assert len(snap) == 10 and len(index) == 11
+
+    def test_second_fork_writer_copies_before_writing(self, rng):
+        X = rng.normal(size=(10, 4))
+        index = GemIndex(4)
+        index.add(_ids(10), X)
+        snap = index.snapshot()
+        index.add(["claimed"], rng.normal(size=(1, 4)))  # index owns the tail
+        snap.add(["other"], rng.normal(size=(1, 4)))  # snap must copy
+        assert snap._rows_buf is not index._rows_buf
+        assert "claimed" not in snap and "other" not in index
+        assert np.array_equal(snap.vectors()[:10], X)
+        assert np.array_equal(index.vectors()[:10], X)
+
+    def test_mutating_the_snapshot_leaves_the_source_intact(self, rng):
+        X = rng.normal(size=(10, 4))
+        index = GemIndex(4)
+        index.add(_ids(10), X)
+        snap = index.snapshot()
+        snap.add(["only-in-snap"], rng.normal(size=(1, 4)))
+        snap.remove(["c1"])
+        assert len(index) == 10 and "only-in-snap" not in index
+        assert np.array_equal(index.vectors(), X)
+
+    def test_ivf_snapshot_forks_partition(self, rng):
+        X = rng.normal(size=(40, 4))
+        index = GemIndex(4, backend="ivf", n_lists=4, random_state=0)
+        index.add(_ids(40), X)
+        index.train()
+        snap = index.snapshot()
+        index.add(["extra"], rng.normal(size=(1, 4)))
+        index.remove(["c0"])
+        assert snap._partition.assignments_.shape[0] == 40
+        assert index._partition.assignments_.shape[0] == 40  # 41 - 1
+        result = snap.search(X[:3], 5)
+        assert "extra" not in set(result.ids.ravel())
+
+    def test_snapshot_carries_value_fingerprints_and_model_binding(self, rng):
+        X = rng.normal(size=(5, 3))
+        index = GemIndex(3, model_fingerprint="abc123")
+        index.add(_ids(5), X, value_fingerprints=[f"fp{i}" for i in range(5)])
+        snap = index.snapshot()
+        index.remove(["c2"])
+        assert snap._value_fps["c2"] == "fp2"
+        assert snap.model_fingerprint == "abc123"
 
 
 class TestEdgeCases:

@@ -8,7 +8,6 @@ from repro.clustering import TableDC
 from repro.core import GemConfig, GemEmbedder
 from repro.data import (
     ColumnCorpus,
-    Table,
     load_corpus,
     read_csv_table,
     save_corpus,

@@ -14,7 +14,6 @@ from repro.nn import (
     SoftmaxCrossEntropy,
     Tanh,
 )
-from repro.nn.layers import Parameter
 
 
 def numeric_grad_wrt_input(layer, x, upstream, eps=1e-6):

@@ -7,7 +7,6 @@ from repro.nn import (
     SGD,
     Adam,
     Autoencoder,
-    Dense,
     GCNClassifier,
     GraphConvolution,
     MLPClassifier,

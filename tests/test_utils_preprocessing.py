@@ -1,7 +1,6 @@
 """Unit + property tests for repro.utils.preprocessing."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
