@@ -112,10 +112,12 @@ def bench_pooling_throughput_vs_python_loop(benchmark, fitted_gmm, columns):
     end_to_end = _best_of(lambda: mean_component_probabilities(fitted_gmm, columns))
     old_end_to_end = _best_of(lambda: _loop_baseline(fitted_gmm, columns))
     speedup = baseline / vectorised
-    print(f"\npooling hot path: loop {baseline * 1e3:.2f} ms, "
-          f"reduceat {vectorised * 1e3:.2f} ms ({speedup:.1f}x); "
-          f"score+pool end to end: {old_end_to_end * 1e3:.1f} -> "
-          f"{end_to_end * 1e3:.1f} ms")
+    print(
+        f"\npooling hot path: loop {baseline * 1e3:.2f} ms, "
+        f"reduceat {vectorised * 1e3:.2f} ms ({speedup:.1f}x); "
+        f"score+pool end to end: {old_end_to_end * 1e3:.1f} -> "
+        f"{end_to_end * 1e3:.1f} ms"
+    )
     assert speedup >= 2.0, f"expected >= 2x over the Python loop, got {speedup:.2f}x"
 
 
@@ -125,9 +127,11 @@ def bench_peak_memory_bounded_by_batch_size(fitted_gmm, columns):
         lambda: mean_component_probabilities(fitted_gmm, columns, batch_size=BATCH_SIZE)
     )
     n_values = int(sum(c.size for c in columns))
-    print(f"\npeak traced memory over {n_values} values: "
-          f"unchunked {peak_full / 1e6:.1f} MB, "
-          f"batch_size={BATCH_SIZE}: {peak_batched / 1e6:.1f} MB")
+    print(
+        f"\npeak traced memory over {n_values} values: "
+        f"unchunked {peak_full / 1e6:.1f} MB, "
+        f"batch_size={BATCH_SIZE}: {peak_batched / 1e6:.1f} MB"
+    )
     # The unchunked path materialises several (n_values, m) temporaries; the
     # batched path must stay well below it and within a small multiple of
     # the (batch_size, m) working set (the E-step holds a few temporaries).
@@ -155,6 +159,8 @@ def bench_peak_memory_flat_as_corpus_grows(fitted_gmm):
     # must not grow with the corpus.
     resp_small = peak_small - 2 * n_small * 8 - len(small) * N_COMPONENTS * 8
     resp_large = peak_large - 2 * n_large * 8 - len(large) * N_COMPONENTS * 8
-    print(f"\nresponsibility working set: {resp_small / 1e6:.1f} MB at "
-          f"{n_small} values vs {resp_large / 1e6:.1f} MB at {n_large} values")
+    print(
+        f"\nresponsibility working set: {resp_small / 1e6:.1f} MB at "
+        f"{n_small} values vs {resp_large / 1e6:.1f} MB at {n_large} values"
+    )
     assert resp_large < 1.5 * max(resp_small, BATCH_SIZE * N_COMPONENTS * 8)

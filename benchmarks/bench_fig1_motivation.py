@@ -9,8 +9,6 @@ from repro.experiments import run_experiment
 
 
 def bench_fig1_motivation(benchmark, archive):
-    result = benchmark.pedantic(
-        lambda: run_experiment("figure1"), rounds=1, iterations=1
-    )
+    result = benchmark.pedantic(lambda: run_experiment("figure1"), rounds=1, iterations=1)
     archive(result)
     assert result.extras["same_type_mean"] > result.extras["cross_type_mean"]

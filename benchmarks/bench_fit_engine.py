@@ -70,8 +70,15 @@ def _serial_restart_baseline(
     return best[1]
 
 
-def _batched_fit(x: np.ndarray, *, n_components: int, n_init: int, max_iter: int,
-                 random_state: int, fit_batch_size: int | None = None) -> GaussianMixture:
+def _batched_fit(
+    x: np.ndarray,
+    *,
+    n_components: int,
+    n_init: int,
+    max_iter: int,
+    random_state: int,
+    fit_batch_size: int | None = None,
+) -> GaussianMixture:
     return GaussianMixture(
         n_components,
         n_init=n_init,
@@ -148,8 +155,7 @@ def bench_not_slower_on_ci_corpus():
 def bench_fit_memory_flat_as_corpus_grows():
     """With a fixed fit_batch_size, peak fit memory must not scale with the
     corpus: the E-step working set is O(fit_batch_size * n_init * m)."""
-    kwargs = dict(n_components=16, n_init=4, max_iter=8, random_state=0,
-                  fit_batch_size=FIT_BATCH)
+    kwargs = dict(n_components=16, n_init=4, max_iter=8, random_state=0, fit_batch_size=FIT_BATCH)
     n_small, n_large = 30_000, 300_000
     small = _make_stack(n_small)
     large = _make_stack(n_large)

@@ -93,8 +93,10 @@ def check_exact_matches_dense(n: int = 1_500) -> dict:
         result = index.search(X, K, exclude_ids=ids)
         assert np.array_equal(result.positions, dense), f"block_size={block_size}"
         assert np.array_equal(result.scores, sim[rows, dense]), f"block_size={block_size}"
-    print(f"exact backend bit-identical to dense path over {n} columns "
-          "(block sizes 1, 257, 4096)")
+    print(
+        f"exact backend bit-identical to dense path over {n} columns "
+        "(block sizes 1, 257, 4096)"
+    )
     return {"n": n, "block_sizes": [1, 257, 4096], "bit_identical": True}
 
 
@@ -110,16 +112,20 @@ def check_search_memory_flat(growth_base: int) -> dict:
     small, large = growth_base, 10 * growth_base
     peak_small, peak_large = peak_at(small), peak_at(large)
     dense_bytes = large * large * 8
-    print(f"exact search peak: {peak_small / 1e6:.1f} MB at {small} columns vs "
-          f"{peak_large / 1e6:.1f} MB at {large} (dense matrix would be "
-          f"{dense_bytes / 1e9:.1f} GB)")
+    print(
+        f"exact search peak: {peak_small / 1e6:.1f} MB at {small} columns vs "
+        f"{peak_large / 1e6:.1f} MB at {large} (dense matrix would be "
+        f"{dense_bytes / 1e9:.1f} GB)"
+    )
     assert peak_large < 1.5 * peak_small + 4e6, (
         f"search memory grew with the corpus: {peak_small} -> {peak_large} bytes"
     )
     assert peak_large < dense_bytes / 50
     return {
-        "n_small": small, "n_large": large,
-        "peak_small_bytes": peak_small, "peak_large_bytes": peak_large,
+        "n_small": small,
+        "n_large": large,
+        "peak_small_bytes": peak_small,
+        "peak_large_bytes": peak_large,
     }
 
 
@@ -143,20 +149,29 @@ def check_ivf_tradeoff(
     t_exact = _best_of(lambda: exact.search(queries, K))
     t_ivf = _best_of(lambda: ivf.search(queries, K))
     speedup = t_exact / t_ivf
-    print(f"ivf over {n} columns ({n_lists} lists, n_probe={n_probe}, "
-          f"train {train_s:.2f}s): exact {t_exact * 1e3:.1f} ms vs ivf "
-          f"{t_ivf * 1e3:.1f} ms for {n_queries} queries ({speedup:.1f}x), "
-          f"recall@{K} {recall:.3f}")
+    print(
+        f"ivf over {n} columns ({n_lists} lists, n_probe={n_probe}, "
+        f"train {train_s:.2f}s): exact {t_exact * 1e3:.1f} ms vs ivf "
+        f"{t_ivf * 1e3:.1f} ms for {n_queries} queries ({speedup:.1f}x), "
+        f"recall@{K} {recall:.3f}"
+    )
     assert recall >= 0.95, f"IVF recall@{K} {recall:.3f} below 0.95"
     if strict_speedup:
         assert speedup >= 5.0, f"expected >= 5x IVF speedup, got {speedup:.2f}x"
     elif speedup < 5.0:
-        print(f"WARNING: advisory speedup below 5x ({speedup:.2f}x) — "
-              "expected only on heavily loaded shared runners")
+        print(
+            f"WARNING: advisory speedup below 5x ({speedup:.2f}x) — "
+            "expected only on heavily loaded shared runners"
+        )
     return {
-        "n": n, "n_lists": n_lists, "n_probe": n_probe,
-        "recall_at_k": recall, "t_exact_s": t_exact, "t_ivf_s": t_ivf,
-        "speedup": speedup, "train_s": train_s,
+        "n": n,
+        "n_lists": n_lists,
+        "n_probe": n_probe,
+        "recall_at_k": recall,
+        "t_exact_s": t_exact,
+        "t_ivf_s": t_ivf,
+        "speedup": speedup,
+        "train_s": train_s,
     }
 
 
@@ -173,7 +188,10 @@ def bench_search_memory_flat_as_corpus_grows():
 def bench_ivf_speedup_at_recall():
     cfg = QUICK
     check_ivf_tradeoff(
-        cfg["n"], cfg["n_queries"], cfg["n_lists"], cfg["n_probe"],
+        cfg["n"],
+        cfg["n_queries"],
+        cfg["n_lists"],
+        cfg["n_probe"],
         strict_speedup=False,
     )
 
@@ -201,7 +219,10 @@ def main(argv: list[str] | None = None) -> int:
         "exactness": check_exact_matches_dense(),
         "memory": check_search_memory_flat(cfg["growth_base"]),
         "ivf": check_ivf_tradeoff(
-            cfg["n"], cfg["n_queries"], cfg["n_lists"], cfg["n_probe"],
+            cfg["n"],
+            cfg["n_queries"],
+            cfg["n_lists"],
+            cfg["n_probe"],
             strict_speedup=not args.quick,
         ),
     }

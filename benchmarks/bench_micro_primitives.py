@@ -27,9 +27,7 @@ def stack():
 
 @pytest.fixture(scope="module")
 def corpus():
-    return make_corpus(
-        "bench", default_type_library()[:20], 60, random_state=0
-    )
+    return make_corpus("bench", default_type_library()[:20], 60, random_state=0)
 
 
 @pytest.fixture(scope="module")

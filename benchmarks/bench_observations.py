@@ -9,9 +9,7 @@ from repro.experiments import run_experiment
 
 
 def bench_qualitative_observations(benchmark, archive):
-    result = benchmark.pedantic(
-        lambda: run_experiment("observations"), rounds=1, iterations=1
-    )
+    result = benchmark.pedantic(lambda: run_experiment("observations"), rounds=1, iterations=1)
     archive(result)
     for observation, holds in result.extras["verdicts"].items():
         assert holds, f"observation failed: {observation}"

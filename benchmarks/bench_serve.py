@@ -61,9 +61,7 @@ def _query_columns(n: int, seed: int = 7) -> list[NumericColumn]:
     """Small distinct columns — the overhead-dominated serving shape."""
     rng = np.random.default_rng(seed)
     return [
-        NumericColumn(
-            f"q{i}", rng.normal(rng.uniform(-5, 55), rng.uniform(0.5, 4), 60)
-        )
+        NumericColumn(f"q{i}", rng.normal(rng.uniform(-5, 55), rng.uniform(0.5, 4), 60))
         for i in range(n)
     ]
 
@@ -240,9 +238,7 @@ def check_snapshot_consistency(storm_cycles: int, storm_searches: int) -> dict:
     ]
     groups = [
         [
-            NumericColumn(
-                f"g{g}:{j}", bases[g].values + rng.normal(0, 1e-3, bases[g].values.size)
-            )
+            NumericColumn(f"g{g}:{j}", bases[g].values + rng.normal(0, 1e-3, bases[g].values.size))
             for j in range(group_size)
         ]
         for g in range(3)
@@ -344,9 +340,7 @@ def main(argv: list[str] | None = None) -> int:
         "profile": "quick" if args.quick else "full",
         "bit_identity": check_batched_bit_identity(),
         "throughput": check_concurrent_throughput(cfg["requests_per_client"]),
-        "consistency": check_snapshot_consistency(
-            cfg["storm_cycles"], cfg["storm_searches"]
-        ),
+        "consistency": check_snapshot_consistency(cfg["storm_cycles"], cfg["storm_searches"]),
     }
     if args.json:
         with open(args.json, "w", encoding="utf-8") as fh:

@@ -8,9 +8,7 @@ from repro.experiments import run_experiment
 
 
 def bench_table1_dataset_statistics(benchmark, archive):
-    result = benchmark.pedantic(
-        lambda: run_experiment("table1"), rounds=1, iterations=1
-    )
+    result = benchmark.pedantic(lambda: run_experiment("table1"), rounds=1, iterations=1)
     archive(result)
     assert len(result.rows) == 4
     # Fine >= coarse everywhere; strict refinement on GDS and WDC.

@@ -9,9 +9,7 @@ from repro.experiments import run_experiment
 
 
 def bench_table2_numeric_only(benchmark, archive):
-    result = benchmark.pedantic(
-        lambda: run_experiment("table2", fast=True), rounds=1, iterations=1
-    )
+    result = benchmark.pedantic(lambda: run_experiment("table2", fast=True), rounds=1, iterations=1)
     archive(result)
     scores = result.extras["scores"]
     # Headline claim: Gem wins everywhere.

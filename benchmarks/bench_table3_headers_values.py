@@ -10,9 +10,7 @@ from repro.experiments import run_experiment
 
 
 def bench_table3_headers_values(benchmark, archive):
-    result = benchmark.pedantic(
-        lambda: run_experiment("table3", fast=True), rounds=1, iterations=1
-    )
+    result = benchmark.pedantic(lambda: run_experiment("table3", fast=True), rounds=1, iterations=1)
     archive(result)
     s = result.extras["scores"]
     concat = s["Gem D+S+C (concatenation)"]

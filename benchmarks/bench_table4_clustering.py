@@ -11,9 +11,7 @@ from repro.experiments import run_experiment
 
 
 def bench_table4_clustering(benchmark, archive):
-    result = benchmark.pedantic(
-        lambda: run_experiment("table4", fast=True), rounds=1, iterations=1
-    )
+    result = benchmark.pedantic(lambda: run_experiment("table4", fast=True), rounds=1, iterations=1)
     archive(result)
     scores = result.extras["scores"]
 

@@ -1,0 +1,53 @@
+"""Gemlint: AST-based enforcement of the repo's cross-cutting contracts.
+
+Generic linters see style; they cannot see that this codebase's guarantees
+hinge on a handful of invariants that every past PR has had to defend by
+hand: bit-identity of batched vs. solo kernels, deterministic tie-breaking
+in retrieval, lock-guarded shared state and copy-on-write snapshot buffers
+in :mod:`repro.serve`, and the core → index → serve layering. This package
+encodes those invariants as machine-checked rules:
+
+* a visitor/rule-registry **engine** (:mod:`repro.analysis.engine`) that
+  parses each file once and dispatches AST nodes to every registered rule;
+* **rules** (:mod:`repro.analysis.rules`) — the GEM-* families documented
+  in the README's rule catalog;
+* inline suppression via ``# gemlint: disable=GEM-XXX(reason)`` pragmas —
+  the reason is mandatory, a bare pragma suppresses nothing;
+* a reviewed **baseline** (:mod:`repro.analysis.baseline`) for findings
+  that predate a rule, each entry carrying a written justification;
+* a CLI (``python -m repro.analysis``) with ``--format github`` for CI
+  annotation, wired into the lint job as a gate.
+
+The package is deliberately stdlib-only (``ast``, ``json``, ``argparse``)
+and touches nothing at runtime: importing :mod:`repro` never imports it,
+and it never imports numpy.
+"""
+
+from repro.analysis.baseline import Baseline, BaselineError, load_baseline, write_baseline
+from repro.analysis.engine import (
+    Finding,
+    Rule,
+    all_rules,
+    analyze_file,
+    analyze_paths,
+    analyze_source,
+    iter_python_files,
+    module_name_for,
+    rule_registry,
+)
+
+__all__ = [
+    "Baseline",
+    "BaselineError",
+    "Finding",
+    "Rule",
+    "all_rules",
+    "analyze_file",
+    "analyze_paths",
+    "analyze_source",
+    "iter_python_files",
+    "load_baseline",
+    "module_name_for",
+    "rule_registry",
+    "write_baseline",
+]

@@ -1,0 +1,154 @@
+"""``python -m repro.analysis`` — the gemlint command line.
+
+Exit codes: 0 clean (everything baselined/suppressed with a reason),
+1 findings or stale baseline entries, 2 configuration errors (unreadable
+baseline, empty justification, unknown rule).
+
+Typical invocations::
+
+    python -m repro.analysis src                    # gate the library
+    python -m repro.analysis src --format github    # CI annotations
+    python -m repro.analysis src --write-baseline   # skeleton to review
+    python -m repro.analysis --list-rules           # the rule catalog
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.baseline import BaselineError, load_baseline, write_baseline
+from repro.analysis.engine import all_rules, analyze_paths
+
+DEFAULT_BASELINE = "gemlint-baseline.json"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="gemlint: AST checks for the repo's determinism, RNG, "
+        "lock, copy-on-write and layering contracts",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "github"),
+        default="text",
+        help="finding output style; 'github' emits ::error workflow commands",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=f"baseline file (default: {DEFAULT_BASELINE} if it exists)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="report every finding, ignoring any baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current findings to the baseline path with empty "
+        "justifications (fill them in: the file refuses to load otherwise)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def _print_rules() -> None:
+    for rule in all_rules():
+        print(f"{rule.id}  {rule.name}")
+        print(f"    invariant:  {rule.invariant}")
+        print(f"    motivated by: {rule.motivation}")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.list_rules:
+        _print_rules()
+        return 0
+
+    rules = all_rules()
+    if args.select:
+        wanted = {rid.strip() for rid in args.select.split(",") if rid.strip()}
+        known = {rule.id for rule in rules}
+        unknown = wanted - known
+        if unknown:
+            print(
+                f"gemlint: unknown rule id(s) {sorted(unknown)}; "
+                f"known: {sorted(known)}",
+                file=sys.stderr,
+            )
+            return 2
+        rules = [rule for rule in rules if rule.id in wanted]
+
+    root = Path.cwd()
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"gemlint: no such path(s): {missing}", file=sys.stderr)
+        return 2
+    findings = analyze_paths(paths, root=root, rules=rules)
+
+    baseline_path = Path(args.baseline) if args.baseline else Path(DEFAULT_BASELINE)
+    if args.write_baseline:
+        count = write_baseline(findings, baseline_path)
+        print(
+            f"gemlint: wrote {count} entr{'y' if count == 1 else 'ies'} to "
+            f"{baseline_path}; write a justification for each before the "
+            "baseline will load"
+        )
+        return 0
+
+    stale = []
+    if not args.no_baseline and (args.baseline or baseline_path.exists()):
+        try:
+            baseline = load_baseline(baseline_path)
+        except (BaselineError, OSError) as exc:
+            print(f"gemlint: {exc}", file=sys.stderr)
+            return 2
+        findings, stale = baseline.apply(findings)
+
+    for finding in findings:
+        if args.format == "github":
+            print(finding.render_github())
+        else:
+            print(finding.render())
+    for entry in stale:
+        message = (
+            f"stale baseline entry (no matching finding): {entry.render()} — "
+            "delete it from the baseline"
+        )
+        if args.format == "github":
+            print(f"::error file={baseline_path},title=gemlint baseline::{message}")
+        else:
+            print(f"{baseline_path}: {message}")
+
+    total = len(findings) + len(stale)
+    print(
+        f"gemlint: {len(findings)} finding(s), {len(stale)} stale baseline "
+        f"entr{'y' if len(stale) == 1 else 'ies'}",
+        file=sys.stderr,
+    )
+    return 1 if total else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

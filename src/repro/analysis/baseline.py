@@ -1,0 +1,141 @@
+"""Reviewed baseline for findings that predate a rule.
+
+A rule lands with the contracts it enforces already violated somewhere —
+that is *why* it lands. Rather than blocking the rule on a repo-wide
+cleanup (or worse, weakening it), pre-existing findings are recorded in a
+baseline file that the gate subtracts. Three properties keep the baseline
+honest:
+
+* every entry carries a written ``justification`` — loading a baseline
+  with an empty one raises :class:`BaselineError`, so nothing is waved
+  through silently;
+* entries match findings by ``(rule, path, stripped source line)``, not
+  line number, so unrelated edits don't churn the file — but *touching*
+  a baselined line re-surfaces the finding;
+* an entry whose finding no longer exists is reported as **stale** and
+  fails the gate, so the baseline only ever shrinks.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.engine import Finding
+
+_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """The baseline file is malformed or an entry lacks a justification."""
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One tolerated pre-existing finding, with its reviewed justification."""
+
+    rule: str
+    path: str
+    code: str
+    justification: str
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        return (self.rule, self.path, self.code)
+
+    def render(self) -> str:
+        return f"{self.path}: {self.rule} `{self.code}`"
+
+
+@dataclass
+class Baseline:
+    """A loaded baseline plus matching against a run's findings."""
+
+    entries: list[BaselineEntry]
+    path: str = ""
+
+    def apply(self, findings: Sequence[Finding]) -> tuple[list[Finding], list[BaselineEntry]]:
+        """Split ``findings`` against the baseline.
+
+        Returns ``(unmatched_findings, stale_entries)``: findings not
+        excused by any entry, and entries that excused nothing (each entry
+        excuses at most one finding; duplicate findings need duplicate
+        entries, so a copy-pasted violation cannot hide behind an old one).
+        """
+        budget = Counter(entry.key for entry in self.entries)
+        unmatched: list[Finding] = []
+        for finding in findings:
+            if budget[finding.key] > 0:
+                budget[finding.key] -= 1
+            else:
+                unmatched.append(finding)
+        # budget now counts, per key, the entries no finding consumed;
+        # report exactly that many entries as stale.
+        stale: list[BaselineEntry] = []
+        for entry in self.entries:
+            if budget[entry.key] > 0:
+                budget[entry.key] -= 1
+                stale.append(entry)
+        return unmatched, stale
+
+
+def load_baseline(path: Path) -> Baseline:
+    """Parse and validate a baseline file (see module docstring)."""
+    try:
+        raw = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"{path}: baseline is not valid JSON: {exc}") from exc
+    if not isinstance(raw, dict) or raw.get("version") != _VERSION:
+        raise BaselineError(f"{path}: expected a baseline object with version={_VERSION}")
+    entries: list[BaselineEntry] = []
+    for i, item in enumerate(raw.get("entries", [])):
+        missing = {"rule", "path", "code", "justification"} - set(item)
+        if missing:
+            raise BaselineError(f"{path}: entry {i} is missing field(s) {sorted(missing)}")
+        if not str(item["justification"]).strip():
+            raise BaselineError(
+                f"{path}: entry {i} ({item['rule']} at {item['path']}) has an "
+                "empty justification — every baselined finding must say why "
+                "it is tolerated"
+            )
+        entries.append(
+            BaselineEntry(
+                rule=str(item["rule"]),
+                path=str(item["path"]),
+                code=str(item["code"]),
+                justification=str(item["justification"]).strip(),
+            )
+        )
+    return Baseline(entries=entries, path=str(path))
+
+
+def write_baseline(findings: Sequence[Finding], path: Path) -> int:
+    """Write ``findings`` as a baseline skeleton; returns the entry count.
+
+    Justifications are left empty on purpose: the file will not *load*
+    until a reviewer writes one per entry, which is the review step.
+    """
+    entries = [
+        {
+            "rule": f.rule,
+            "path": f.path,
+            "code": f.code,
+            "justification": "",
+        }
+        for f in findings
+    ]
+    payload = {"version": _VERSION, "entries": entries}
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return len(entries)
+
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "BaselineError",
+    "load_baseline",
+    "write_baseline",
+]

@@ -1,0 +1,396 @@
+"""The gemlint engine: one AST walk per file, rules as registered visitors.
+
+A :class:`Rule` declares the node types it wants (``node_types``) and
+yields :class:`Finding` objects from :meth:`Rule.visit_node`; the engine
+parses each file once and dispatches every node to every interested rule,
+so adding a rule never adds a parse or a walk.
+
+Suppression is explicit and justified. A finding on line *L* is suppressed
+iff line *L* carries ``# gemlint: disable=<RULE>(<reason>)`` for its rule
+id **with a non-empty reason** — a bare ``disable=GEM-D01`` suppresses
+nothing and is itself reported (:data:`PRAGMA_RULE_ID`), and a pragma that
+suppresses no finding is reported as stale (:data:`UNUSED_PRAGMA_RULE_ID`)
+so suppressions cannot outlive the code they excused.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+#: Engine-level meta rules (reported like rule findings, baselinable).
+PRAGMA_RULE_ID = "GEM-P00"  # malformed pragma / missing reason
+UNUSED_PRAGMA_RULE_ID = "GEM-P01"  # pragma that suppressed nothing
+
+_PRAGMA_RE = re.compile(r"#\s*gemlint:\s*disable=(?P<entries>.+)$")
+_PRAGMA_ENTRY_RE = re.compile(r"(?P<rule>[A-Z]+-[A-Z0-9]+)\s*(?:\((?P<reason>[^)]*)\))?")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location.
+
+    ``code`` is the stripped source line, the line-number-independent half
+    of the baseline matching key — baselined findings survive unrelated
+    edits above them.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    code: str = ""
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        """Baseline matching key: (rule, path, stripped source line)."""
+        return (self.rule, self.path, self.code)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def render_github(self) -> str:
+        """GitHub Actions workflow-command annotation line."""
+        message = self.message.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+        return (
+            f"::error file={self.path},line={self.line},col={self.col},"
+            f"title=gemlint {self.rule}::{message}"
+        )
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may need about the file under analysis."""
+
+    path: str
+    module: str
+    is_package: bool
+    source: str
+    tree: ast.Module
+    lines: list[str]
+
+    def code_at(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def finding(self, rule: "Rule | str", node: ast.AST, message: str) -> Finding:
+        rule_id = rule if isinstance(rule, str) else rule.id
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0) + 1
+        return Finding(rule_id, self.path, line, col, message, self.code_at(line))
+
+
+class Rule:
+    """Base class for gemlint rules.
+
+    Subclasses set the class attributes and implement :meth:`visit_node`;
+    registration via :func:`register` makes the rule active for every
+    analysis run. ``parents`` in :meth:`visit_node` is the enclosing-node
+    stack, outermost first (the module is ``parents[0]``).
+    """
+
+    id: str = ""
+    name: str = ""
+    #: One-line statement of the invariant the rule protects.
+    invariant: str = ""
+    #: Which PR's hand-fixed regression motivated the rule (rule catalog).
+    motivation: str = ""
+    #: AST node classes the engine should dispatch to this rule.
+    node_types: tuple[type[ast.AST], ...] = ()
+
+    def begin_module(self, ctx: FileContext) -> Iterator[Finding]:
+        """Called once per file before the walk; may yield findings."""
+        return iter(())
+
+    def visit_node(
+        self, node: ast.AST, ctx: FileContext, parents: Sequence[ast.AST]
+    ) -> Iterator[Finding]:
+        """Called for every node whose type is in ``node_types``."""
+        return iter(())
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding one instance of ``cls`` to the registry."""
+    rule = cls()
+    if not rule.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if rule.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.id}")
+    _REGISTRY[rule.id] = rule
+    return cls
+
+
+def rule_registry() -> dict[str, Rule]:
+    """The registered rules, keyed by id (rule modules imported lazily)."""
+    # Importing the rules package triggers its @register decorators.
+    from repro.analysis import rules  # noqa: F401  (import-for-effect)
+
+    return dict(_REGISTRY)
+
+
+def all_rules() -> list[Rule]:
+    """Registered rules in id order."""
+    return [rule for _, rule in sorted(rule_registry().items())]
+
+
+class _Dispatcher(ast.NodeVisitor):
+    """Single-pass walker dispatching nodes to interested rules."""
+
+    def __init__(self, rules: Sequence[Rule], ctx: FileContext) -> None:
+        self._ctx = ctx
+        self._stack: list[ast.AST] = []
+        self.findings: list[Finding] = []
+        self._interested: dict[type, list[Rule]] = {}
+        for rule in rules:
+            for node_type in rule.node_types:
+                self._interested.setdefault(node_type, []).append(rule)
+
+    def generic_visit(self, node: ast.AST) -> None:
+        for rule in self._interested.get(type(node), ()):
+            self.findings.extend(rule.visit_node(node, self._ctx, self._stack))
+        self._stack.append(node)
+        super().generic_visit(node)
+        self._stack.pop()
+
+
+@dataclass
+class _Pragma:
+    line: int
+    rule: str
+    reason: str
+    used: bool = False
+
+
+def _comment_tokens(source: str) -> Iterator[tuple[int, str]]:
+    """(line, text) of every comment token — pragma text inside string
+    literals and docstrings must not count as a pragma."""
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                yield tok.start[0], tok.string
+    except (tokenize.TokenizeError, IndentationError, SyntaxError):
+        return
+
+
+def _parse_pragmas(ctx: FileContext) -> tuple[list[_Pragma], list[Finding]]:
+    """Extract ``# gemlint: disable=...`` pragmas and their defects."""
+    pragmas: list[_Pragma] = []
+    defects: list[Finding] = []
+    for lineno, text in _comment_tokens(ctx.source):
+        match = _PRAGMA_RE.search(text)
+        if not match:
+            if "gemlint:" in text and "disable" in text:
+                defects.append(
+                    Finding(
+                        PRAGMA_RULE_ID,
+                        ctx.path,
+                        lineno,
+                        1,
+                        "unparseable gemlint pragma; expected "
+                        "'# gemlint: disable=GEM-XXX(reason)'",
+                        ctx.code_at(lineno),
+                    )
+                )
+            continue
+        entries = match.group("entries")
+        parsed = list(_PRAGMA_ENTRY_RE.finditer(entries))
+        if not parsed:
+            defects.append(
+                Finding(
+                    PRAGMA_RULE_ID,
+                    ctx.path,
+                    lineno,
+                    1,
+                    "gemlint pragma names no rule; expected "
+                    "'# gemlint: disable=GEM-XXX(reason)'",
+                    ctx.code_at(lineno),
+                )
+            )
+            continue
+        for entry in parsed:
+            reason = (entry.group("reason") or "").strip()
+            if not reason:
+                defects.append(
+                    Finding(
+                        PRAGMA_RULE_ID,
+                        ctx.path,
+                        lineno,
+                        1,
+                        f"suppression of {entry.group('rule')} has no written "
+                        "justification — a bare pragma suppresses nothing; "
+                        "write '# gemlint: disable="
+                        f"{entry.group('rule')}(why this is safe)'",
+                        ctx.code_at(lineno),
+                    )
+                )
+                continue
+            pragmas.append(_Pragma(lineno, entry.group("rule"), reason))
+    return pragmas, defects
+
+
+def _apply_pragmas(
+    findings: list[Finding], pragmas: list[_Pragma], ctx: FileContext
+) -> list[Finding]:
+    """Drop findings excused by a justified same-line pragma."""
+    by_line: dict[tuple[int, str], _Pragma] = {(p.line, p.rule): p for p in pragmas}
+    kept: list[Finding] = []
+    for finding in findings:
+        pragma = by_line.get((finding.line, finding.rule))
+        if pragma is not None:
+            pragma.used = True
+        else:
+            kept.append(finding)
+    for pragma in pragmas:
+        if not pragma.used:
+            kept.append(
+                Finding(
+                    UNUSED_PRAGMA_RULE_ID,
+                    ctx.path,
+                    pragma.line,
+                    1,
+                    f"pragma suppresses {pragma.rule} but nothing on this "
+                    "line triggers it — remove the stale suppression",
+                    ctx.code_at(pragma.line),
+                )
+            )
+    return kept
+
+
+def module_name_for(path: Path) -> tuple[str, bool]:
+    """Dotted module name for ``path`` and whether it is a package.
+
+    Resolved from the path's ``repro`` segment (preferring one directly
+    under ``src``), so files analysed in place — ``src/repro/core/gem.py``
+    — map to the importable name (``repro.core.gem``). Files outside any
+    ``repro`` tree (fixtures, scratch) get an empty module name; rules
+    with module-scoped logic treat those as unconstrained unless the test
+    overrides the module explicitly.
+    """
+    parts = list(path.parts)
+    anchor = None
+    for i, part in enumerate(parts):
+        if part == "repro" and i < len(parts) - 1:
+            if anchor is None or (i > 0 and parts[i - 1] == "src"):
+                anchor = i
+    if anchor is None:
+        return "", False
+    dotted = [p for p in parts[anchor:]]
+    leaf = dotted[-1]
+    is_package = leaf == "__init__.py"
+    if is_package:
+        dotted = dotted[:-1]
+    else:
+        dotted[-1] = leaf[:-3] if leaf.endswith(".py") else leaf
+    return ".".join(dotted), is_package
+
+
+def analyze_source(
+    source: str,
+    path: str | Path,
+    *,
+    module: str | None = None,
+    is_package: bool = False,
+    rules: Sequence[Rule] | None = None,
+) -> list[Finding]:
+    """Analyze ``source`` as ``path``; the core entry point.
+
+    ``module`` overrides the dotted module name derived from the path
+    (tests use this to place fixtures into a layer). Syntax errors yield a
+    single GEM-E00 finding rather than raising: the analyzer must be able
+    to report on a tree the interpreter would reject.
+    """
+    path_obj = Path(path)
+    if module is None:
+        module, is_package = module_name_for(path_obj)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                "GEM-E00",
+                str(path),
+                exc.lineno or 1,
+                (exc.offset or 0) + 1,
+                f"file does not parse: {exc.msg}",
+            )
+        ]
+    ctx = FileContext(
+        path=str(path),
+        module=module,
+        is_package=is_package,
+        source=source,
+        tree=tree,
+        lines=source.splitlines(),
+    )
+    active = list(rules) if rules is not None else all_rules()
+    findings: list[Finding] = []
+    for rule in active:
+        findings.extend(rule.begin_module(ctx))
+    dispatcher = _Dispatcher(active, ctx)
+    dispatcher.visit(tree)
+    findings.extend(dispatcher.findings)
+    pragmas, pragma_defects = _parse_pragmas(ctx)
+    findings = _apply_pragmas(findings, pragmas, ctx)
+    findings.extend(pragma_defects)
+    findings.sort(key=lambda f: (f.line, f.col, f.rule))
+    return findings
+
+
+def analyze_file(
+    path: Path,
+    *,
+    root: Path | None = None,
+    module: str | None = None,
+    rules: Sequence[Rule] | None = None,
+) -> list[Finding]:
+    """Analyze one file; reported paths are made relative to ``root``."""
+    display = path
+    if root is not None:
+        try:
+            display = path.relative_to(root)
+        except ValueError:
+            display = path
+    source = path.read_text(encoding="utf-8")
+    return analyze_source(
+        source,
+        display.as_posix(),
+        module=module,
+        rules=rules,
+    )
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Yield ``.py`` files under ``paths``, skipping caches and hidden dirs."""
+    for path in paths:
+        if path.is_file():
+            if path.suffix == ".py":
+                yield path
+            continue
+        for sub in sorted(path.rglob("*.py")):
+            if any(part.startswith(".") or part == "__pycache__" for part in sub.parts):
+                continue
+            yield sub
+
+
+def analyze_paths(
+    paths: Sequence[Path],
+    *,
+    root: Path | None = None,
+    rules: Sequence[Rule] | None = None,
+) -> list[Finding]:
+    """Analyze every python file under ``paths``, sorted findings."""
+    findings: list[Finding] = []
+    for file in iter_python_files(paths):
+        findings.extend(analyze_file(file, root=root, rules=rules))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings

@@ -1,0 +1,17 @@
+"""The GEM-* rule families.
+
+Importing this package registers every rule with the engine's registry
+(the modules' ``@register`` decorators run at import time). Each module
+groups one contract area:
+
+* :mod:`~repro.analysis.rules.determinism` — GEM-D01 (stable ordering),
+  GEM-D02 (RNG discipline);
+* :mod:`~repro.analysis.rules.concurrency` — GEM-C01 (lock discipline),
+  GEM-C02 (copy-on-write buffer safety);
+* :mod:`~repro.analysis.rules.layering` — GEM-L01 (import layering);
+* :mod:`~repro.analysis.rules.floats` — GEM-F01 (float equality).
+"""
+
+from repro.analysis.rules import concurrency, determinism, floats, layering
+
+__all__ = ["concurrency", "determinism", "floats", "layering"]

@@ -1,0 +1,305 @@
+"""Concurrency rules: lock discipline (GEM-C01) and COW safety (GEM-C02).
+
+PR 4 made the serving layer safe by hand: ``SignatureCache`` grew a lock
+after concurrent transform batches corrupted its LRU order, and
+``GemIndex.snapshot()`` relies on published row buffers never being
+written in place. Both invariants are invisible to a type checker and one
+careless assignment away from a heisenbug; these rules make the two
+idioms machine-checked.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Sequence
+
+from repro.analysis.engine import FileContext, Finding, Rule, register
+
+_LOCK_FACTORIES = {"Lock", "RLock", "Condition"}
+
+#: Mutating container/array method names that count as writes for lock
+#: discipline (reads stay lock-free by design in several hot paths).
+_MUTATOR_METHODS = {
+    "append",
+    "appendleft",
+    "add",
+    "clear",
+    "discard",
+    "extend",
+    "insert",
+    "move_to_end",
+    "pop",
+    "popitem",
+    "popleft",
+    "remove",
+    "reverse",
+    "setdefault",
+    "sort",
+    "update",
+    "fill",
+}
+
+#: GemIndex buffers shared across snapshot() forks: rows at or below a
+#: fork's _n_rows are frozen the moment a snapshot exists, so in-place
+#: element writes are only legal where the copy-on-write tail claim has
+#: been taken (GemIndex.add). Rebinding the attribute to a fresh array is
+#: the sanctioned idiom and is not flagged.
+_COW_ATTRS = {"_rows_buf", "_unit_buf"}
+
+#: In-place numpy functions whose first argument is the written array.
+_INPLACE_NP_FUNCS = {"fill_diagonal", "copyto", "put", "place", "putmask"}
+
+#: ndarray methods that write through to the buffer.
+_INPLACE_ARRAY_METHODS = {"fill", "sort", "partition", "put", "resize"}
+
+
+def _self_attr(node: ast.expr) -> str | None:
+    """``self.X`` → ``"X"``, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _mutated_self_attrs(stmt: ast.stmt) -> list[tuple[str, ast.AST]]:
+    """Self attributes a single statement writes (not reads)."""
+    written: list[tuple[str, ast.AST]] = []
+
+    def target_attr(target: ast.expr) -> str | None:
+        # self.x = ..., self.x[i] = ..., self.x.y = ... all write into
+        # state reachable from self.x.
+        if isinstance(target, (ast.Subscript, ast.Attribute)) and not (
+            _self_attr(target)
+        ):
+            inner = target.value if not isinstance(target, ast.Name) else None
+            while isinstance(inner, (ast.Subscript, ast.Attribute)):
+                name = _self_attr(inner)
+                if name is not None:
+                    return name
+                inner = inner.value
+            return None
+        return _self_attr(target)
+
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            targets = target.elts if isinstance(target, (ast.Tuple, ast.List)) else [target]
+            for t in targets:
+                name = target_attr(t)
+                if name is not None:
+                    written.append((name, t))
+    elif isinstance(stmt, ast.AugAssign) or (
+        isinstance(stmt, ast.AnnAssign) and stmt.value is not None
+    ):
+        name = target_attr(stmt.target)
+        if name is not None:
+            written.append((name, stmt.target))
+    elif isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+        func = stmt.value.func
+        if isinstance(func, ast.Attribute) and func.attr in _MUTATOR_METHODS:
+            name = _self_attr(func.value)
+            if name is not None:
+                written.append((name, stmt.value))
+    return written
+
+
+def _with_holds_lock(stmt: ast.With, lock_attrs: set[str]) -> bool:
+    for item in stmt.items:
+        expr = item.context_expr
+        # `with self._lock:` or `with self._lock acquired via method` —
+        # only the bare attribute form is recognised.
+        name = _self_attr(expr)
+        if name in lock_attrs:
+            return True
+    return False
+
+
+@register
+class LockDisciplineRule(Rule):
+    """GEM-C01: if a class guards an attribute with its lock, it always does.
+
+    For every class that creates a ``threading.Lock``/``RLock``/
+    ``Condition`` on ``self``, any attribute that is *somewhere* mutated
+    under ``with self.<lock>:`` must be mutated under it *everywhere*
+    (outside ``__init__``/``__new__``, where the object is still private
+    to its constructor). A single unguarded write is exactly the torn
+    update the lock was added to prevent. Unguarded **reads** are not
+    flagged: the serving layer's read paths are deliberately lock-free.
+    """
+
+    id = "GEM-C01"
+    name = "lock-discipline"
+    invariant = (
+        "attributes mutated under `with self._lock` are never mutated "
+        "outside it"
+    )
+    motivation = "PR 4's thread-safe SignatureCache"
+    node_types = (ast.ClassDef,)
+
+    def visit_node(
+        self, node: ast.ClassDef, ctx: FileContext, parents: Sequence[ast.AST]
+    ) -> Iterator[Finding]:
+        if any(isinstance(p, ast.ClassDef) for p in parents):
+            return  # handled when the engine visits the inner class itself
+        lock_attrs = self._lock_attributes(node)
+        if not lock_attrs:
+            return
+        guarded: set[str] = set()
+        unguarded: list[tuple[str, ast.AST]] = []
+
+        def scan(body: Sequence[ast.stmt], in_lock: bool, in_ctor: bool) -> None:
+            for stmt in body:
+                if isinstance(stmt, ast.With) and _with_holds_lock(stmt, lock_attrs):
+                    scan(stmt.body, True, in_ctor)
+                    continue
+                for name, at in _mutated_self_attrs(stmt):
+                    if name in lock_attrs:
+                        continue
+                    if in_lock:
+                        guarded.add(name)
+                    elif not in_ctor:
+                        unguarded.append((name, at))
+                for child_body in _stmt_bodies(stmt):
+                    scan(child_body, in_lock, in_ctor)
+
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scan(
+                    item.body,
+                    in_lock=False,
+                    in_ctor=item.name in ("__init__", "__new__"),
+                )
+        for name, at in unguarded:
+            if name in guarded:
+                yield ctx.finding(
+                    self,
+                    at,
+                    f"self.{name} is mutated without holding the lock, but "
+                    f"class {node.name} elsewhere mutates it under `with "
+                    "self.<lock>:` — either guard this write or make the "
+                    "attribute consistently lock-free",
+                )
+
+    @staticmethod
+    def _lock_attributes(node: ast.ClassDef) -> set[str]:
+        locks: set[str] = set()
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Assign) or not isinstance(sub.value, ast.Call):
+                continue
+            func = sub.value.func
+            factory = (
+                func.attr
+                if isinstance(func, ast.Attribute)
+                else func.id
+                if isinstance(func, ast.Name)
+                else None
+            )
+            if factory not in _LOCK_FACTORIES:
+                continue
+            for target in sub.targets:
+                name = _self_attr(target)
+                if name is not None:
+                    locks.add(name)
+        return locks
+
+
+def _stmt_bodies(stmt: ast.stmt) -> list[list[ast.stmt]]:
+    """Nested statement lists of ``stmt`` (if/for/try/with/def bodies)."""
+    bodies: list[list[ast.stmt]] = []
+    for field in ("body", "orelse", "finalbody"):
+        value = getattr(stmt, field, None)
+        if isinstance(value, list) and value and isinstance(value[0], ast.stmt):
+            bodies.append(value)
+    for handler in getattr(stmt, "handlers", []):
+        bodies.append(handler.body)
+    return bodies
+
+
+@register
+class CowMutationRule(Rule):
+    """GEM-C02: never write in place into snapshot-shared row buffers.
+
+    ``GemIndex.snapshot()`` publishes forks that *share* ``_rows_buf`` /
+    ``_unit_buf``; every row a snapshot can see is immutable by contract,
+    and only the fork holding the tail claim may extend the spare
+    capacity. An in-place element write (``buf[...] = x``, ``buf += x``,
+    ``np.fill_diagonal(buf, ...)``) anywhere else silently rewrites data
+    a published snapshot is serving — a torn read no test reliably
+    catches. Rebinding the attribute to a fresh array is the sanctioned
+    copy-on-write idiom and is not flagged.
+    """
+
+    id = "GEM-C02"
+    name = "cow-buffer-mutation"
+    invariant = (
+        "snapshot-shared GemIndex row buffers are extended only under the "
+        "tail claim, never element-written elsewhere"
+    )
+    motivation = "PR 4's copy-on-write GemIndex.snapshot()"
+    node_types = (ast.Assign, ast.AugAssign, ast.Call)
+
+    def visit_node(
+        self, node: ast.AST, ctx: FileContext, parents: Sequence[ast.AST]
+    ) -> Iterator[Finding]:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                attr = self._subscripted_cow_attr(target)
+                if attr is not None:
+                    yield self._flag(ctx, target, attr, "element assignment")
+        elif isinstance(node, ast.AugAssign):
+            attr = self._subscripted_cow_attr(node.target)
+            if attr is None and self._cow_attr(node.target) is not None:
+                # `buf += x` on an ndarray mutates in place, unlike
+                # rebinding with `buf = buf + x`.
+                attr = self._cow_attr(node.target)
+            if attr is not None:
+                yield self._flag(ctx, node, attr, "augmented assignment")
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _INPLACE_NP_FUNCS
+                and node.args
+            ):
+                attr = self._cow_attr(node.args[0]) or self._subscripted_cow_attr_expr(node.args[0])
+                if attr is not None:
+                    yield self._flag(ctx, node, attr, f"np.{func.attr}()")
+            elif (
+                isinstance(func, ast.Attribute)
+                and func.attr in _INPLACE_ARRAY_METHODS
+                and self._cow_attr(func.value) is not None
+            ):
+                yield self._flag(ctx, node, self._cow_attr(func.value), f".{func.attr}()")
+
+    @staticmethod
+    def _cow_attr(node: ast.expr) -> str | None:
+        if isinstance(node, ast.Attribute) and node.attr in _COW_ATTRS:
+            return node.attr
+        return None
+
+    @classmethod
+    def _subscripted_cow_attr(cls, target: ast.expr) -> str | None:
+        if isinstance(target, ast.Subscript):
+            return cls._cow_attr(target.value) or cls._subscripted_cow_attr(target.value)
+        return None
+
+    @classmethod
+    def _subscripted_cow_attr_expr(cls, node: ast.expr) -> str | None:
+        if isinstance(node, ast.Subscript):
+            return cls._cow_attr(node.value)
+        return None
+
+    def _flag(self, ctx: FileContext, node: ast.AST, attr: str, how: str) -> Finding:
+        return ctx.finding(
+            self,
+            node,
+            f"in-place {how} into {attr}, which snapshot() shares across "
+            "forks — published snapshots must never observe a write; "
+            "rebind a fresh buffer (copy-on-write) or take the tail claim "
+            "as GemIndex.add does",
+        )
+
+
+__all__ = ["LockDisciplineRule", "CowMutationRule"]

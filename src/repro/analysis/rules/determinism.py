@@ -1,0 +1,187 @@
+"""Determinism rules: stable ordering (GEM-D01) and RNG discipline (GEM-D02).
+
+The repo's headline guarantees — the blocked searcher is bit-identical to
+the dense path, batched serving calls are bit-identical to solo calls,
+repeated runs agree on the k-th neighbour — all die the moment a kernel
+orders tied scores arbitrarily or draws entropy from hidden global state.
+Both failure modes have shipped before: PR 3 swept ``argpartition``
+tie-breaking out of the retrieval path after repeated runs disagreed on
+tied neighbours.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Sequence
+
+from repro.analysis.engine import FileContext, Finding, Rule, register
+
+_NUMPY_ALIASES = {"np", "numpy"}
+
+#: The one module allowed to implement raw top-k selection: everything
+#: else routes ordering through its deterministic kernels.
+_BLESSED_ORDERING_MODULES = {"repro.evaluation.neighbors"}
+
+#: Modules allowed to construct unseeded generators: the random_state
+#: plumbing itself (``check_random_state(None)`` is the documented
+#: fresh-entropy path) and the experiment runners' seeding helper.
+_BLESSED_RNG_MODULES = {"repro.utils.rng", "repro.experiments.context"}
+
+_STABLE_KINDS = {"stable", "mergesort"}
+
+#: numpy.random constructors that are fine anywhere: they wrap explicit
+#: seed material rather than global state.
+_RNG_CONSTRUCTORS = {
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "MT19937",
+    "SFC64",
+}
+
+
+def _attribute_chain(node: ast.expr) -> list[str] | None:
+    """``np.random.default_rng`` → ``["np", "random", "default_rng"]``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return parts[::-1]
+    return None
+
+
+def _kind_keyword(node: ast.Call) -> str | None:
+    for keyword in node.keywords:
+        if keyword.arg == "kind" and isinstance(keyword.value, ast.Constant):
+            value = keyword.value.value
+            if isinstance(value, str):
+                return value
+    return None
+
+
+@register
+class UnstableOrderingRule(Rule):
+    """GEM-D01: index-producing sorts must break ties deterministically.
+
+    ``np.argsort``/``np.sort`` default to introsort, whose ordering of
+    equal keys is arbitrary, and ``np.argpartition`` guarantees nothing
+    about order at all — so any top-k built on them can disagree between
+    runs, between block sizes, and between the batched and solo paths
+    whenever scores tie (duplicated columns make ties routine). Use
+    ``kind="stable"`` or route selection through
+    ``repro.evaluation.neighbors.top_k_desc``, the blessed
+    ``(score desc, index asc)`` kernel.
+    """
+
+    id = "GEM-D01"
+    name = "nondeterministic-ordering"
+    invariant = (
+        "top-k selection and index-producing sorts are reproducible under "
+        "tied scores (score desc, index asc)"
+    )
+    motivation = "PR 3's argpartition tie-breaking sweep"
+    node_types = (ast.Call,)
+
+    def visit_node(
+        self, node: ast.Call, ctx: FileContext, parents: Sequence[ast.AST]
+    ) -> Iterator[Finding]:
+        if ctx.module in _BLESSED_ORDERING_MODULES:
+            return
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        name = func.attr
+        receiver_is_numpy = (
+            isinstance(func.value, ast.Name) and func.value.id in _NUMPY_ALIASES
+        )
+        if name == "argpartition" or (name == "partition" and receiver_is_numpy):
+            yield ctx.finding(
+                self,
+                node,
+                f"{name}() orders tied elements arbitrarily; route top-k "
+                "selection through evaluation.neighbors.top_k_desc (score "
+                "desc, index asc) so repeated runs and the blocked/dense "
+                "paths agree on tied scores",
+            )
+        elif name == "argsort" or (name == "sort" and receiver_is_numpy):
+            if _kind_keyword(node) not in _STABLE_KINDS:
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"{name}() without kind=\"stable\" breaks ties in an "
+                    "implementation-defined order; pass kind=\"stable\" (or "
+                    "use evaluation.neighbors.top_k_desc for top-k)",
+                )
+
+
+@register
+class RNGDisciplineRule(Rule):
+    """GEM-D02: no hidden global RNG state, no unseeded generators.
+
+    Every stochastic component takes ``random_state`` and threads it via
+    ``repro.utils.rng.check_random_state`` / ``spawn_seeds``; the legacy
+    ``np.random.*`` module functions mutate process-global state (one
+    thread's draw perturbs another's sequence — fatal for the serving
+    layer's bit-identity), and an unseeded ``default_rng()`` makes a fit
+    unreproducible without telling anyone.
+    """
+
+    id = "GEM-D02"
+    name = "rng-discipline"
+    invariant = (
+        "all randomness flows from an explicit random_state; no global "
+        "numpy RNG, no unseeded default_rng() outside the rng plumbing"
+    )
+    motivation = "PR 2's restart-vectorized fit (per-restart seed streams)"
+    node_types = (ast.Call,)
+
+    def visit_node(
+        self, node: ast.Call, ctx: FileContext, parents: Sequence[ast.AST]
+    ) -> Iterator[Finding]:
+        if ctx.module in _BLESSED_RNG_MODULES:
+            return
+        chain = _attribute_chain(node.func)
+        if chain is None:
+            # A bare `default_rng()` imported with `from numpy.random
+            # import default_rng` still constructs an unseeded generator.
+            if (
+                isinstance(node.func, ast.Name)
+                and node.func.id == "default_rng"
+                and not node.args
+                and not node.keywords
+            ):
+                yield self._unseeded(ctx, node)
+            return
+        if len(chain) < 3 or chain[0] not in _NUMPY_ALIASES or chain[1] != "random":
+            return
+        attr = chain[2]
+        if attr in _RNG_CONSTRUCTORS:
+            return
+        if attr == "default_rng":
+            if not node.args and not node.keywords:
+                yield self._unseeded(ctx, node)
+            return
+        yield ctx.finding(
+            self,
+            node,
+            f"np.random.{attr}() draws from process-global RNG state; "
+            "accept random_state and use "
+            "repro.utils.rng.check_random_state / spawn_seeds instead",
+        )
+
+    def _unseeded(self, ctx: FileContext, node: ast.Call) -> Finding:
+        return ctx.finding(
+            self,
+            node,
+            "default_rng() with no seed is unreproducible; thread an "
+            "explicit random_state through "
+            "repro.utils.rng.check_random_state",
+        )
+
+
+__all__ = ["UnstableOrderingRule", "RNGDisciplineRule"]

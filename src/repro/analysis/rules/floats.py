@@ -1,0 +1,91 @@
+"""Float comparison rule (GEM-F01).
+
+The whole numerical stack leans on *bit*-identity gates (batched vs. solo
+kernels, blocked vs. dense search) that are asserted in tests with
+``np.array_equal``; library code, by contrast, compares *computed* floats,
+where ``==`` against a float literal is almost always a latent bug — the
+value is one rounding away from the sentinel, or the comparison silently
+broadcasts over an array and picks an arbitrary subset. ``x == 0`` against
+an integer zero (exact for counts, masks and untouched defaults) and every
+inequality are left alone; tests are exempt wholesale, bit-identity is
+their job.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Sequence
+
+from repro.analysis.engine import FileContext, Finding, Rule, register
+
+_NAN_INF_ATTRS = {"nan", "inf"}
+_NAN_INF_OWNERS = {"np", "numpy", "math"}
+
+
+def _is_test_path(path: str) -> bool:
+    parts = path.replace("\\", "/").split("/")
+    return any(p in ("tests", "test") for p in parts[:-1]) or parts[-1].startswith("test_")
+
+
+def _float_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant) and type(node.value) is float:
+        return True
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return _float_literal(node.operand)
+    if (
+        isinstance(node, ast.Attribute)
+        and node.attr in _NAN_INF_ATTRS
+        and isinstance(node.value, ast.Name)
+        and node.value.id in _NAN_INF_OWNERS
+    ):
+        return True
+    return False
+
+
+@register
+class FloatEqualityRule(Rule):
+    """GEM-F01: no ``==``/``!=`` against float literals outside tests."""
+
+    id = "GEM-F01"
+    name = "float-equality"
+    invariant = (
+        "library code never compares computed values to float literals "
+        "with ==/!= (use tolerances, integer sentinels, or np.isneginf "
+        "and friends)"
+    )
+    motivation = "PR 1's log-sum-exp underflow sweep (exact-zero probes)"
+    node_types = (ast.Compare,)
+
+    def visit_node(
+        self, node: ast.Compare, ctx: FileContext, parents: Sequence[ast.AST]
+    ) -> Iterator[Finding]:
+        if _is_test_path(ctx.path):
+            return
+        operands = [node.left, *node.comparators]
+        for i, op in enumerate(node.ops):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            left, right = operands[i], operands[i + 1]
+            literal = next((x for x in (left, right) if _float_literal(x)), None)
+            if literal is None:
+                continue
+            if (
+                isinstance(literal, ast.Attribute)
+                and literal.attr == "nan"
+            ) or (
+                isinstance(literal, ast.Constant)
+                and isinstance(literal.value, float)
+                and literal.value != literal.value
+            ):
+                hint = "comparison with NaN is always False; use np.isnan"
+            else:
+                hint = (
+                    "exact float equality on computed values is brittle "
+                    "(and broadcasts silently over arrays); use "
+                    "np.isclose/math.isclose, an integer sentinel, or "
+                    "np.isneginf/np.isposinf for infinities"
+                )
+            yield ctx.finding(self, node, hint)
+
+
+__all__ = ["FloatEqualityRule"]

@@ -1,0 +1,118 @@
+"""Layering rule: imports must flow core → index → serve (GEM-L01).
+
+The ROADMAP's distributed-serving tier splits ``repro.serve`` across
+processes; that only works if the library below it never reaches back up.
+PR 4 already leaked one such edge (``GemEmbedder.serve()`` lazily imported
+``repro.serve`` from inside ``repro.core``), fixed by a serve-side
+registration hook — this rule keeps the boundary fixed.
+
+The contract:
+
+* nothing outside :mod:`repro.serve` imports it — except the package
+  facade ``repro/__init__.py``, whose whole job is re-exporting the
+  public surface, and ``repro.experiments``, which sits above every
+  layer;
+* nothing outside :mod:`repro.experiments` imports it — runner glue must
+  never become a library dependency (it seeds global profiles and builds
+  corpora; importing it from library code would couple kernels to the
+  harness).
+
+Lazy function-level imports count: the dependency edge exists no matter
+where the statement sits.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Sequence
+
+from repro.analysis.engine import FileContext, Finding, Rule, register
+
+
+def _resolve_relative(module: str, is_package: bool, node: ast.ImportFrom) -> str | None:
+    """Absolute dotted target of a (possibly relative) ``from`` import."""
+    if node.level == 0:
+        return node.module
+    parts = module.split(".") if module else []
+    if not is_package:
+        parts = parts[:-1]
+    drop = node.level - 1
+    if drop > len(parts):
+        return None
+    base = parts[: len(parts) - drop]
+    if node.module:
+        base = base + [node.module]
+    return ".".join(base) if base else None
+
+
+@register
+class ImportLayeringRule(Rule):
+    """GEM-L01: core/gmm/index/evaluation never import serve; library never
+    imports experiments."""
+
+    id = "GEM-L01"
+    name = "import-layering"
+    invariant = (
+        "imports flow downward: library layers never import repro.serve; "
+        "nothing but the runners imports repro.experiments"
+    )
+    motivation = "PR 4's core→serve lazy-import leak (GemEmbedder.serve)"
+    node_types = (ast.Import, ast.ImportFrom)
+
+    #: (forbidden target, modules exempt from the ban). A bare "repro"
+    #: exemption matches only the package facade itself (repro/__init__),
+    #: never repro.core.* — subpackages are matched by subtree.
+    _CONSTRAINTS: tuple[tuple[str, tuple[str, ...]], ...] = (
+        ("repro.serve", ("repro", "repro.serve", "repro.experiments")),
+        ("repro.experiments", ("repro.experiments",)),
+    )
+    _EXACT_EXEMPT = {"repro"}
+
+    def visit_node(
+        self, node: ast.AST, ctx: FileContext, parents: Sequence[ast.AST]
+    ) -> Iterator[Finding]:
+        module = ctx.module
+        if not module or not (module == "repro" or module.startswith("repro.")):
+            return
+        violated: list[str] = []
+        for target in self._import_targets(node, ctx):
+            for forbidden, exempt in self._CONSTRAINTS:
+                if not (target == forbidden or target.startswith(forbidden + ".")):
+                    continue
+                if any(
+                    module == prefix
+                    or (
+                        prefix not in self._EXACT_EXEMPT
+                        and module.startswith(prefix + ".")
+                    )
+                    for prefix in exempt
+                ):
+                    continue
+                if forbidden not in violated:
+                    violated.append(forbidden)
+        for forbidden in violated:
+            yield ctx.finding(
+                self,
+                node,
+                f"{module} imports {forbidden}: imports must flow "
+                "core → index → serve (library code never imports "
+                f"{forbidden}). Invert the dependency with a "
+                "registration hook on the lower layer instead",
+            )
+
+    @staticmethod
+    def _import_targets(node: ast.AST, ctx: FileContext) -> list[str]:
+        targets: list[str] = []
+        if isinstance(node, ast.Import):
+            targets.extend(alias.name for alias in node.names)
+        elif isinstance(node, ast.ImportFrom):
+            base = _resolve_relative(ctx.module, ctx.is_package, node)
+            if base is not None:
+                targets.append(base)
+                # `from repro import serve` binds the submodule: the
+                # imported names are part of the dependency edge.
+                targets.extend(f"{base}.{alias.name}" for alias in node.names)
+        return targets
+
+
+__all__ = ["ImportLayeringRule"]

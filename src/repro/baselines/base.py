@@ -54,9 +54,7 @@ class ColumnEmbedder(abc.ABC):
     def transform(self, corpus: ColumnCorpus) -> np.ndarray:
         """Embed every column; shape ``(len(corpus), dim)``."""
 
-    def fit_transform(
-        self, corpus: ColumnCorpus, labels: list[str] | None = None
-    ) -> np.ndarray:
+    def fit_transform(self, corpus: ColumnCorpus, labels: list[str] | None = None) -> np.ndarray:
         """Fit on ``corpus`` and embed it."""
         return self.fit(corpus, labels).transform(corpus)
 

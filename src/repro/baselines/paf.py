@@ -61,9 +61,7 @@ class PAFEmbedder(ColumnEmbedder):
         stacked = corpus.stacked_values()
         self.center_ = float(np.mean(stacked))
         self.scale_ = float(np.std(stacked)) or 1.0
-        self.frequencies_ = np.geomspace(
-            self.min_frequency, self.max_frequency, self.n_frequencies
-        )
+        self.frequencies_ = np.geomspace(self.min_frequency, self.max_frequency, self.n_frequencies)
         return self
 
     def encode_values(self, values: np.ndarray) -> np.ndarray:

@@ -73,9 +73,7 @@ class PythagorasSCEmbedder(ColumnEmbedder):
         headers = self._header_embedder.encode(corpus.headers)
         return stats, headers
 
-    def fit(
-        self, corpus: ColumnCorpus, labels: list[str] | None = None
-    ) -> "PythagorasSCEmbedder":
+    def fit(self, corpus: ColumnCorpus, labels: list[str] | None = None) -> "PythagorasSCEmbedder":
         """Build the header graph and train the GCN on ground-truth types.
 
         GCNs are transductive: fit computes embeddings for exactly the

@@ -56,9 +56,7 @@ class SquashingGMMEmbedder(ColumnEmbedder):
         self.random_state = random_state
         self.gmm_: GaussianMixture | None = None
 
-    def fit(
-        self, corpus: ColumnCorpus, labels: list[str] | None = None
-    ) -> "SquashingGMMEmbedder":
+    def fit(self, corpus: ColumnCorpus, labels: list[str] | None = None) -> "SquashingGMMEmbedder":
         """Fit the prototype mixture on the squashed value stack."""
         corpus = self._require_corpus(corpus)
         squashed = log_squash(corpus.stacked_values()).reshape(-1, 1)
@@ -106,9 +104,7 @@ class SquashingSOMEmbedder(ColumnEmbedder):
         self.random_state = random_state
         self.som_: SelfOrganizingMap | None = None
 
-    def fit(
-        self, corpus: ColumnCorpus, labels: list[str] | None = None
-    ) -> "SquashingSOMEmbedder":
+    def fit(self, corpus: ColumnCorpus, labels: list[str] | None = None) -> "SquashingSOMEmbedder":
         """Train the 1-D map on the squashed value stack."""
         corpus = self._require_corpus(corpus)
         squashed = log_squash(corpus.stacked_values()).reshape(-1, 1)

@@ -27,9 +27,7 @@ from repro.utils.rng import RandomState, check_random_state, spawn_seeds
 from repro.utils.validation import check_array_2d, check_positive_int
 
 
-def student_t_assignments(
-    z: np.ndarray, centers: np.ndarray, *, alpha: float = 1.0
-) -> np.ndarray:
+def student_t_assignments(z: np.ndarray, centers: np.ndarray, *, alpha: float = 1.0) -> np.ndarray:
     """Soft assignments ``q_ij ∝ (1 + ||z_i - mu_j||² / alpha)^-(alpha+1)/2``.
 
     The student-t kernel of DEC/SDCN; rows sum to one.
@@ -163,9 +161,7 @@ class DeepClusteringBase:
         """Cluster the rows of ``X``; returns integer labels."""
         X = check_array_2d(X, "X")
         if X.shape[0] < self.n_clusters:
-            raise ValueError(
-                f"n_samples={X.shape[0]} must be >= n_clusters={self.n_clusters}"
-            )
+            raise ValueError(f"n_samples={X.shape[0]} must be >= n_clusters={self.n_clusters}")
         rng = check_random_state(self.random_state)
         seeds = spawn_seeds(rng, 4)
         # Standardise inputs; embeddings arrive at wildly different scales.

@@ -200,13 +200,9 @@ class GemConfig:
                 f"gmm_init must be 'quantile', 'kmeans' or 'random', got {self.gmm_init!r}"
             )
         if self.fit_engine not in _FIT_ENGINES:
-            raise ValueError(
-                f"fit_engine must be one of {_FIT_ENGINES}, got {self.fit_engine!r}"
-            )
+            raise ValueError(f"fit_engine must be one of {_FIT_ENGINES}, got {self.fit_engine!r}")
         if self.fit_batch_size is not None and self.fit_batch_size < 1:
-            raise ValueError(
-                f"fit_batch_size must be None or >= 1, got {self.fit_batch_size}"
-            )
+            raise ValueError(f"fit_batch_size must be None or >= 1, got {self.fit_batch_size}")
         if self.feature_clip <= 0:
             raise ValueError(f"feature_clip must be > 0, got {self.feature_clip}")
         if self.signature_kind not in _SIGNATURE_KINDS:
@@ -238,13 +234,9 @@ class GemConfig:
                 f"index_backend must be one of {_INDEX_BACKENDS}, got {self.index_backend!r}"
             )
         if self.index_block_size < 1:
-            raise ValueError(
-                f"index_block_size must be >= 1, got {self.index_block_size}"
-            )
+            raise ValueError(f"index_block_size must be >= 1, got {self.index_block_size}")
         if self.index_n_lists is not None and self.index_n_lists < 1:
-            raise ValueError(
-                f"index_n_lists must be None or >= 1, got {self.index_n_lists}"
-            )
+            raise ValueError(f"index_n_lists must be None or >= 1, got {self.index_n_lists}")
         if self.index_n_probe < 1:
             raise ValueError(f"index_n_probe must be >= 1, got {self.index_n_probe}")
         if self.serve_batch_window_ms < 0:
@@ -252,13 +244,9 @@ class GemConfig:
                 f"serve_batch_window_ms must be >= 0, got {self.serve_batch_window_ms}"
             )
         if self.serve_max_batch < 1:
-            raise ValueError(
-                f"serve_max_batch must be >= 1, got {self.serve_max_batch}"
-            )
+            raise ValueError(f"serve_max_batch must be >= 1, got {self.serve_max_batch}")
         if self.serve_max_workers < 1:
-            raise ValueError(
-                f"serve_max_workers must be >= 1, got {self.serve_max_workers}"
-            )
+            raise ValueError(f"serve_max_workers must be >= 1, got {self.serve_max_workers}")
 
     def with_features(
         self,

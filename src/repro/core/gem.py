@@ -36,6 +36,24 @@ from repro.utils.preprocessing import l1_normalize
 from repro.utils.rng import RandomState, check_random_state, spawn_seeds
 
 
+# Constructor for GemEmbedder.serve(), installed by repro.serve at import
+# time (repro/serve/__init__.py). The inversion keeps the core → index →
+# serve layering acyclic (gemlint GEM-L01): core never imports the serving
+# layer, the serving layer registers itself with core.
+_SERVE_FACTORY = None
+
+
+def register_serve_factory(factory) -> None:
+    """Install the service constructor behind :meth:`GemEmbedder.serve`.
+
+    Called once by ``repro.serve`` when it is imported; ``factory`` is
+    invoked as ``factory(embedder, index, **serve_overrides)`` and is
+    expected to return the service object.
+    """
+    global _SERVE_FACTORY
+    _SERVE_FACTORY = factory
+
+
 def _balance(block: np.ndarray) -> np.ndarray:
     """Scale a block to unit mean row L2-norm (see GemConfig.balance_blocks)."""
     norms = np.linalg.norm(block, axis=1)
@@ -54,9 +72,7 @@ def _balance_structure(cfg: GemConfig) -> tuple[bool, bool]:
     this pair — keep them reading one definition so they cannot drift.
     """
     joint = cfg.use_distributional and cfg.use_statistical
-    n_blocks = int(cfg.use_distributional or cfg.use_statistical) + int(
-        cfg.use_contextual
-    )
+    n_blocks = int(cfg.use_distributional or cfg.use_statistical) + int(cfg.use_contextual)
     return joint, cfg.balance_blocks and n_blocks > 1
 
 
@@ -444,7 +460,9 @@ class GemEmbedder:
             fit_batch_size=cfg.fit_batch_size,
             random_state=random_state,
         ).fit(v.reshape(-1, 1))
-        order = np.argsort(gmm.means_.ravel())
+        # Stable so components with exactly equal means (degenerate fits on
+        # constant-heavy columns) order reproducibly across runs.
+        order = np.argsort(gmm.means_.ravel(), kind="stable")
         row = np.zeros(3 * k)
         row[:n_comp] = gmm.weights_[order]
         row[k : k + n_comp] = gmm.means_.ravel()[order]
@@ -600,10 +618,19 @@ class GemEmbedder:
         ``self.build_index(corpus)`` (or a loaded archive) to serve an
         existing corpus. Requires a corpus-independent transform — see
         :attr:`transform_is_corpus_dependent`.
-        """
-        from repro.serve import GemService
 
-        return GemService(self, index, **serve_overrides)  # type: ignore[arg-type]
+        The service class itself is provided by the serving layer via
+        :func:`register_serve_factory` — importing :mod:`repro` (or
+        :mod:`repro.serve`) registers it; core never imports serve.
+        """
+        if _SERVE_FACTORY is None:
+            raise RuntimeError(
+                "no serving layer is registered: GemEmbedder.serve() is "
+                "backed by a factory that repro.serve installs when it is "
+                "imported (core code never imports the serving layer). "
+                "Run `import repro.serve` (or `import repro`) first."
+            )
+        return _SERVE_FACTORY(self, index, **serve_overrides)
 
     # ------------------------------------------------------------ clustering
 

@@ -125,9 +125,7 @@ def mean_component_probabilities(
     if not columns:
         raise ValueError("columns must not be empty")
     sizes, offsets = column_offsets(columns)
-    stacked = np.concatenate(
-        [np.asarray(c, dtype=float).ravel() for c in columns]
-    ).reshape(-1, 1)
+    stacked = np.concatenate([np.asarray(c, dtype=float).ravel() for c in columns]).reshape(-1, 1)
     score = gmm.predict_proba if kind == "responsibility" else gmm.component_pdf
     sums = np.zeros((len(columns), gmm.means_.shape[0]))
     for rows in column_chunks(offsets, batch_size):

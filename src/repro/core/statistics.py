@@ -142,15 +142,11 @@ def columns_statistics_batch(columns: list[np.ndarray]) -> np.ndarray:
     run_counts = np.diff(np.append(run_starts, sv.size))
     unique_count = np.bincount(run_col, minlength=sizes.size).astype(float)
     p = run_counts / sizes[run_col]
-    entropy = np.bincount(
-        run_col, weights=-p * np.log(p + _EPS), minlength=sizes.size
-    )
+    entropy = np.bincount(run_col, weights=-p * np.log(p + _EPS), minlength=sizes.size)
 
     value_range = sv[offsets[1:] - 1] - sv[offsets[:-1]]
     p10, p90 = _segment_percentile(sv, offsets, sizes, (10, 90))
-    return np.column_stack(
-        [unique_count, mean, cv, entropy, value_range, p10, p90]
-    )
+    return np.column_stack([unique_count, mean, cv, entropy, value_range, p10, p90])
 
 
 def column_statistics(values: np.ndarray) -> np.ndarray:

@@ -186,9 +186,7 @@ def make_wdc(
     n_cols = n_columns or n_cols
     rng = check_random_state(random_state)
     types = _pick_types(default_type_library(), n_types, rng, prefer_shared_coarse=True)
-    return make_corpus(
-        "WDC", types, n_cols, header_granularity="coarse", random_state=rng
-    )
+    return make_corpus("WDC", types, n_cols, header_granularity="coarse", random_state=rng)
 
 
 def make_sato_tables(
@@ -211,8 +209,18 @@ def make_sato_tables(
     # "duration", "weight", "order", "position", ... §4.1): prefer those
     # coarse groups, then fill with random ones if more clusters are needed.
     preferred = [
-        "age", "duration", "weight", "order", "position", "rank",
-        "score", "year", "temperature", "percentage", "rating", "height",
+        "age",
+        "duration",
+        "weight",
+        "order",
+        "position",
+        "rank",
+        "score",
+        "year",
+        "temperature",
+        "percentage",
+        "rating",
+        "height",
     ]
     chosen = [g for g in preferred if g in coarse_groups][:n_clusters]
     if len(chosen) < n_clusters:
@@ -225,9 +233,7 @@ def make_sato_tables(
         group = coarse_groups[name]
         base = group[int(rng.integers(len(group)))]
         types.append(replace(base, fine=base.coarse))
-    return make_corpus(
-        "SatoTables", types, n_cols, header_granularity="coarse", random_state=rng
-    )
+    return make_corpus("SatoTables", types, n_cols, header_granularity="coarse", random_state=rng)
 
 
 #: GitTables' 19 Schema.org/DBpedia-style types: modest-range, heavily
@@ -235,11 +241,25 @@ def make_sato_tables(
 #: values [153, 228, 125, 273, ...] to be duration, height, length or
 #: volume", §4.1). Each acts as its own ground-truth cluster.
 _GIT_TYPES = (
-    "age_person", "duration_movie", "height_person", "length_road",
-    "width_screen", "depth_ocean", "temperature_temperate", "weight_human",
-    "speed_car", "rank_player", "position_race", "order_line_item",
-    "percentage_generic", "rating_book", "score_exam", "engine_volume",
-    "stock_quantity", "review_count", "humidity_relative",
+    "age_person",
+    "duration_movie",
+    "height_person",
+    "length_road",
+    "width_screen",
+    "depth_ocean",
+    "temperature_temperate",
+    "weight_human",
+    "speed_car",
+    "rank_player",
+    "position_race",
+    "order_line_item",
+    "percentage_generic",
+    "rating_book",
+    "score_exam",
+    "engine_volume",
+    "stock_quantity",
+    "review_count",
+    "humidity_relative",
 )
 
 
@@ -260,9 +280,7 @@ def make_git_tables(
     # Schema.org annotations are flat: every type is its own cluster at both
     # granularities.
     types = [replace(t, coarse=t.fine) for t in chosen]
-    corpus = make_corpus(
-        "GitTables", types, n_cols, header_granularity="fine", random_state=rng
-    )
+    corpus = make_corpus("GitTables", types, n_cols, header_granularity="fine", random_state=rng)
     # GitTables offers "no additional context descriptions": blank out headers.
     generic = ("value", "field", "data", "col", "number", "v1", "x")
     columns = [

@@ -354,9 +354,7 @@ def make_column(
         n_values = int(rng.integers(lo, hi + 1))
     values = semantic_type.sampler.draw(rng, n_values)
     return NumericColumn(
-        name=header_for(
-            semantic_type, rng, granularity=header_granularity, noise=header_noise
-        ),
+        name=header_for(semantic_type, rng, granularity=header_granularity, noise=header_noise),
         values=values,
         fine_label=semantic_type.fine,
         coarse_label=semantic_type.coarse,
@@ -392,7 +390,11 @@ def default_type_library() -> tuple[SemanticType, ...]:
     add("score_cricket", "score", NormalSampler((220, 300), (30, 60), integer=True, clip=(0, 600)))
     add("score_rugby", "score", NormalSampler((18, 35), (6, 12), integer=True, clip=(0, 90)))
     add("score_football", "score", DiscreteSampler((0, 1, 2, 3, 4, 5, 6), concentration=2.0))
-    add("score_basketball", "score", NormalSampler((90, 115), (8, 14), integer=True, clip=(40, 160)))
+    add(
+        "score_basketball",
+        "score",
+        NormalSampler((90, 115), (8, 14), integer=True, clip=(40, 160)),
+    )
     add("score_exam", "score", NormalSampler((62, 80), (8, 14), clip=(0, 100), decimals=1))
 
     # --- ratings (constant-ish / discrete / zero-inflated, §4.2.2) ----------
@@ -416,18 +418,34 @@ def default_type_library() -> tuple[SemanticType, ...]:
 
     # --- years (discrete, overlapping with duration/age ranges, §4.2.1) -----
     add("year_publication", "year", UniformSampler((1950, 1995), (20, 70), integer=True))
-    add("year_birth", "year", NormalSampler((1970, 1990), (10, 20), integer=True, clip=(1900, 2025)))
+    add(
+        "year_birth",
+        "year",
+        NormalSampler((1970, 1990), (10, 20), integer=True, clip=(1900, 2025)),
+    )
     add("year_founded", "year", UniformSampler((1850, 1950), (50, 150), integer=True))
 
     # --- weights ------------------------------------------------------------
     add("weight_human", "weight", NormalSampler((62, 85), (10, 18), clip=(30, 200), decimals=1))
     add("weight_package", "weight", ExponentialSampler((0.8, 3.0), loc=(0.05, 0.3)))
-    add("weight_vehicle", "weight", NormalSampler((1200, 1900), (200, 400), integer=True, clip=(600, 4000)))
+    add(
+        "weight_vehicle",
+        "weight",
+        NormalSampler((1200, 1900), (200, 400), integer=True, clip=(600, 4000)),
+    )
     add("weight_animal", "weight", LogNormalSampler((1.0, 4.0), (0.6, 1.2)))
-    add("dry_weight", "weight", NormalSampler((900, 1500), (120, 260), integer=True, clip=(300, 3000)))
+    add(
+        "dry_weight",
+        "weight",
+        NormalSampler((900, 1500), (120, 260), integer=True, clip=(300, 3000)),
+    )
 
     # --- heights / lengths / widths / depths --------------------------------
-    add("height_person", "height", NormalSampler((165, 178), (6, 11), integer=True, clip=(120, 220)))
+    add(
+        "height_person",
+        "height",
+        NormalSampler((165, 178), (6, 11), integer=True, clip=(120, 220)),
+    )
     add("height_mountain", "height", LogNormalSampler((7.0, 7.9), (0.4, 0.7), integer=True))
     add("height_building", "height", GammaSampler((2, 4), (25, 60), integer=True))
     add("length_river", "length", LogNormalSampler((4.5, 6.5), (0.8, 1.3), integer=True))
@@ -467,14 +485,26 @@ def default_type_library() -> tuple[SemanticType, ...]:
     add("elevation_city", "elevation", GammaSampler((1.2, 2.5), (150, 500), integer=True))
 
     # --- durations / counts / indices ---------------------------------------
-    add("duration_movie", "duration", NormalSampler((100, 125), (12, 22), integer=True, clip=(40, 260)))
-    add("duration_song", "duration", NormalSampler((190, 230), (25, 45), integer=True, clip=(60, 600)))
+    add(
+        "duration_movie",
+        "duration",
+        NormalSampler((100, 125), (12, 22), integer=True, clip=(40, 260)),
+    )
+    add(
+        "duration_song",
+        "duration",
+        NormalSampler((190, 230), (25, 45), integer=True, clip=(60, 600)),
+    )
     add("duration_flight", "duration", GammaSampler((2, 4), (60, 140), integer=True))
-    add("mileage_car", "mileage", MixtureSampler(
-        UniformSampler((0, 50), (300, 900), integer=True),
-        LogNormalSampler((10.8, 11.4), (0.3, 0.6), integer=True),
-        weight_a=(0.1, 0.3),
-    ))
+    add(
+        "mileage_car",
+        "mileage",
+        MixtureSampler(
+            UniformSampler((0, 50), (300, 900), integer=True),
+            LogNormalSampler((10.8, 11.4), (0.3, 0.6), integer=True),
+            weight_a=(0.1, 0.3),
+        ),
+    )
     add("rank_player", "rank", UniformSampler((1, 2), (40, 150), integer=True))
     add("rank_university", "rank", UniformSampler((1, 2), (200, 500), integer=True))
     add("position_race", "position", UniformSampler((1, 2), (10, 30), integer=True))
@@ -485,23 +515,43 @@ def default_type_library() -> tuple[SemanticType, ...]:
     add("goals_scored", "count", DiscreteSampler((0, 1, 2, 3, 4, 5), concentration=1.2))
 
     # --- engineering / devices ----------------------------------------------
-    add("engine_power_car", "power", NormalSampler((95, 160), (25, 50), integer=True, clip=(30, 600)))
-    add("battery_power_device", "power", NormalSampler((2800, 4200), (400, 900), integer=True, clip=(500, 10000)))
-    add("engine_volume", "volume", DiscreteSampler((1.0, 1.2, 1.4, 1.6, 1.8, 2.0, 2.5, 3.0), concentration=2.0))
+    add(
+        "engine_power_car",
+        "power",
+        NormalSampler((95, 160), (25, 50), integer=True, clip=(30, 600)),
+    )
+    add(
+        "battery_power_device",
+        "power",
+        NormalSampler((2800, 4200), (400, 900), integer=True, clip=(500, 10000)),
+    )
+    add(
+        "engine_volume",
+        "volume",
+        DiscreteSampler((1.0, 1.2, 1.4, 1.6, 1.8, 2.0, 2.5, 3.0), concentration=2.0),
+    )
     add("acceleration_car", "acceleration", NormalSampler((6.5, 11.0), (1.2, 2.4), decimals=1))
     add("speed_car", "speed", NormalSampler((45, 75), (12, 24), integer=True, clip=(0, 250)))
     add("speed_wind", "speed", GammaSampler((1.8, 3.0), (3.5, 8.0), decimals=1))
     add("pressure_atmospheric", "pressure", NormalSampler((1008, 1018), (4, 10), decimals=1))
     add("energy_consumption", "energy", GammaSampler((2, 4), (80, 250), integer=True))
     add("screen_size_phone", "size", NormalSampler((5.8, 6.7), (0.25, 0.5), decimals=1))
-    add("battery_capacity", "capacity", DiscreteSampler((2000, 3000, 4000, 4500, 5000, 6000), concentration=2.0))
+    add(
+        "battery_capacity",
+        "capacity",
+        DiscreteSampler((2000, 3000, 4000, 4500, 5000, 6000), concentration=2.0),
+    )
 
     # --- rates / percentages -------------------------------------------------
     add("percentage_generic", "percentage", UniformSampler((0, 5), (80, 100), decimals=1))
     add("humidity_relative", "percentage", BetaSampler((3, 6), (2, 4), low=0, high=100, decimals=1))
     add("tax_rate", "rate", BetaSampler((2, 4), (6, 12), low=0, high=50, decimals=2))
     add("interest_rate", "rate", GammaSampler((1.5, 3.0), (0.8, 2.0), decimals=2))
-    add("discount_percent", "percentage", DiscreteSampler((0, 5, 10, 15, 20, 25, 50), concentration=1.5))
+    add(
+        "discount_percent",
+        "percentage",
+        DiscreteSampler((0, 5, 10, 15, 20, 25, 50), concentration=1.5),
+    )
 
     # --- areas / misc ---------------------------------------------------------
     add("area_country", "area", LogNormalSampler((2.0, 5.5), (1.2, 1.9), decimals=1))

@@ -83,11 +83,11 @@ def hungarian_assignment(cost: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
             cols.append(j - 1)
     rows_arr = np.asarray(rows, dtype=int)
     cols_arr = np.asarray(cols, dtype=int)
-    order = np.argsort(rows_arr)
+    order = np.argsort(rows_arr, kind="stable")
     rows_arr, cols_arr = rows_arr[order], cols_arr[order]
     if transposed:
         rows_arr, cols_arr = cols_arr, rows_arr
-        order = np.argsort(rows_arr)
+        order = np.argsort(rows_arr, kind="stable")
         rows_arr, cols_arr = rows_arr[order], cols_arr[order]
     return rows_arr, cols_arr
 

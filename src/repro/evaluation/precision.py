@@ -73,9 +73,7 @@ def _index_order(index, X: np.ndarray, k_max: int) -> np.ndarray:
     """
     n, d = X.shape
     if len(index) != n:
-        raise ValueError(
-            f"index stores {len(index)} rows but there are {n} embeddings"
-        )
+        raise ValueError(f"index stores {len(index)} rows but there are {n} embeddings")
     if getattr(index, "dim", d) != d:
         raise ValueError(f"index dim {index.dim} != embedding dim {d}")
     stored = index.vectors()

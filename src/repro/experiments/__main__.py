@@ -36,9 +36,7 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="use the paper-faithful EM profile (10 restarts) instead of the fast one",
     )
-    parser.add_argument(
-        "--markdown", action="store_true", help="emit markdown instead of ASCII"
-    )
+    parser.add_argument("--markdown", action="store_true", help="emit markdown instead of ASCII")
     args = parser.parse_args(argv)
 
     ids = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]

@@ -82,9 +82,7 @@ def supervised_sc_methods(*, fast: bool = True) -> dict[str, Callable[[], object
     }
 
 
-def fitted_gem(
-    corpus: ColumnCorpus, *, fast: bool = True, **overrides: object
-) -> GemEmbedder:
+def fitted_gem(corpus: ColumnCorpus, *, fast: bool = True, **overrides: object) -> GemEmbedder:
     """A Gem embedder fitted on ``corpus`` with the experiment profile."""
     gem = GemEmbedder(config=gem_config(fast=fast, **overrides))
     gem.fit(corpus)

@@ -96,7 +96,9 @@ def _obs6_values_reduce_false_positives(rng) -> tuple[list, bool]:
     # Three types share the header word "height"; only values differ.
     for i in range(4):
         cols.append(
-            NumericColumn("height", rng.lognormal(7.6, 0.3, 70).round(), "height_mountain", "height")
+            NumericColumn(
+                "height", rng.lognormal(7.6, 0.3, 70).round(), "height_mountain", "height"
+            )
         )
     for i in range(4):
         cols.append(
@@ -154,8 +156,12 @@ def run(scale: str | None = None, *, seed: int = 0, **_: object) -> ExperimentRe
     rng = check_random_state(seed)
     rows = []
     verdicts = {}
-    for fn in (_obs2_rating_vs_weight, _obs4_width_vs_length,
-               _obs6_values_reduce_false_positives, _obs7_cardinality_robustness):
+    for fn in (
+        _obs2_rating_vs_weight,
+        _obs4_width_vs_length,
+        _obs6_values_reduce_false_positives,
+        _obs7_cardinality_robustness,
+    ):
         row, holds = fn(rng)
         rows.append(row)
         verdicts[row[0]] = holds

@@ -34,7 +34,9 @@ def _cluster(algorithm: str, embeddings: np.ndarray, n_clusters: int, seed: int)
     return SDCN(n_clusters, **common).fit_predict(embeddings)
 
 
-def run(scale: str | None = None, *, fast: bool = True, seed: int = 0, **_: object) -> ExperimentResult:
+def run(
+    scale: str | None = None, *, fast: bool = True, seed: int = 0, **_: object
+) -> ExperimentResult:
     """Run the 2 embeddings x 2 algorithms x 3 configurations grid."""
     corpora = build_corpora(scale, only=_DATASETS)
     headers = ["Embedding / Input", "Dataset", "Algorithm", "ARI", "ACC"]
@@ -52,9 +54,7 @@ def run(scale: str | None = None, *, fast: bool = True, seed: int = 0, **_: obje
         inputs: dict[tuple[str, str], np.ndarray | None] = {
             ("Gem", "Headers only"): context,
             ("Gem", "Values only"): values_gem,
-            ("Gem", "Headers + Values"): np.hstack(
-                [_unitize(values_gem), _unitize(context)]
-            ),
+            ("Gem", "Headers + Values"): np.hstack([_unitize(values_gem), _unitize(context)]),
             ("Squashing_SOM", "Headers only"): None,  # paper leaves these blank
             ("Squashing_SOM", "Values only"): values_som,
             ("Squashing_SOM", "Headers + Values"): np.hstack(
@@ -73,7 +73,11 @@ def run(scale: str | None = None, *, fast: bool = True, seed: int = 0, **_: obje
                 rows.append([f"{embedding} / {config}", _TITLES[key], algorithm, ari, acc])
 
     def _mean(embedding: str, metric: str) -> float:
-        vals = [v[metric] for (e, c, d, a), v in scores.items() if e == embedding and c != "Headers only"]
+        vals = [
+            v[metric]
+            for (e, c, d, a), v in scores.items()
+            if e == embedding and c != "Headers only"
+        ]
         return float(np.mean(vals)) if vals else float("nan")
 
     gem_beats_som = _mean("Gem", "ari") > _mean("Squashing_SOM", "ari")

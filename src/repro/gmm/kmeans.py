@@ -314,9 +314,7 @@ def seed_restarts_1d(
     x = np.asarray(x, dtype=np.float64).ravel()
     n_components = check_positive_int(n_components, "n_components")
     if x.size < n_components:
-        raise ValueError(
-            f"n_samples={x.size} must be >= n_components={n_components}"
-        )
+        raise ValueError(f"n_samples={x.size} must be >= n_components={n_components}")
     R = len(seeds)
     if init == "quantile":
         qs = np.linspace(0, 1, n_components + 2)[1:-1]

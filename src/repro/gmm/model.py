@@ -217,9 +217,7 @@ class _BatchedEM:
                         ).ravel()
                         s1 += np.bincount(fb, weights=xb, minlength=R * m)
                     else:
-                        s2 += np.bincount(
-                            fb, weights=dev2[s : s + block].ravel(), minlength=R * m
-                        )
+                        s2 += np.bincount(fb, weights=dev2[s : s + block].ravel(), minlength=R * m)
             return counts, s1, s2
 
         counts, s1, _ = _pass(None)
@@ -230,9 +228,7 @@ class _BatchedEM:
         var = s2.reshape(R, m) / nk + self.reg_covar
         return weights, means, var
 
-    def initial_from_random(
-        self, seed: int
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    def initial_from_random(self, seed: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Initial parameters for ONE restart from random responsibilities.
 
         The ``init='random'`` path. Responsibility rows are drawn and
@@ -505,9 +501,7 @@ class GaussianMixture:
         """
         X = check_array_2d(X, "X")
         if X.shape[0] < self.n_components:
-            raise ValueError(
-                f"n_samples={X.shape[0]} must be >= n_components={self.n_components}"
-            )
+            raise ValueError(f"n_samples={X.shape[0]} must be >= n_components={self.n_components}")
         engine = self._resolve_engine(X.shape[1])
         seeds = spawn_seeds(self.random_state, self.n_init)
         if X.shape[1] == 1:
@@ -566,9 +560,7 @@ class GaussianMixture:
             for r, seed in enumerate(seeds):
                 w0[r], mu0[r], var0[r] = (a[0] for a in em.initial_from_random(seed))
         else:
-            centers = seed_restarts_1d(
-                x, m, seeds, self.init, batch_size=plan.effective_batch_size
-            )
+            centers = seed_restarts_1d(x, m, seeds, self.init, batch_size=plan.effective_batch_size)
             w0, mu0, var0 = em.initial_from_centers(centers)
         if stacked:
             out_w, out_mu, out_var, bounds, n_iters, converged = em.run(w0, mu0, var0)
@@ -610,9 +602,7 @@ class GaussianMixture:
         """
         X = check_array_2d(X, "X")
         if X.shape[0] < self.n_components:
-            raise ValueError(
-                f"n_samples={X.shape[0]} must be >= n_components={self.n_components}"
-            )
+            raise ValueError(f"n_samples={X.shape[0]} must be >= n_components={self.n_components}")
         weights = np.asarray(weights, dtype=np.float64).ravel()
         means = np.asarray(means, dtype=np.float64)
         covariances = np.asarray(covariances, dtype=np.float64)
@@ -776,9 +766,7 @@ class GaussianMixture:
         np.subtract(weighted, log_sum, out=weighted)
         return weighted, log_norm
 
-    def _m_step(
-        self, X: np.ndarray, resp: np.ndarray
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    def _m_step(self, X: np.ndarray, resp: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Eqs. 3-5: re-estimate weights, means and covariances."""
         n, d = X.shape
         nk = resp.sum(axis=0) + 10 * np.finfo(float).tiny
@@ -798,9 +786,7 @@ class GaussianMixture:
         return weights, means, covariances
 
     @staticmethod
-    def _log_gaussian_prob(
-        X: np.ndarray, means: np.ndarray, covariances: np.ndarray
-    ) -> np.ndarray:
+    def _log_gaussian_prob(X: np.ndarray, means: np.ndarray, covariances: np.ndarray) -> np.ndarray:
         """Eq. 6 in log space for every (sample, component) pair.
 
         Uses the Cholesky factor of each covariance for the quadratic form
@@ -856,9 +842,7 @@ class GaussianMixture:
         X = check_array_2d(X, "X")
         out = np.empty((X.shape[0], self.n_components))
         for rows in BatchPlan(X.shape[0], batch_size):
-            log_resp, _ = self._e_step(
-                X[rows], self.weights_, self.means_, self.covariances_
-            )
+            log_resp, _ = self._e_step(X[rows], self.weights_, self.means_, self.covariances_)
             np.exp(log_resp, out=out[rows])
         return out
 
@@ -888,9 +872,7 @@ class GaussianMixture:
         X = check_array_2d(X, "X")
         out = np.empty(X.shape[0])
         for rows in BatchPlan(X.shape[0], batch_size):
-            _, log_norm = self._e_step(
-                X[rows], self.weights_, self.means_, self.covariances_
-            )
+            _, log_norm = self._e_step(X[rows], self.weights_, self.means_, self.covariances_)
             out[rows] = log_norm
         return out
 
@@ -926,9 +908,7 @@ class GaussianMixture:
         for j, count in enumerate(counts):
             if count == 0:
                 continue
-            chunks.append(
-                rng.multivariate_normal(self.means_[j], self.covariances_[j], size=count)
-            )
+            chunks.append(rng.multivariate_normal(self.means_[j], self.covariances_[j], size=count))
         out = np.vstack(chunks)
         rng.shuffle(out)
         return out

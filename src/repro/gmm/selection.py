@@ -105,9 +105,7 @@ def split_components(
     mu = list(np.asarray(means, dtype=np.float64))
     cov = list(np.asarray(covariances, dtype=np.float64))
     if n_target < len(w):
-        raise ValueError(
-            f"n_target={n_target} is smaller than the current {len(w)} components"
-        )
+        raise ValueError(f"n_target={n_target} is smaller than the current {len(w)} components")
     while len(w) < n_target:
         j = int(np.argmax(w))
         sigma = np.sqrt(np.diag(cov[j]))
@@ -216,9 +214,7 @@ def select_n_components_bic(
         base = fitted[feasible[0]][0]
 
         def _warm(m: int, state: RandomState) -> tuple[GaussianMixture, float]:
-            w, mu, cov = split_components(
-                base.weights_, base.means_, base.covariances_, m
-            )
+            w, mu, cov = split_components(base.weights_, base.means_, base.covariances_, m)
             gmm = GaussianMixture(
                 n_components=m,
                 n_init=1,

@@ -212,17 +212,13 @@ class GemIndex:
             raise ValueError(f"{len(ids)} ids for {X.shape[0]} vectors")
         for column_id in ids:
             if not isinstance(column_id, str):
-                raise TypeError(
-                    f"column ids must be strings, got {type(column_id).__name__}"
-                )
+                raise TypeError(f"column ids must be strings, got {type(column_id).__name__}")
             if column_id in self._pos:
                 raise ValueError(f"column id {column_id!r} is already stored")
         if len(set(ids)) != len(ids):
             raise ValueError("column ids within one add() call must be unique")
         if value_fingerprints is not None and len(value_fingerprints) != len(ids):
-            raise ValueError(
-                f"{len(value_fingerprints)} value_fingerprints for {len(ids)} ids"
-            )
+            raise ValueError(f"{len(value_fingerprints)} value_fingerprints for {len(ids)} ids")
         unit = unit_rows(X)
         base = len(self._ids)
         needed = self._n_rows + X.shape[0]
@@ -240,8 +236,8 @@ class GemIndex:
                 grown[: self._n_rows] = getattr(self, name)[: self._n_rows]
                 setattr(self, name, grown)
             self._tail_owner = [self]
-        self._rows_buf[self._n_rows : needed] = X
-        self._unit_buf[self._n_rows : needed] = unit
+        self._rows_buf[self._n_rows : needed] = X  # gemlint: disable=GEM-C02(the tail claim above guarantees exclusive ownership of rows >= _n_rows; no published snapshot can see them)
+        self._unit_buf[self._n_rows : needed] = unit  # gemlint: disable=GEM-C02(same tail claim as the raw-row write above: only the claiming fork may extend the spare capacity)
         self._n_rows = needed
         self._ids.extend(ids)
         self._id_lookup = None
@@ -375,9 +371,7 @@ class GemIndex:
         if exclude_ids is not None:
             exclude_ids = list(exclude_ids)
             if len(exclude_ids) != Q.shape[0]:
-                raise ValueError(
-                    f"{len(exclude_ids)} exclude_ids for {Q.shape[0]} queries"
-                )
+                raise ValueError(f"{len(exclude_ids)} exclude_ids for {Q.shape[0]} queries")
             exclude_positions = np.array(
                 [self._pos.get(cid, -1) for cid in exclude_ids], dtype=np.intp
             )
@@ -457,9 +451,7 @@ class GemIndex:
                 "GemEmbedder.build_index() or call index.attach(embedder)"
             )
         self._check_fresh(self._embedder)
-        corpus_dependent = getattr(
-            self._embedder, "transform_is_corpus_dependent", False
-        )
+        corpus_dependent = getattr(self._embedder, "transform_is_corpus_dependent", False)
         if not corpus_dependent:
             rows = self._embedder.transform(corpus)
             # Ownership resolution hashes every query column's raw values;
@@ -505,9 +497,7 @@ class GemIndex:
             rows = self._rows
         return self.search(rows, k, exclude_ids=owners if exclude_self else None)
 
-    def _self_exclusion_ids(
-        self, corpus, rows: np.ndarray | None
-    ) -> list[str | None]:
+    def _self_exclusion_ids(self, corpus, rows: np.ndarray | None) -> list[str | None]:
         """The stored id that *is* each query column, or ``None``.
 
         A column is "itself" only when the *whole query corpus* is the
@@ -535,10 +525,7 @@ class GemIndex:
         if len(fps) == len(self._ids) and self._value_fps:
             if all(self._value_fps.get(cid) == fp for cid, fp in zip(ids, fps)):
                 return list(ids)
-            if all(
-                self._value_fps.get(sid) == fp
-                for sid, fp in zip(self._ids, fps)
-            ):
+            if all(self._value_fps.get(sid) == fp for sid, fp in zip(self._ids, fps)):
                 return list(self._ids)
         exclude: list[str | None] = []
         for i, cid in enumerate(ids):

@@ -46,9 +46,7 @@ def centroid_scores(rows: np.ndarray, centroids: np.ndarray) -> np.ndarray:
     blocking-invariant einsum kernel so results do not depend on how rows
     are batched.
     """
-    return np.einsum("qd,nd->qn", rows, centroids) - 0.5 * np.sum(
-        centroids**2, axis=1
-    )
+    return np.einsum("qd,nd->qn", rows, centroids) - 0.5 * np.sum(centroids**2, axis=1)
 
 
 class IVFPartition:
@@ -187,9 +185,7 @@ def ivf_topk(
                 mask = cand_pos == excl[qs, None]
                 if mask.any():
                     sim = np.where(mask, -np.inf, sim)
-            run_scores[qs], run_pos[qs] = merge_topk(
-                run_scores[qs], run_pos[qs], sim, cand_pos, k
-            )
+            run_scores[qs], run_pos[qs] = merge_topk(run_scores[qs], run_pos[qs], sim, cand_pos, k)
     return best_pos, best_scores
 
 

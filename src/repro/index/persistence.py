@@ -107,9 +107,7 @@ def load_index(path: str | Path) -> GemIndex:
             )
         if "ivf_centroids" in payload:
             assert index._partition is not None
-            index._partition.restore(
-                payload["ivf_centroids"], payload["ivf_assignments"]
-            )
+            index._partition.restore(payload["ivf_centroids"], payload["ivf_assignments"])
     return index
 
 

@@ -89,9 +89,7 @@ class Autoencoder:
         rng = check_random_state(self.random_state)
         self._build(X.shape[1], rng)
         loss = MSELoss()
-        optimizer = Adam(
-            self.encoder_.parameters() + self.decoder_.parameters(), lr=self.lr
-        )
+        optimizer = Adam(self.encoder_.parameters() + self.decoder_.parameters(), lr=self.lr)
         n = X.shape[0]
         self.history_ = []
         for _ in range(self.epochs):

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.evaluation.neighbors import top_k_desc
 from repro.nn.layers import Layer, Parameter, ReLU, Sequential
 from repro.nn.losses import SoftmaxCrossEntropy
 from repro.nn.optim import Adam
@@ -40,7 +41,12 @@ def knn_graph(embeddings: np.ndarray, k: int = 5) -> np.ndarray:
     """Symmetric k-nearest-neighbour graph under cosine similarity.
 
     The standard construction for SDCN-style clustering and for
-    Pythagoras_SC's header-similarity graph.
+    Pythagoras_SC's header-similarity graph. Neighbour selection goes
+    through :func:`repro.evaluation.neighbors.top_k_desc` — score
+    descending, index ascending — so tied similarities (duplicated
+    columns are routine in lake corpora) pick the same neighbours on
+    every run; raw ``np.argpartition`` made the graph, and therefore the
+    trained GCN, depend on numpy's arbitrary partition order.
     """
     X = check_array_2d(embeddings, "embeddings")
     k = check_positive_int(k, "k")
@@ -51,7 +57,8 @@ def knn_graph(embeddings: np.ndarray, k: int = 5) -> np.ndarray:
     n = X.shape[0]
     k = min(k, n - 1)
     A = np.zeros((n, n))
-    nearest = np.argpartition(-sim, kth=k - 1, axis=1)[:, :k]
+    cols = np.broadcast_to(np.arange(n), sim.shape)
+    nearest = top_k_desc(sim, cols, k)
     rows = np.repeat(np.arange(n), k)
     A[rows, nearest.ravel()] = 1.0
     return np.maximum(A, A.T)

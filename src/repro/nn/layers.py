@@ -48,7 +48,9 @@ class Layer:
 class Dense(Layer):
     """Affine layer ``y = x W + b`` with Glorot-uniform initialisation."""
 
-    def __init__(self, in_features: int, out_features: int, *, random_state: RandomState = None) -> None:
+    def __init__(
+        self, in_features: int, out_features: int, *, random_state: RandomState = None
+    ) -> None:
         if in_features < 1 or out_features < 1:
             raise ValueError(
                 f"in_features and out_features must be positive, got {in_features}, {out_features}"
@@ -156,7 +158,7 @@ class Dropout(Layer):
         self._mask: np.ndarray | None = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        if not training or self.p == 0.0:
+        if not training or self.p == 0.0:  # gemlint: disable=GEM-F01(scalar config sentinel: p is a user-supplied constant, never computed, and p=0.0 exactly means dropout disabled)
             self._mask = None
             return x
         keep = 1.0 - self.p

@@ -31,7 +31,9 @@ class Optimizer:
 class SGD(Optimizer):
     """Stochastic gradient descent with classical momentum."""
 
-    def __init__(self, parameters: list[Parameter], lr: float = 0.01, momentum: float = 0.0) -> None:
+    def __init__(
+        self, parameters: list[Parameter], lr: float = 0.01, momentum: float = 0.0
+    ) -> None:
         super().__init__(parameters, lr)
         if not 0.0 <= momentum < 1.0:
             raise ValueError(f"momentum must be in [0, 1), got {momentum}")

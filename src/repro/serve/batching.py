@@ -152,9 +152,7 @@ class MicroBatcher:
         with self._cond:
             while True:
                 if self._closed:
-                    raise BatcherClosedError(
-                        f"cannot submit to closed MicroBatcher {self._name!r}"
-                    )
+                    raise BatcherClosedError(f"cannot submit to closed MicroBatcher {self._name!r}")
                 if self._open is None:
                     batch = self._open = _Batch()
                     is_leader = True

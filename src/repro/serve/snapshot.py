@@ -82,9 +82,7 @@ class SnapshotStore:
             try:
                 if op.kind == "ingest":
                     assert op.rows is not None
-                    self._working.add(
-                        op.ids, op.rows, value_fingerprints=op.value_fps
-                    )
+                    self._working.add(op.ids, op.rows, value_fingerprints=op.value_fps)
                     n_in += len(op.ids)
                 elif op.kind == "evict":
                     self._working.remove(op.ids)

@@ -112,7 +112,9 @@ def check_fitted(estimator: Any, attribute: str) -> None:
         )
 
 
-def check_probability_matrix(matrix: Any, name: str = "responsibilities", *, atol: float = 1e-6) -> np.ndarray:
+def check_probability_matrix(
+    matrix: Any, name: str = "responsibilities", *, atol: float = 1e-6
+) -> np.ndarray:
     """Validate a row-stochastic matrix (rows sum to one, entries in [0, 1])."""
     arr = check_array_2d(matrix, name)
     if np.any(arr < -atol) or np.any(arr > 1 + atol):

@@ -30,8 +30,12 @@ def type_library():
 def tiny_corpus() -> ColumnCorpus:
     """~36 columns over 6 types with fine headers (session-cached)."""
     types = [t for t in default_type_library() if t.fine in (
-        "age_person", "year_publication", "rating_book",
-        "price_product", "score_cricket", "percentage_generic",
+        "age_person",
+        "year_publication",
+        "rating_book",
+        "price_product",
+        "score_cricket",
+        "percentage_generic",
     )]
     return make_corpus("tiny", types, 36, header_granularity="fine", random_state=0)
 

@@ -1,0 +1,21 @@
+# gemlint-fixture: module=repro.fake.stats_ok
+# gemlint-fixture: expect=GEM-C01:0
+"""Near misses: guarded mutations, lock-free reads, __init__ writes."""
+import threading
+
+
+class Stats:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.hits = 0  # constructor writes predate any sharing
+        self.label = "stats"
+
+    def record(self):
+        with self._lock:
+            self.hits += 1
+
+    def snapshot(self):
+        return self.hits  # unguarded *read*: the read paths are lock-free
+
+    def rename(self, label):
+        self.label = label  # never mutated under the lock anywhere

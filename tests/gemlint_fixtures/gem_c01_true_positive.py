@@ -1,0 +1,17 @@
+# gemlint-fixture: module=repro.fake.stats
+# gemlint-fixture: expect=GEM-C01:1
+"""True positive: an attribute guarded elsewhere is mutated lock-free."""
+import threading
+
+
+class Stats:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.hits = 0
+
+    def record(self):
+        with self._lock:
+            self.hits += 1
+
+    def reset(self):
+        self.hits = 0  # mutation outside the lock that guards it elsewhere

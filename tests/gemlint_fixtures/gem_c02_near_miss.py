@@ -1,0 +1,19 @@
+# gemlint-fixture: module=repro.fake.index_ok
+# gemlint-fixture: expect=GEM-C02:0
+"""Near misses: the sanctioned copy-on-write idiom (fresh buffer, rebind)."""
+import numpy as np
+
+
+class MiniIndex:
+    def __init__(self, dim):
+        self._rows_buf = np.empty((0, dim))
+        self._n_rows = 0
+
+    def grow(self, x):
+        capacity = max(2 * self._rows_buf.shape[0], 64)
+        grown = np.empty((capacity, self._rows_buf.shape[1]))
+        grown[: self._n_rows] = self._rows_buf[: self._n_rows]  # writes the copy
+        self._rows_buf = grown  # rebinding is the COW idiom, not a mutation
+        scratch = self._rows_buf[: self._n_rows].copy()
+        scratch[0] = x  # writes a private copy, not the shared buffer
+        return scratch

@@ -1,0 +1,16 @@
+# gemlint-fixture: module=repro.fake.index
+# gemlint-fixture: expect=GEM-C02:3
+"""True positives: in-place writes into snapshot-shared row buffers."""
+import numpy as np
+
+
+class MiniIndex:
+    def __init__(self, dim):
+        self._rows_buf = np.empty((0, dim))
+        self._unit_buf = np.empty((0, dim))
+        self._n_rows = 0
+
+    def clobber(self, x):
+        self._rows_buf[0] = x  # element write a snapshot could observe
+        self._unit_buf[: self._n_rows] += x  # in-place augmented write
+        self._rows_buf.fill(0.0)  # ndarray.fill writes through

@@ -1,0 +1,13 @@
+# gemlint-fixture: module=repro.fake.ranking_ok
+# gemlint-fixture: expect=GEM-D01:0
+"""Near misses: stable kinds, non-numpy sorts, and str.partition."""
+import numpy as np
+
+
+def rank(scores, names, text):
+    order = np.argsort(-scores, kind="stable")
+    flat = np.sort(scores, kind="stable")
+    merged = np.lexsort((np.arange(scores.shape[0]), -scores))  # stable by spec
+    names.sort()  # list.sort is guaranteed stable by the language
+    head, _, tail = text.partition(",")  # str.partition, not np.partition
+    return order, flat, merged, names, head, tail

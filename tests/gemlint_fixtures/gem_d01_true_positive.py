@@ -1,0 +1,11 @@
+# gemlint-fixture: module=repro.fake.ranking
+# gemlint-fixture: expect=GEM-D01:3
+"""True positives: every unstable ordering construct the rule exists for."""
+import numpy as np
+
+
+def rank(scores):
+    order = np.argsort(-scores)  # unstable argsort: tie order is arbitrary
+    top = np.argpartition(-scores, kth=4)[:5]  # no order guarantee at all
+    flat = np.sort(scores)  # np.sort without kind="stable"
+    return order, top, flat

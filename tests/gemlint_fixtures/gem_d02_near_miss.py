@@ -1,0 +1,13 @@
+# gemlint-fixture: module=repro.fake.sampling_ok
+# gemlint-fixture: expect=GEM-D02:0
+"""Near misses: seeded generators and explicit bit-generator construction."""
+import numpy as np
+
+from repro.utils.rng import check_random_state
+
+
+def draw(n, seed):
+    rng = np.random.default_rng(seed)  # seeded: fine anywhere
+    gen = np.random.Generator(np.random.PCG64(seed))  # explicit seed material
+    fallback = check_random_state(None)  # the blessed fresh-entropy path
+    return rng.normal(size=n), gen.normal(size=n), fallback

@@ -1,0 +1,11 @@
+# gemlint-fixture: module=repro.fake.sampling
+# gemlint-fixture: expect=GEM-D02:3
+"""True positives: global-state RNG calls and an unseeded generator."""
+import numpy as np
+
+
+def draw(n):
+    noise = np.random.randn(n)  # legacy global RNG
+    rng = np.random.default_rng()  # unseeded: unreproducible
+    np.random.seed(0)  # reseeds process-global state
+    return noise, rng

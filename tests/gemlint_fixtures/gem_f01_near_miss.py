@@ -1,0 +1,14 @@
+# gemlint-fixture: module=repro.fake.maths_ok
+# gemlint-fixture: expect=GEM-F01:0
+"""Near misses: integer sentinels, inequalities, and proper predicates."""
+import numpy as np
+
+
+def fine(x, arr, p):
+    if x == 0:  # integer zero: exact for counts/masks/untouched defaults
+        x = 1
+    if p <= 0.0:  # inequality against a float literal is fine
+        p = 0.1
+    close = np.isclose(arr, 0.5)
+    nans = np.isnan(arr)
+    return close, nans, x, p

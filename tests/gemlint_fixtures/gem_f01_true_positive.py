@@ -1,0 +1,10 @@
+# gemlint-fixture: module=repro.fake.maths
+# gemlint-fixture: expect=GEM-F01:2
+"""True positives: float-literal equality and the always-False NaN probe."""
+import numpy as np
+
+
+def weird(x, arr):
+    if x == 0.5:  # computed value vs float literal
+        x = 0.0
+    return arr != np.nan  # always True elementwise; a real bug

@@ -1,0 +1,10 @@
+# gemlint-fixture: module=repro.experiments.fake_runner
+# gemlint-fixture: expect=GEM-L01:0
+"""Near miss: the runners sit above every layer and may import anything."""
+from repro.core.gem import GemEmbedder
+from repro.index import GemIndex
+from repro.serve import GemService
+
+
+def run():
+    return GemEmbedder, GemIndex, GemService

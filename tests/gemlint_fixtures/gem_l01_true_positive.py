@@ -1,0 +1,15 @@
+# gemlint-fixture: module=repro.core.fake_embedder
+# gemlint-fixture: expect=GEM-L01:2
+"""True positives: core importing serve, library importing experiments.
+
+The imports are never executed — gemlint is AST-only — so this file can
+name modules freely.
+"""
+from repro.serve import GemService  # core must never import serve
+
+
+def run():
+    # Lazy imports count: the dependency edge exists wherever it sits.
+    import repro.experiments.registry as registry
+
+    return GemService, registry

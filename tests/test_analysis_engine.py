@@ -1,0 +1,250 @@
+"""Engine-level tests for gemlint: pragmas, baselines, CLI, module mapping."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    BaselineError,
+    analyze_source,
+    load_baseline,
+    module_name_for,
+    rule_registry,
+    write_baseline,
+)
+from repro.analysis.__main__ import main
+from repro.analysis.engine import PRAGMA_RULE_ID, UNUSED_PRAGMA_RULE_ID
+
+SYNTAX_RULE_ID = "GEM-E00"
+
+FLOAT_EQ = "def f(x):\n    return x == 0.5\n"
+
+
+def _rules(*ids):
+    registry = rule_registry()
+    return [registry[i] for i in ids]
+
+
+class TestPragmas:
+    def test_reasoned_pragma_suppresses(self):
+        src = "def f(x):\n    return x == 0.5  # gemlint: disable=GEM-F01(sentinel)\n"
+        findings = analyze_source(src, "pkg/mod.py", rules=_rules("GEM-F01"))
+        assert findings == []
+
+    def test_missing_reason_reports_p00_and_keeps_finding(self):
+        src = "def f(x):\n    return x == 0.5  # gemlint: disable=GEM-F01\n"
+        findings = analyze_source(src, "pkg/mod.py", rules=_rules("GEM-F01"))
+        rules = sorted(f.rule for f in findings)
+        assert rules == ["GEM-F01", PRAGMA_RULE_ID]
+
+    def test_empty_reason_reports_p00(self):
+        src = "def f(x):\n    return x == 0.5  # gemlint: disable=GEM-F01()\n"
+        findings = analyze_source(src, "pkg/mod.py", rules=_rules("GEM-F01"))
+        assert PRAGMA_RULE_ID in {f.rule for f in findings}
+
+    def test_unused_pragma_reports_p01(self):
+        src = "def f(x):\n    return x  # gemlint: disable=GEM-F01(stale excuse)\n"
+        findings = analyze_source(src, "pkg/mod.py", rules=_rules("GEM-F01"))
+        assert [f.rule for f in findings] == [UNUSED_PRAGMA_RULE_ID]
+
+    def test_pragma_text_in_docstring_is_inert(self):
+        src = (
+            '"""Docs mention # gemlint: disable=GEM-F01 without effect."""\n'
+            "def f(x):\n    return x == 0.5\n"
+        )
+        findings = analyze_source(src, "pkg/mod.py", rules=_rules("GEM-F01"))
+        assert [f.rule for f in findings] == ["GEM-F01"]
+
+    def test_pragma_only_covers_named_rule(self):
+        src = (
+            "def f(x):\n"
+            "    return x == 0.5  # gemlint: disable=GEM-D01(wrong rule named)\n"
+        )
+        findings = analyze_source(src, "pkg/mod.py", rules=_rules("GEM-F01"))
+        rules = {f.rule for f in findings}
+        assert "GEM-F01" in rules
+        assert UNUSED_PRAGMA_RULE_ID in rules
+
+    def test_syntax_error_reports_e00(self):
+        findings = analyze_source("def broken(:\n", "pkg/mod.py", rules=[])
+        assert [f.rule for f in findings] == [SYNTAX_RULE_ID]
+
+
+class TestBaseline:
+    def _write(self, tmp_path, entries):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 1, "entries": entries}), encoding="utf-8")
+        return path
+
+    def test_apply_matches_by_code_not_line(self, tmp_path):
+        findings = analyze_source(FLOAT_EQ, "pkg/mod.py", rules=_rules("GEM-F01"))
+        assert len(findings) == 1
+        baseline = load_baseline(
+            self._write(
+                tmp_path,
+                [
+                    {
+                        "rule": "GEM-F01",
+                        "path": "pkg/mod.py",
+                        "code": "return x == 0.5",
+                        "justification": "legacy sentinel, tracked in follow-up",
+                    }
+                ],
+            )
+        )
+        unmatched, stale = baseline.apply(findings)
+        assert unmatched == [] and stale == []
+
+    def test_apply_reports_stale_entries(self, tmp_path):
+        baseline = load_baseline(
+            self._write(
+                tmp_path,
+                [
+                    {
+                        "rule": "GEM-F01",
+                        "path": "pkg/gone.py",
+                        "code": "return x == 0.5",
+                        "justification": "was real once",
+                    }
+                ],
+            )
+        )
+        unmatched, stale = baseline.apply([])
+        assert unmatched == []
+        assert len(stale) == 1 and stale[0].path == "pkg/gone.py"
+
+    def test_one_entry_excuses_at_most_one_finding(self, tmp_path):
+        src = "def f(x, y):\n    return x == 0.5\n\ndef g(x):\n    return x == 0.5\n"
+        findings = analyze_source(src, "pkg/mod.py", rules=_rules("GEM-F01"))
+        assert len(findings) == 2
+        baseline = load_baseline(
+            self._write(
+                tmp_path,
+                [
+                    {
+                        "rule": "GEM-F01",
+                        "path": "pkg/mod.py",
+                        "code": "return x == 0.5",
+                        "justification": "only one copy is excused",
+                    }
+                ],
+            )
+        )
+        unmatched, stale = baseline.apply(findings)
+        assert len(unmatched) == 1 and stale == []
+
+    def test_empty_justification_refuses_to_load(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            [
+                {
+                    "rule": "GEM-F01",
+                    "path": "pkg/mod.py",
+                    "code": "return x == 0.5",
+                    "justification": "",
+                }
+            ],
+        )
+        with pytest.raises(BaselineError, match="justification"):
+            load_baseline(path)
+
+    def test_write_baseline_output_requires_review(self, tmp_path):
+        findings = analyze_source(FLOAT_EQ, "pkg/mod.py", rules=_rules("GEM-F01"))
+        path = tmp_path / "baseline.json"
+        write_baseline(findings, path)
+        # Freshly written entries carry empty justifications on purpose:
+        # the file must be reviewed before the gate will accept it.
+        with pytest.raises(BaselineError):
+            load_baseline(path)
+
+    def test_unknown_version_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "entries": []}), encoding="utf-8")
+        with pytest.raises(BaselineError, match="version"):
+            load_baseline(path)
+
+
+class TestModuleName:
+    def test_src_layout(self):
+        module, is_pkg = module_name_for(Path("src/repro/core/gem.py"))
+        assert module == "repro.core.gem" and not is_pkg
+
+    def test_package_init(self):
+        module, is_pkg = module_name_for(Path("src/repro/serve/__init__.py"))
+        assert module == "repro.serve" and is_pkg
+
+    def test_non_repro_path(self):
+        module, _ = module_name_for(Path("scripts/tool.py"))
+        assert module == ""
+
+
+class TestCli:
+    def _project(self, tmp_path, source=FLOAT_EQ):
+        pkg = tmp_path / "src" / "repro"
+        pkg.mkdir(parents=True)
+        (pkg / "__init__.py").write_text("", encoding="utf-8")
+        (pkg / "mod.py").write_text(source, encoding="utf-8")
+        return tmp_path
+
+    def test_clean_tree_exits_zero(self, tmp_path, monkeypatch, capsys):
+        self._project(tmp_path, "def f(x):\n    return x\n")
+        monkeypatch.chdir(tmp_path)
+        assert main(["src", "--no-baseline"]) == 0
+        assert "0 finding(s)" in capsys.readouterr().err
+
+    def test_findings_exit_one(self, tmp_path, monkeypatch, capsys):
+        self._project(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        assert main(["src", "--no-baseline"]) == 1
+        out = capsys.readouterr().out
+        assert "GEM-F01" in out and "src/repro/mod.py" in out
+
+    def test_github_format_emits_error_commands(self, tmp_path, monkeypatch, capsys):
+        self._project(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        assert main(["src", "--no-baseline", "--format", "github"]) == 1
+        out = capsys.readouterr().out
+        assert out.startswith("::error ")
+        assert "file=src/repro/mod.py" in out and "GEM-F01" in out
+
+    def test_baseline_gates_stale_entries(self, tmp_path, monkeypatch):
+        self._project(tmp_path, "def f(x):\n    return x\n")
+        (tmp_path / "gemlint-baseline.json").write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "entries": [
+                        {
+                            "rule": "GEM-F01",
+                            "path": "src/repro/mod.py",
+                            "code": "return x == 0.5",
+                            "justification": "finding was fixed; entry left behind",
+                        }
+                    ],
+                }
+            ),
+            encoding="utf-8",
+        )
+        monkeypatch.chdir(tmp_path)
+        assert main(["src"]) == 1
+
+    def test_unreviewed_baseline_exits_two(self, tmp_path, monkeypatch):
+        self._project(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        assert main(["src", "--write-baseline"]) == 0
+        assert (tmp_path / "gemlint-baseline.json").exists()
+        # The written file has empty justifications → config error, not pass.
+        assert main(["src"]) == 2
+
+    def test_select_restricts_rules(self, tmp_path, monkeypatch, capsys):
+        self._project(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        assert main(["src", "--no-baseline", "--select", "GEM-D01"]) == 0
+        capsys.readouterr()
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("GEM-D01", "GEM-D02", "GEM-C01", "GEM-C02", "GEM-L01", "GEM-F01"):
+            assert rule_id in out

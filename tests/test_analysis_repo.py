@@ -1,0 +1,35 @@
+"""Tier-1 gate: the shipped tree must be gemlint-clean.
+
+Runs the full analyzer over ``src/`` exactly like CI does and asserts
+that every finding is excused by a reviewed baseline entry and that no
+baseline entry is stale. If this test fails, either fix the reported
+finding, add a same-line ``# gemlint: disable=<rule>(reason)`` pragma,
+or baseline it in ``gemlint-baseline.json`` with a written
+justification.
+"""
+
+from pathlib import Path
+
+from repro.analysis import analyze_paths, load_baseline
+
+REPO = Path(__file__).resolve().parents[1]
+BASELINE = REPO / "gemlint-baseline.json"
+
+
+def test_src_tree_has_no_unbaselined_findings():
+    findings = analyze_paths([REPO / "src"], root=REPO)
+    baseline = load_baseline(BASELINE)
+    unmatched, stale = baseline.apply(findings)
+    new_findings = "\n".join(f.render() for f in unmatched)
+    assert unmatched == [], f"new gemlint findings:\n{new_findings}"
+    stale_entries = "\n".join(e.render() for e in stale)
+    assert stale == [], f"stale baseline entries (delete them):\n{stale_entries}"
+
+
+def test_baseline_entries_are_justified():
+    baseline = load_baseline(BASELINE)
+    for entry in baseline.entries:
+        assert len(entry.justification) >= 15, (
+            f"baseline justification for {entry.rule} at {entry.path} is too "
+            "thin to count as a review"
+        )

@@ -31,9 +31,7 @@ class TestSherlockFeatures:
 
     def test_skewness_sign(self):
         right_skewed = np.array([1.0, 1.0, 1.0, 10.0])
-        feats = dict(
-            zip(SHERLOCK_FEATURE_NAMES, sherlock_statistical_features(right_skewed))
-        )
+        feats = dict(zip(SHERLOCK_FEATURE_NAMES, sherlock_statistical_features(right_skewed)))
         assert feats["skewness"] > 0
 
     def test_constant_column_degenerate_moments(self):
@@ -102,9 +100,7 @@ class TestSatoSpecifics:
 class TestPythagoras:
     def test_fit_transform_shape(self, tiny_corpus):
         labels = tiny_corpus.labels("fine")
-        emb = PythagorasSCEmbedder(epochs=30, random_state=0).fit_transform(
-            tiny_corpus, labels
-        )
+        emb = PythagorasSCEmbedder(epochs=30, random_state=0).fit_transform(tiny_corpus, labels)
         assert emb.shape == (len(tiny_corpus), 64)
 
     def test_labels_required(self, tiny_corpus):

@@ -66,9 +66,7 @@ class TestPAF:
         assert np.all(np.abs(emb) <= 1.0)
 
     def test_frequency_ladder_geometric(self, two_band_corpus):
-        paf = PAFEmbedder(n_frequencies=5, min_frequency=0.1, max_frequency=10).fit(
-            two_band_corpus
-        )
+        paf = PAFEmbedder(n_frequencies=5, min_frequency=0.1, max_frequency=10).fit(two_band_corpus)
         ratios = paf.frequencies_[1:] / paf.frequencies_[:-1]
         assert np.allclose(ratios, ratios[0])
 
@@ -96,16 +94,12 @@ class TestLogSquash:
 
 class TestSquashingGMM:
     def test_embedding_rows_stochastic(self, two_band_corpus):
-        emb = SquashingGMMEmbedder(n_components=6, random_state=0).fit_transform(
-            two_band_corpus
-        )
+        emb = SquashingGMMEmbedder(n_components=6, random_state=0).fit_transform(two_band_corpus)
         assert emb.shape == (8, 6)
         assert np.allclose(emb.sum(axis=1), 1.0)
 
     def test_separates_bands(self, two_band_corpus):
-        emb = SquashingGMMEmbedder(n_components=6, random_state=0).fit_transform(
-            two_band_corpus
-        )
+        emb = SquashingGMMEmbedder(n_components=6, random_state=0).fit_transform(two_band_corpus)
         assert np.argmax(emb[0]) != np.argmax(emb[-1])
 
     def test_unfitted_raises(self, two_band_corpus):
@@ -115,16 +109,12 @@ class TestSquashingGMM:
 
 class TestSquashingSOM:
     def test_embedding_rows_stochastic(self, two_band_corpus):
-        emb = SquashingSOMEmbedder(n_units=10, random_state=0).fit_transform(
-            two_band_corpus
-        )
+        emb = SquashingSOMEmbedder(n_units=10, random_state=0).fit_transform(two_band_corpus)
         assert emb.shape == (8, 10)
         assert np.allclose(emb.sum(axis=1), 1.0)
 
     def test_separates_bands(self, two_band_corpus):
-        emb = SquashingSOMEmbedder(n_units=10, random_state=0).fit_transform(
-            two_band_corpus
-        )
+        emb = SquashingSOMEmbedder(n_units=10, random_state=0).fit_transform(two_band_corpus)
         assert np.linalg.norm(emb[0] - emb[-1]) > 0.1
 
 

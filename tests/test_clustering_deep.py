@@ -71,9 +71,7 @@ class TestKLGradients:
         q = student_t_assignments(z, centers)
         p = target_distribution(q)
         analytic = dc._kl_grad_z(z, q, p)
-        numeric = _numeric_grad(
-            lambda zz: kl_divergence(p, student_t_assignments(zz, centers)), z
-        )
+        numeric = _numeric_grad(lambda zz: kl_divergence(p, student_t_assignments(zz, centers)), z)
         assert np.allclose(analytic, numeric, atol=1e-7)
 
     def test_student_t_grad_centers(self, setup):
@@ -83,9 +81,7 @@ class TestKLGradients:
         q = student_t_assignments(z, centers)
         p = target_distribution(q)
         analytic = dc._kl_grad_centers(z, q, p)
-        numeric = _numeric_grad(
-            lambda cc: kl_divergence(p, student_t_assignments(z, cc)), centers
-        )
+        numeric = _numeric_grad(lambda cc: kl_divergence(p, student_t_assignments(z, cc)), centers)
         assert np.allclose(analytic, numeric, atol=1e-7)
 
     def test_mahalanobis_grads(self, setup):

@@ -17,14 +17,10 @@ class TestArrayFingerprint:
         assert array_fingerprint(a) == array_fingerprint(a.copy())
 
     def test_different_values_differ(self):
-        assert array_fingerprint(np.array([1.0, 2.0])) != array_fingerprint(
-            np.array([1.0, 2.5])
-        )
+        assert array_fingerprint(np.array([1.0, 2.0])) != array_fingerprint(np.array([1.0, 2.5]))
 
     def test_dtype_distinguished(self):
-        assert array_fingerprint(np.array([1, 2])) != array_fingerprint(
-            np.array([1.0, 2.0])
-        )
+        assert array_fingerprint(np.array([1, 2])) != array_fingerprint(np.array([1.0, 2.0]))
 
     def test_shape_distinguished(self):
         flat = np.arange(4.0)
@@ -131,9 +127,7 @@ class TestEmbedderCaching:
     def test_cache_disabled_matches_enabled(self, tiny_corpus):
         on = GemEmbedder(config=GemConfig.fast(**FAST, cache_signatures=True))
         off = GemEmbedder(config=GemConfig.fast(**FAST, cache_signatures=False))
-        assert np.allclose(
-            on.fit_transform(tiny_corpus), off.fit_transform(tiny_corpus)
-        )
+        assert np.allclose(on.fit_transform(tiny_corpus), off.fit_transform(tiny_corpus))
         assert off._signature_cache is None
 
     def test_refit_replaces_stale_cache_rows(self, fitted, tiny_corpus, ambiguous_corpus):
@@ -144,9 +138,7 @@ class TestEmbedderCaching:
         # while freezing the corpus-level balance statistics, so the cache
         # is not empty — but every row must match a fresh computation.)
         fitted.fit(ambiguous_corpus)
-        fresh = mean_component_probabilities(
-            fitted.gmm_, [c.values for c in tiny_corpus]
-        )
+        fresh = mean_component_probabilities(fitted.gmm_, [c.values for c in tiny_corpus])
         cached = fitted.mean_probabilities(tiny_corpus)
         assert np.allclose(cached, fresh, atol=1e-12, rtol=0)
 

@@ -24,8 +24,12 @@ def tiny_corpus_module():
     from repro.data.synthesis import default_type_library
 
     types = [t for t in default_type_library() if t.fine in (
-        "age_person", "year_publication", "rating_book",
-        "price_product", "score_cricket", "percentage_generic",
+        "age_person",
+        "year_publication",
+        "rating_book",
+        "price_product",
+        "score_cricket",
+        "percentage_generic",
     )]
     return make_corpus("tiny", types, 36, header_granularity="fine", random_state=0)
 
@@ -166,16 +170,18 @@ class TestFeatureSwitches:
 class TestCompositions:
     def test_autoencoder_composition_dim(self, tiny_corpus_module):
         cfg = GemConfig.fast(
-            **FAST, use_contextual=True, composition="autoencoder",
-            ae_latent_dim=6, ae_epochs=10, header_dim=32,
+            **FAST,
+            use_contextual=True,
+            composition="autoencoder",
+            ae_latent_dim=6,
+            ae_epochs=10,
+            header_dim=32,
         )
         emb = GemEmbedder(config=cfg).fit_transform(tiny_corpus_module)
         assert emb.shape == (len(tiny_corpus_module), 6)
 
     def test_aggregation_composition_dim(self, tiny_corpus_module):
-        cfg = GemConfig.fast(
-            **FAST, use_contextual=True, composition="aggregation", header_dim=32
-        )
+        cfg = GemConfig.fast(**FAST, use_contextual=True, composition="aggregation", header_dim=32)
         emb = GemEmbedder(config=cfg).fit_transform(tiny_corpus_module)
         assert emb.shape == (len(tiny_corpus_module), 32)
 
@@ -221,9 +227,7 @@ class TestPerColumnWorkers:
             config=GemConfig.fast(n_components=4, fit_mode="per_column", n_init=1)
         ).fit_transform(tiny_corpus_module)
         threaded = GemEmbedder(
-            config=GemConfig.fast(
-                n_components=4, fit_mode="per_column", n_init=1, n_workers=4
-            )
+            config=GemConfig.fast(n_components=4, fit_mode="per_column", n_init=1, n_workers=4)
         ).fit_transform(tiny_corpus_module)
         assert np.allclose(threaded, serial)
 
@@ -233,8 +237,11 @@ class TestPerColumnWorkers:
         # (and repeated runs) agree.
         def run(n_workers):
             cfg = GemConfig.fast(
-                n_components=4, fit_mode="per_column", n_init=1,
-                n_workers=n_workers, random_state=np.random.default_rng(0),
+                n_components=4,
+                fit_mode="per_column",
+                n_init=1,
+                n_workers=n_workers,
+                random_state=np.random.default_rng(0),
             )
             return GemEmbedder(config=cfg).fit_transform(tiny_corpus_module)
 

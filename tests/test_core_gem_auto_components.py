@@ -11,17 +11,13 @@ def three_mode_corpus(rng):
     cols = []
     for i, mu in enumerate((0.0, 50.0, 100.0)):
         for j in range(3):
-            cols.append(
-                NumericColumn(f"c{i}{j}", rng.normal(mu, 1.0, 80), f"t{i}", f"t{i}")
-            )
+            cols.append(NumericColumn(f"c{i}{j}", rng.normal(mu, 1.0, 80), f"t{i}", f"t{i}"))
     return ColumnCorpus(cols)
 
 
 class TestAutoComponents:
     def test_bic_picks_small_m_for_three_modes(self, three_mode_corpus):
-        cfg = GemConfig.fast(
-            auto_components=True, bic_candidates=(3, 30), n_init=1
-        )
+        cfg = GemConfig.fast(auto_components=True, bic_candidates=(3, 30), n_init=1)
         gem = GemEmbedder(config=cfg)
         gem.fit(three_mode_corpus)
         assert gem.gmm_.n_components == 3
@@ -32,9 +28,7 @@ class TestAutoComponents:
         tiny = ColumnCorpus(
             [NumericColumn("a", rng.normal(size=4)), NumericColumn("b", rng.normal(size=4))]
         )
-        cfg = GemConfig.fast(
-            n_components=2, auto_components=True, bic_candidates=(1000,), n_init=1
-        )
+        cfg = GemConfig.fast(n_components=2, auto_components=True, bic_candidates=(1000,), n_init=1)
         gem = GemEmbedder(config=cfg)
         gem.fit(tiny)
         assert gem.gmm_.n_components == 2
@@ -88,7 +82,9 @@ class TestAutoComponents:
         ).fit(three_mode_corpus)
         warm = GemEmbedder(
             config=GemConfig.fast(
-                auto_components=True, bic_candidates=(3, 30), n_init=1,
+                auto_components=True,
+                bic_candidates=(3, 30),
+                n_init=1,
                 warm_start_bic=True,
             )
         ).fit(three_mode_corpus)
@@ -98,9 +94,7 @@ class TestAutoComponents:
 
 class TestPerColumnAutoComponentsWarning:
     def test_warns_when_flag_is_silently_ignored(self, three_mode_corpus):
-        cfg = GemConfig.fast(
-            auto_components=True, fit_mode="per_column", n_components=3, n_init=1
-        )
+        cfg = GemConfig.fast(auto_components=True, fit_mode="per_column", n_components=3, n_init=1)
         gem = GemEmbedder(config=cfg)
         with pytest.warns(RuntimeWarning, match="auto_components"):
             gem.fit(three_mode_corpus)

@@ -40,16 +40,16 @@ class TestRoundtrip:
         assert restored._block_norms == gem._block_norms
         assert not restored.transform_is_corpus_dependent
         sub = tiny_corpus.take(list(range(5)))
-        assert np.array_equal(
-            restored.transform(sub), gem.transform(tiny_corpus)[:5]
-        )
+        assert np.array_equal(restored.transform(sub), gem.transform(tiny_corpus)[:5])
 
     def test_generator_random_state_saves_with_warning(self, tiny_corpus, tmp_path):
         # Regression: a Generator seed is not JSON-serialisable and used to
         # crash save_gem with TypeError; the fitted arrays carry the draws
         # that mattered, so the archive saves without it and warns.
         gem = GemEmbedder(
-            n_components=6, n_init=1, max_iter=60,
+            n_components=6,
+            n_init=1,
+            max_iter=60,
             random_state=np.random.default_rng(1),
         )
         gem.fit(tiny_corpus)
@@ -60,8 +60,12 @@ class TestRoundtrip:
 
     def test_config_survives(self, tiny_corpus, tmp_path):
         cfg = GemConfig.fast(
-            n_components=6, n_init=1, use_contextual=True, header_dim=64,
-            normalization="l2", value_transform="standardize",
+            n_components=6,
+            n_init=1,
+            use_contextual=True,
+            header_dim=64,
+            normalization="l2",
+            value_transform="standardize",
         )
         gem = GemEmbedder(config=cfg)
         gem.fit(tiny_corpus)
@@ -105,8 +109,11 @@ class TestRoundtrip:
 class TestBatchingFieldsRoundtrip:
     def test_batching_knobs_survive(self, tiny_corpus, tmp_path):
         cfg = GemConfig.fast(
-            n_components=6, n_init=1, batch_size=128,
-            cache_signatures=False, n_workers=3,
+            n_components=6,
+            n_init=1,
+            batch_size=128,
+            cache_signatures=False,
+            n_workers=3,
         )
         gem = GemEmbedder(config=cfg)
         gem.fit(tiny_corpus)
@@ -132,8 +139,11 @@ class TestBatchingFieldsRoundtrip:
 
     def test_fit_engine_knobs_survive(self, tiny_corpus, tmp_path):
         cfg = GemConfig.fast(
-            n_components=6, n_init=1, fit_engine="batched",
-            fit_batch_size=1024, warm_start_bic=True,
+            n_components=6,
+            n_init=1,
+            fit_engine="batched",
+            fit_batch_size=1024,
+            warm_start_bic=True,
         )
         gem = GemEmbedder(config=cfg)
         gem.fit(tiny_corpus)
@@ -151,8 +161,11 @@ class TestBatchingFieldsRoundtrip:
 
     def test_serve_knobs_survive(self, tiny_corpus, tmp_path):
         cfg = GemConfig.fast(
-            n_components=6, n_init=1, serve_batch_window_ms=7.5,
-            serve_max_batch=32, serve_max_workers=4,
+            n_components=6,
+            n_init=1,
+            serve_batch_window_ms=7.5,
+            serve_max_batch=32,
+            serve_max_workers=4,
         )
         gem = GemEmbedder(config=cfg)
         gem.fit(tiny_corpus)
@@ -186,9 +199,7 @@ class TestBatchingFieldsRoundtrip:
         for key in ("batch_size", "cache_signatures", "n_workers", "bic_candidates"):
             cfg_dict.pop(key)
         cfg_dict["retired_future_knob"] = 42
-        arrays["config_json"] = np.frombuffer(
-            json.dumps(cfg_dict).encode("utf-8"), dtype=np.uint8
-        )
+        arrays["config_json"] = np.frombuffer(json.dumps(cfg_dict).encode("utf-8"), dtype=np.uint8)
         np.savez(path, **arrays)
         with pytest.warns(RuntimeWarning, match="retired_future_knob"):
             restored = load_gem(path)

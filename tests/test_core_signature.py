@@ -114,20 +114,14 @@ class TestBatchedPooling:
         assert np.allclose(M.sum(axis=1), 1.0)
 
     @pytest.mark.parametrize("batch_size", [None, 1, 7, 64, 100_000])
-    def test_pooling_is_batch_composition_invariant(
-        self, fitted_gmm, columns, batch_size
-    ):
+    def test_pooling_is_batch_composition_invariant(self, fitted_gmm, columns, batch_size):
         # The serve micro-batcher coalesces many small transform requests
         # into one pass; results must be *bit-identical* to solo calls.
         # Chunks are column-aligned, so a column's pooled row depends only
         # on its own values, whatever else shares the stack.
-        combined = mean_component_probabilities(
-            fitted_gmm, columns, batch_size=batch_size
-        )
+        combined = mean_component_probabilities(fitted_gmm, columns, batch_size=batch_size)
         for i in (0, 3, len(columns) - 1):
-            solo = mean_component_probabilities(
-                fitted_gmm, [columns[i]], batch_size=batch_size
-            )
+            solo = mean_component_probabilities(fitted_gmm, [columns[i]], batch_size=batch_size)
             assert np.array_equal(solo[0], combined[i])
         perm = list(reversed(range(len(columns))))
         permuted = mean_component_probabilities(

@@ -23,9 +23,7 @@ class TestValidateHierarchy:
         validate_hierarchy(corpus)
 
     def test_fine_label_under_two_coarse_rejected(self):
-        corpus = ColumnCorpus(
-            [_col("a", "height", "length"), _col("b", "height", "altitude")]
-        )
+        corpus = ColumnCorpus([_col("a", "height", "length"), _col("b", "height", "altitude")])
         with pytest.raises(ValueError, match="two coarse labels"):
             validate_hierarchy(corpus)
 

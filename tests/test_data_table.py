@@ -126,5 +126,10 @@ class TestColumnCorpus:
     def test_label_sets(self, tiny_corpus):
         assert len(tiny_corpus.fine_label_set()) == 6
         assert tiny_corpus.coarse_label_set() <= {
-            "age", "year", "rating", "price", "score", "percentage",
+            "age",
+            "year",
+            "rating",
+            "price",
+            "score",
+            "percentage",
         }

@@ -159,9 +159,7 @@ class TestPrecisionProtocol:
         X = rng.normal(size=(6, 4))
         labels = ["a", "a", "a", "b", "b", "b"]
         direct = precision_recall_at_k(X, labels)
-        precomputed = precision_recall_at_k(
-            X, labels, similarity=cosine_similarity_matrix(X)
-        )
+        precomputed = precision_recall_at_k(X, labels, similarity=cosine_similarity_matrix(X))
         assert direct.macro_precision == precomputed.macro_precision
 
     def test_cluster_size_mode_larger_k(self):

@@ -79,9 +79,7 @@ class TestEngineEquivalence:
 
     def test_auto_uses_batched_for_1d(self, trimodal):
         auto = GaussianMixture(4, n_init=3, random_state=0).fit(trimodal)
-        batched = GaussianMixture(
-            4, n_init=3, fit_engine="batched", random_state=0
-        ).fit(trimodal)
+        batched = GaussianMixture(4, n_init=3, fit_engine="batched", random_state=0).fit(trimodal)
         assert auto.lower_bound_ == batched.lower_bound_
         assert np.array_equal(auto.means_, batched.means_)
 
@@ -232,9 +230,7 @@ class TestWarmStartedSweep:
         cold = select_n_components_bic(
             trimodal, candidates=(1, 3), warm_start=False, random_state=0
         )
-        warm = select_n_components_bic(
-            trimodal, candidates=(1, 3), warm_start=True, random_state=0
-        )
+        warm = select_n_components_bic(trimodal, candidates=(1, 3), warm_start=True, random_state=0)
         assert cold.best == warm.best == 3
         assert cold.warm_started is False
 
@@ -270,16 +266,12 @@ class TestWarmStartedSweep:
         quantile = select_n_components_bic(
             trimodal, candidates=(2, 3), init="quantile", random_state=0
         )
-        kmeans = select_n_components_bic(
-            trimodal, candidates=(2, 3), init="kmeans", random_state=0
-        )
+        kmeans = select_n_components_bic(trimodal, candidates=(2, 3), init="kmeans", random_state=0)
         assert set(quantile.scores) == {2, 3}
         assert quantile.scores != kmeans.scores
 
     def test_tuple_unpacking_back_compat(self, trimodal):
-        best, scores = select_n_components_bic(
-            trimodal, candidates=(2, 3), random_state=0
-        )
+        best, scores = select_n_components_bic(trimodal, candidates=(2, 3), random_state=0)
         assert best == 3
         assert isinstance(scores, dict) and set(scores) == {2, 3}
 

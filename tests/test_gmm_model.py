@@ -44,7 +44,9 @@ class TestFit:
 
     def test_likelihood_improves_with_components(self, bimodal):
         ll1 = GaussianMixture(1, random_state=0).fit(bimodal).score(bimodal.reshape(-1, 1))
-        ll2 = GaussianMixture(2, n_init=3, random_state=0).fit(bimodal).score(bimodal.reshape(-1, 1))
+        ll2 = (
+            GaussianMixture(2, n_init=3, random_state=0).fit(bimodal).score(bimodal.reshape(-1, 1))
+        )
         assert ll2 > ll1
 
     def test_n_init_restarts_do_not_hurt(self, bimodal):
@@ -169,23 +171,17 @@ class TestChunkedInference:
     @pytest.mark.parametrize("batch_size", [1, 7, 64, 699, 700, 10_000])
     def test_predict_proba_chunked_identical(self, fitted, batch_size):
         gm, X = fitted
-        assert np.array_equal(
-            gm.predict_proba(X, batch_size=batch_size), gm.predict_proba(X)
-        )
+        assert np.array_equal(gm.predict_proba(X, batch_size=batch_size), gm.predict_proba(X))
 
     @pytest.mark.parametrize("batch_size", [1, 7, 64, 10_000])
     def test_score_samples_chunked_identical(self, fitted, batch_size):
         gm, X = fitted
-        assert np.array_equal(
-            gm.score_samples(X, batch_size=batch_size), gm.score_samples(X)
-        )
+        assert np.array_equal(gm.score_samples(X, batch_size=batch_size), gm.score_samples(X))
 
     @pytest.mark.parametrize("batch_size", [1, 7, 64, 10_000])
     def test_component_pdf_chunked_identical(self, fitted, batch_size):
         gm, X = fitted
-        assert np.array_equal(
-            gm.component_pdf(X, batch_size=batch_size), gm.component_pdf(X)
-        )
+        assert np.array_equal(gm.component_pdf(X, batch_size=batch_size), gm.component_pdf(X))
 
     @pytest.mark.parametrize("batch_size", [1, 7, 10_000])
     def test_predict_and_score_chunked_identical(self, fitted, batch_size):

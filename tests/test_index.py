@@ -127,15 +127,10 @@ class TestIVFBackend:
         gem = GemEmbedder(**FAST)
         emb = gem.fit_transform(corpus)
         dense_top, _ = _dense_reference(emb, 10)
-        index = GemIndex(
-            emb.shape[1], backend="ivf", n_lists=8, n_probe=4, random_state=0
-        )
+        index = GemIndex(emb.shape[1], backend="ivf", n_lists=8, n_probe=4, random_state=0)
         index.add(_ids(len(emb)), emb)
         result = index.search(emb, 10, exclude_ids=_ids(len(emb)))
-        hits = sum(
-            len(set(result.positions[i]) & set(dense_top[i]))
-            for i in range(len(emb))
-        )
+        hits = sum(len(set(result.positions[i]) & set(dense_top[i])) for i in range(len(emb)))
         recall = hits / dense_top.size
         assert recall >= 0.95, f"IVF recall@10 {recall:.3f} below 0.95"
 
@@ -150,9 +145,7 @@ class TestIVFBackend:
 
     def test_unfilled_slots_are_padded(self, rng):
         # 2 tight clusters, 2 lists; probing one list can't fill k=8.
-        X = np.concatenate(
-            [rng.normal(0, 0.01, (5, 4)) + 10, rng.normal(0, 0.01, (5, 4)) - 10]
-        )
+        X = np.concatenate([rng.normal(0, 0.01, (5, 4)) + 10, rng.normal(0, 0.01, (5, 4)) - 10])
         index = GemIndex(4, backend="ivf", n_lists=2, n_probe=1, random_state=0)
         index.add(_ids(10), X)
         result = index.search(X, 8)
@@ -517,9 +510,7 @@ class TestPersistence:
         payload = dict(np.load(tmp_path / "idx.npz"))
         config = json.loads(bytes(payload["config_json"]).decode())
         config["schema_version"] = 999
-        payload["config_json"] = np.frombuffer(
-            json.dumps(config).encode(), dtype=np.uint8
-        )
+        payload["config_json"] = np.frombuffer(json.dumps(config).encode(), dtype=np.uint8)
         np.savez(tmp_path / "bad.npz", **payload)
         with pytest.raises(ValueError, match="schema version"):
             load_index(tmp_path / "bad.npz")
@@ -573,9 +564,7 @@ class TestEmbedderIntegration:
         # there is no diagonal to exclude — so its content twin must come
         # back as the legitimate perfect-score top hit, exactly as a
         # duplicate would within the corpus.
-        twin = ColumnCorpus(
-            [NumericColumn("renamed", corpus[10].values)], name="twin"
-        )
+        twin = ColumnCorpus([NumericColumn("renamed", corpus[10].values)], name="twin")
         twin_hits = index.search_corpus(twin, len(corpus))
         assert twin_hits.k == len(corpus)
         assert twin_hits.ids[0, 0] == corpus_column_ids(corpus)[10]
@@ -620,9 +609,7 @@ class TestEmbedderIntegration:
         custom = [f"lake://table-{i}/col" for i in range(len(corpus))]
         index = gem.build_index(corpus, ids=custom)
         result = index.search_corpus(corpus, 5)
-        assert all(
-            custom[i] not in set(result.ids[i]) for i in range(len(corpus))
-        )
+        assert all(custom[i] not in set(result.ids[i]) for i in range(len(corpus)))
         # And it matches the dense protocol exactly, like the default-ids path.
         dense_top, _ = _dense_reference(emb, 5)
         assert np.array_equal(result.positions, dense_top)
@@ -739,8 +726,13 @@ class TestEmbedderIntegration:
         # but a stateful Generator seed draws fresh per-column seeds each
         # transform call — rows from separate calls are not comparable, so
         # cross-corpus (and cross-call) serving must be refused.
-        cfg = dict(n_components=4, n_init=1, max_iter=40,
-                   use_statistical=False, fit_mode="per_column")
+        cfg = dict(
+            n_components=4,
+            n_init=1,
+            max_iter=40,
+            use_statistical=False,
+            fit_mode="per_column",
+        )
         gen_seeded = GemEmbedder(random_state=np.random.default_rng(0), **cfg)
         assert gen_seeded.transform_is_corpus_dependent
         int_seeded = GemEmbedder(random_state=0, **cfg)
@@ -860,7 +852,9 @@ class TestGemFingerprint:
         from repro.core import load_gem, save_gem
 
         gem = GemEmbedder(
-            n_components=4, n_init=1, max_iter=40,
+            n_components=4,
+            n_init=1,
+            max_iter=40,
             random_state=np.random.default_rng(7),
         ).fit(tiny_corpus)
         index = gem.build_index(tiny_corpus)
@@ -876,7 +870,7 @@ class TestGemFingerprint:
         # On the corpus-dependent path the stored rows are used, so the
         # (potentially expensive, stochastic) fresh transform must not run.
         gem = GemEmbedder(
-            n_components=4, n_init=1, max_iter=40, fit_mode="per_column",
+            n_components=4, n_init=1, max_iter=40, fit_mode="per_column"
         ).fit(tiny_corpus)
         index = gem.build_index(tiny_corpus)
 
@@ -894,11 +888,15 @@ class TestGemFingerprint:
         # differently and a persisted index spuriously refused a perfectly
         # fresh model.
         a = GemEmbedder(
-            n_components=4, n_init=1, max_iter=40,
+            n_components=4,
+            n_init=1,
+            max_iter=40,
             random_state=np.random.default_rng(0),
         ).fit(tiny_corpus)
         b = GemEmbedder(
-            n_components=4, n_init=1, max_iter=40,
+            n_components=4,
+            n_init=1,
+            max_iter=40,
             random_state=np.random.default_rng(0),
         ).fit(tiny_corpus)
         assert gem_fingerprint(a) == gem_fingerprint(b)

@@ -58,9 +58,9 @@ class TestSemanticTypeDetectionPipeline:
         labels = corpus.labels("fine")
         gem_ds = GemEmbedder(config=FAST_GEM)
         ds = average_precision_at_k(gem_ds.fit_transform(corpus), labels)
-        gem_dsc = GemEmbedder(config=GemConfig.fast(
-            n_components=10, n_init=1, max_iter=80, use_contextual=True
-        ))
+        gem_dsc = GemEmbedder(
+            config=GemConfig.fast(n_components=10, n_init=1, max_iter=80, use_contextual=True)
+        )
         dsc = average_precision_at_k(gem_dsc.fit_transform(corpus), labels)
         assert dsc >= ds
 

@@ -65,9 +65,7 @@ def test_every_embedder_survives_pathological_corpus(factory, pathological_corpu
 
 def test_gem_constant_corpus(rng):
     """Every column identical and constant: embeddings must be finite and equal."""
-    corpus = _corpus(
-        [NumericColumn(f"c{i}", np.full(20, 3.0), "t", "t") for i in range(4)]
-    )
+    corpus = _corpus([NumericColumn(f"c{i}", np.full(20, 3.0), "t", "t") for i in range(4)])
     emb = GemEmbedder(config=GemConfig.fast(n_components=2, n_init=1)).fit_transform(corpus)
     assert np.all(np.isfinite(emb))
     assert np.allclose(emb[0], emb[1])
@@ -123,9 +121,7 @@ def test_ks_embedder_two_value_columns():
 
 
 def test_gem_transform_empty_header_corpus(rng):
-    corpus = _corpus(
-        [NumericColumn("", rng.normal(0, 1, 20), "t", "t") for _ in range(3)]
-    )
+    corpus = _corpus([NumericColumn("", rng.normal(0, 1, 20), "t", "t") for _ in range(3)])
     cfg = GemConfig.fast(n_components=2, n_init=1, use_contextual=True, header_dim=32)
     emb = GemEmbedder(config=cfg).fit_transform(corpus)
     assert np.all(np.isfinite(emb))

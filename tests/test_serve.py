@@ -182,9 +182,7 @@ class TestServiceReads:
         assert np.array_equal(found.positions, direct.positions)
         assert np.array_equal(found.scores, direct.scores)
 
-    def test_concurrent_mixed_requests_bit_identical_to_sequential(
-        self, fitted, corpus
-    ):
+    def test_concurrent_mixed_requests_bit_identical_to_sequential(self, fitted, corpus):
         cols = _columns(3, 24)
         index = fitted.build_index(corpus)
         solo_rows = [fitted.transform(ColumnCorpus([c])) for c in cols]
@@ -397,9 +395,9 @@ class TestWarmStart:
             GemService.from_archives(tmp_path / "other.npz", tmp_path / "lake.npz")
 
     def test_corpus_dependent_embedder_refused(self, corpus):
-        gem = GemEmbedder(fit_mode="per_column", **{
-            k: v for k, v in FAST.items() if k != "n_components"
-        })
+        gem = GemEmbedder(
+            fit_mode="per_column", **{k: v for k, v in FAST.items() if k != "n_components"}
+        )
         gem.fit(corpus)
         with pytest.raises(ValueError, match="corpus-independent"):
             GemService(gem)
@@ -417,6 +415,20 @@ class TestWarmStart:
         finally:
             svc.close()
 
+    def test_serve_factory_registered_on_import(self):
+        # Importing repro.serve registers GemService into the core hook, so
+        # core never has to import the serving layer (GEM-L01).
+        from repro.core import gem as gem_module
+
+        assert gem_module._SERVE_FACTORY is GemService
+
+    def test_serve_without_registered_factory_raises(self, fitted, monkeypatch):
+        from repro.core import gem as gem_module
+
+        monkeypatch.setattr(gem_module, "_SERVE_FACTORY", None)
+        with pytest.raises(RuntimeError, match="no serving layer is registered"):
+            fitted.serve()
+
 
 class TestMetrics:
     def test_counters_populate(self, fitted, corpus):
@@ -427,9 +439,7 @@ class TestMetrics:
             svc.evict(["m:0"])
             stats = svc.metrics.snapshot()
         assert stats["requests"] == 4
-        assert stats["requests_by_op"] == {
-            "embed": 1, "search": 1, "ingest": 1, "evict": 1,
-        }
+        assert stats["requests_by_op"] == {"embed": 1, "search": 1, "ingest": 1, "evict": 1}
         assert stats["rows_ingested"] == 1
         assert stats["rows_evicted"] == 1
         assert stats["snapshot_publishes"] >= 2

@@ -79,9 +79,7 @@ class TestInference:
         # map must produce different mean responses.
         low = rng.normal(0, 1, (300, 1))
         high = rng.normal(20, 1, (300, 1))
-        som = SelfOrganizingMap(1, 20, n_epochs=3, random_state=0).fit(
-            np.vstack([low, high])
-        )
+        som = SelfOrganizingMap(1, 20, n_epochs=3, random_state=0).fit(np.vstack([low, high]))
         r_low = som.activation_response(low).mean(axis=0)
         r_high = som.activation_response(high).mean(axis=0)
         assert np.linalg.norm(r_low - r_high) > 0.1
