@@ -1,6 +1,6 @@
 """Benchmarks for the lake-scale similarity index (repro.index).
 
-Three claims are checked, matching the subsystem's acceptance criteria:
+Four claims are checked, matching the subsystem's acceptance criteria:
 
 1. **exactness** — the blocked exact backend returns bit-identical
    positions and scores to the dense ``cosine_similarity_matrix`` +
@@ -9,7 +9,13 @@ Three claims are checked, matching the subsystem's acceptance criteria:
    corpus grows 10x (the dense path would need the ``(n, n)`` matrix:
    12.8 GB at 40k columns);
 3. **IVF trade-off** — the partitioned backend answers queries >= 5x faster
-   than the exact scan at recall@10 >= 0.95.
+   than the exact scan at recall@10 >= 0.95;
+4. **compression frontier** — the compressed storage modes hold their
+   memory-per-row x recall@10 operating points against the exact/f64
+   oracle: float32 rows >= 1.9x smaller at recall >= 0.999, IVF-PQ codes
+   >= 8x smaller at recall >= 0.9, and the exact-re-rank PQ variant at
+   recall >= 0.95. Both compressed modes must also round-trip through
+   ``save_index``/``load_index`` bit-identically.
 
 Runs two ways:
 
@@ -18,8 +24,10 @@ Runs two ways:
       PYTHONPATH=src python benchmarks/bench_index.py --quick
 
   ``--quick`` shrinks the corpora and makes the wall-clock speedup
-  assertion advisory (shared CI runners flake on timing); the recall and
-  memory checks always gate.
+  assertion advisory (shared CI runners flake on timing); the recall,
+  memory, frontier and round-trip checks always gate. ``--quick`` also
+  trims the frontier sweep to the gated variants; the full profile adds
+  the advisory points (ivf/f64, pq at m=8 and m=16) that chart the curve.
 
 * collected by pytest like the other engine benches::
 
@@ -32,13 +40,15 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import tempfile
 import time
 import tracemalloc
+from pathlib import Path
 
 import numpy as np
 
 from repro.evaluation.neighbors import cosine_similarity_matrix, top_k_neighbors
-from repro.index import GemIndex
+from repro.index import GemIndex, load_index, save_index
 
 DIM = 32
 N_CLUSTERS = 100
@@ -77,6 +87,13 @@ def _peak_bytes(fn) -> int:
     finally:
         tracemalloc.stop()
     return peak
+
+
+def _recall_at_k(approx: np.ndarray, truth: np.ndarray) -> float:
+    hits = sum(
+        len(set(approx[i]) & set(truth[i])) for i in range(truth.shape[0])
+    )
+    return hits / truth.size
 
 
 def check_exact_matches_dense(n: int = 1_500) -> dict:
@@ -143,17 +160,17 @@ def check_ivf_tradeoff(
 
     truth = exact.search(queries, K).positions
     approx = ivf.search(queries, K).positions
-    hits = sum(len(set(approx[i]) & set(truth[i])) for i in range(n_queries))
-    recall = hits / truth.size
+    recall = _recall_at_k(approx, truth)
 
     t_exact = _best_of(lambda: exact.search(queries, K))
     t_ivf = _best_of(lambda: ivf.search(queries, K))
     speedup = t_exact / t_ivf
+    bytes_per_row = ivf.storage_bytes()["total"] / n
     print(
         f"ivf over {n} columns ({n_lists} lists, n_probe={n_probe}, "
         f"train {train_s:.2f}s): exact {t_exact * 1e3:.1f} ms vs ivf "
         f"{t_ivf * 1e3:.1f} ms for {n_queries} queries ({speedup:.1f}x), "
-        f"recall@{K} {recall:.3f}"
+        f"recall@{K} {recall:.3f}, {bytes_per_row:.0f} B/row resident"
     )
     assert recall >= 0.95, f"IVF recall@{K} {recall:.3f} below 0.95"
     if strict_speedup:
@@ -172,7 +189,161 @@ def check_ivf_tradeoff(
         "t_ivf_s": t_ivf,
         "speedup": speedup,
         "train_s": train_s,
+        "bytes_per_row": bytes_per_row,
+        "total_bytes": ivf.storage_bytes()["total"],
     }
+
+
+# ----------------------------------------------------- compression frontier
+
+#: (name, backend, extra GemIndex kwargs, gate) — gate is None (advisory
+#: frontier point) or a dict with ``min_ratio`` / ``min_recall`` floors.
+#: The exact/f64 entry is the oracle: every other variant's recall is
+#: measured against its answers, and every size ratio is relative to its
+#: resident bytes. m=32 on a 32-dim signature is one dimension per
+#: sub-codebook (scalar quantization of the IVF residuals): the coarse
+#: centroid carries the cluster, the codes carry the residual shape, and
+#: the re-rank variant keeps float32 rows to re-score the ADC candidates
+#: exactly.
+_FRONTIER_VARIANTS = [
+    ("exact_f64", "exact", {}, None),
+    (
+        "exact_f32",
+        "exact",
+        dict(dtype="float32"),
+        dict(min_ratio=1.9, min_recall=0.999),
+    ),
+    ("ivf_f64", "ivf", dict(_partitioned=True), None),
+    ("pq_m8", "pq", dict(_partitioned=True, pq_subvectors=8), None),
+    ("pq_m16", "pq", dict(_partitioned=True, pq_subvectors=16), None),
+    (
+        "pq_m32",
+        "pq",
+        dict(_partitioned=True, pq_subvectors=32),
+        dict(min_ratio=8.0, min_recall=0.9),
+    ),
+    (
+        "pq_m32_rerank",
+        "pq",
+        dict(_partitioned=True, pq_subvectors=32, pq_rerank=100, dtype="float32"),
+        dict(min_recall=0.95),
+    ),
+]
+
+
+def check_frontier(
+    n: int, n_queries: int, n_lists: int, n_probe: int, *, full_frontier: bool
+) -> dict:
+    """Claim 4: compressed backends hold their bytes/row x recall points.
+
+    Builds every variant over the same corpus, measures recall@10 against
+    the exact/f64 oracle and resident bytes per row from
+    :meth:`GemIndex.storage_bytes`, then asserts the gated floors. With
+    ``full_frontier=False`` only the gated variants (and the oracle) run —
+    that is the CI ``--quick`` gate; the nightly full profile sweeps the
+    advisory points too.
+    """
+    X = _clustered_rows(n, np.random.default_rng(2))
+    queries = X[:n_queries]
+    variants = [
+        v for v in _FRONTIER_VARIANTS if full_frontier or v[3] is not None or v[0] == "exact_f64"
+    ]
+
+    oracle: GemIndex | None = None
+    truth: np.ndarray | None = None
+    base_bytes = 0
+    rows_out = []
+    failures = []
+    for name, backend, extra, gate in variants:
+        kwargs = dict(extra)
+        if kwargs.pop("_partitioned", False):
+            kwargs.update(n_lists=n_lists, n_probe=n_probe, random_state=0)
+        index = _build(backend, X, **kwargs)
+        t0 = time.perf_counter()
+        if index.needs_training:
+            index.train()
+        train_s = time.perf_counter() - t0
+        result = index.search(queries, K)
+        total = index.storage_bytes()["total"]
+        if name == "exact_f64":
+            oracle, truth, base_bytes = index, result.positions, total
+            recall, ratio = 1.0, 1.0
+        else:
+            recall = _recall_at_k(result.positions, truth)
+            ratio = base_bytes / total
+        entry = {
+            "name": name,
+            "backend": backend,
+            "dtype": index.dtype.name,
+            "recall_at_k": recall,
+            "total_bytes": total,
+            "bytes_per_row": total / n,
+            "compression_ratio": ratio,
+            "train_s": train_s,
+            "gated": gate is not None,
+        }
+        rows_out.append(entry)
+        print(
+            f"frontier {name:>14}: recall@{K} {recall:.4f}, "
+            f"{total / n:7.1f} B/row ({ratio:5.2f}x smaller vs exact/f64, "
+            f"train {train_s:.1f}s)"
+        )
+        if gate is not None:
+            if recall < gate.get("min_recall", 0.0):
+                failures.append(
+                    f"{name}: recall@{K} {recall:.4f} below {gate['min_recall']}"
+                )
+            if ratio < gate.get("min_ratio", 0.0):
+                failures.append(
+                    f"{name}: only {ratio:.2f}x smaller than exact/f64, "
+                    f"gate needs {gate['min_ratio']}x"
+                )
+    assert not failures, "frontier gates failed: " + "; ".join(failures)
+    return {
+        "n": n,
+        "n_lists": n_lists,
+        "n_probe": n_probe,
+        "k": K,
+        "base_bytes_per_row": base_bytes / n,
+        "variants": rows_out,
+    }
+
+
+def check_compressed_round_trip(n: int = 2_000) -> dict:
+    """Both compressed modes survive save/load bit-identically.
+
+    float32 rows and the trained PQ state (codebooks + uint8 codes) must
+    reload byte-for-byte, and the reloaded indexes must answer queries
+    with identical positions *and* scores — silent precision loss on the
+    persistence path is exactly the failure this gate exists to catch.
+    """
+    X = _clustered_rows(n, np.random.default_rng(4))
+    queries = X[:64]
+    checked = []
+    with tempfile.TemporaryDirectory() as tmp:
+        f32 = _build("exact", X, dtype="float32")
+        pq = _build(
+            "pq", X, n_lists=32, n_probe=4, dtype="float32",
+            pq_subvectors=8, random_state=0,
+        )
+        pq.train()
+        for name, index in (("exact_f32", f32), ("pq_m8_f32", pq)):
+            path = Path(tmp) / name
+            save_index(index, path)
+            loaded = load_index(path)
+            before, after = index.search(queries, K), loaded.search(queries, K)
+            assert np.array_equal(before.positions, after.positions), name
+            assert np.array_equal(before.scores, after.scores), name
+            if index._stores_rows:
+                assert np.array_equal(index._rows, loaded._rows), name
+            if index._stores_codes:
+                assert np.array_equal(index._codes, loaded._codes), name
+                assert np.array_equal(
+                    index._pq.codebooks_, loaded._pq.codebooks_
+                ), name
+            checked.append(name)
+    print(f"compressed round-trip bit-identical: {', '.join(checked)}")
+    return {"n": n, "bit_identical": True, "variants": checked}
 
 
 # ------------------------------------------------------- pytest entry points
@@ -196,6 +367,21 @@ def bench_ivf_speedup_at_recall():
     )
 
 
+def bench_compression_frontier():
+    cfg = QUICK
+    check_frontier(
+        cfg["n"],
+        cfg["n_queries"],
+        cfg["n_lists"],
+        cfg["n_probe"],
+        full_frontier=False,
+    )
+
+
+def bench_compressed_round_trip():
+    check_compressed_round_trip()
+
+
 # --------------------------------------------------------------- script mode
 
 def main(argv: list[str] | None = None) -> int:
@@ -203,7 +389,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--quick",
         action="store_true",
-        help="CI profile: smaller corpora; recall and memory gate, the "
+        help="CI profile: smaller corpora and gated-variants-only frontier; "
+        "recall, memory, frontier and round-trip checks gate, the "
         "wall-clock speedup assertion becomes advisory",
     )
     parser.add_argument(
@@ -225,6 +412,14 @@ def main(argv: list[str] | None = None) -> int:
             cfg["n_probe"],
             strict_speedup=not args.quick,
         ),
+        "frontier": check_frontier(
+            cfg["n"],
+            cfg["n_queries"],
+            cfg["n_lists"],
+            cfg["n_probe"],
+            full_frontier=not args.quick,
+        ),
+        "round_trip": check_compressed_round_trip(),
     }
     if args.json:
         with open(args.json, "w", encoding="utf-8") as fh:

@@ -39,12 +39,14 @@ _MUTATOR_METHODS = {
     "fill",
 }
 
-#: GemIndex buffers shared across snapshot() forks: rows at or below a
+#: GemIndex buffers shared across snapshot() forks: slots at or below a
 #: fork's _n_rows are frozen the moment a snapshot exists, so in-place
 #: element writes are only legal where the copy-on-write tail claim has
-#: been taken (GemIndex.add). Rebinding the attribute to a fresh array is
+#: been taken (GemIndex.add). This covers the PQ backend's uint8 code
+#: buffer exactly like the float row buffers — codes are what a trained
+#: pq snapshot serves from. Rebinding the attribute to a fresh array is
 #: the sanctioned idiom and is not flagged.
-_COW_ATTRS = {"_rows_buf", "_unit_buf"}
+_COW_ATTRS = {"_rows_buf", "_unit_buf", "_codes_buf"}
 
 #: In-place numpy functions whose first argument is the written array.
 _INPLACE_NP_FUNCS = {"fill_diagonal", "copyto", "put", "place", "putmask"}
@@ -219,12 +221,13 @@ def _stmt_bodies(stmt: ast.stmt) -> list[list[ast.stmt]]:
 
 @register
 class CowMutationRule(Rule):
-    """GEM-C02: never write in place into snapshot-shared row buffers.
+    """GEM-C02: never write in place into snapshot-shared storage buffers.
 
     ``GemIndex.snapshot()`` publishes forks that *share* ``_rows_buf`` /
-    ``_unit_buf``; every row a snapshot can see is immutable by contract,
-    and only the fork holding the tail claim may extend the spare
-    capacity. An in-place element write (``buf[...] = x``, ``buf += x``,
+    ``_unit_buf`` / ``_codes_buf`` (the PQ backend's uint8 codes); every
+    slot a snapshot can see is immutable by contract, and only the fork
+    holding the tail claim may extend the spare capacity. An in-place
+    element write (``buf[...] = x``, ``buf += x``,
     ``np.fill_diagonal(buf, ...)``) anywhere else silently rewrites data
     a published snapshot is serving — a torn read no test reliably
     catches. Rebinding the attribute to a fresh array is the sanctioned

@@ -18,7 +18,8 @@ _FIT_MODES = ("stacked", "per_column")
 _VALUE_TRANSFORMS = ("none", "log_squash", "standardize")
 _COMPOSITIONS = ("concatenation", "aggregation", "autoencoder")
 _FIT_ENGINES = ("auto", "batched", "serial")
-_INDEX_BACKENDS = ("exact", "ivf")
+_INDEX_BACKENDS = ("exact", "ivf", "pq")
+_INDEX_DTYPES = ("float64", "float32")
 
 
 @dataclass(frozen=True)
@@ -119,8 +120,10 @@ class GemConfig:
         Autoencoder-composition hyper-parameters.
     index_backend:
         Default backend for :meth:`GemEmbedder.build_index`: ``"exact"``
-        (streamed blocked search, bit-identical to the dense path) or
-        ``"ivf"`` (partitioned approximate search).
+        (streamed blocked search, bit-identical to the dense path),
+        ``"ivf"`` (partitioned approximate search) or ``"pq"``
+        (IVF + product quantization — rows stored as uint8 codes for
+        RAM-bound lakes).
     index_block_size:
         Stored rows scored per matmul on the exact search path. A memory
         knob only — results are bit-identical for any value.
@@ -128,7 +131,23 @@ class GemConfig:
         Inverted lists for the IVF coarse quantizer; ``None`` resolves to
         ``round(sqrt(n))`` when the quantizer trains.
     index_n_probe:
-        Inverted lists probed per IVF query — the recall/speed trade-off.
+        Inverted lists probed per IVF/PQ query — the recall/speed
+        trade-off.
+    index_dtype:
+        Storage dtype of the index's row buffers: ``"float64"`` (default,
+        the bit-identity oracle against the dense path) or ``"float32"``
+        (half the bytes per row for a benchmark-gated recall delta; all
+        kernel arithmetic stays float64).
+    index_pq_subvectors:
+        PQ backend: sub-vector slices per row — each stored row compresses
+        to this many uint8 codes.
+    index_pq_codes:
+        PQ backend: entries per sub-codebook (2–256 so a code fits one
+        uint8).
+    index_pq_rerank:
+        PQ backend: re-score this many top ADC candidates per query
+        exactly from the raw rows before the final top-k cut (0 disables;
+        enabling keeps the raw rows resident alongside the codes).
     serve_batch_window_ms:
         Upper bound on how long a :class:`~repro.serve.GemService` batch
         keeps collecting after its first request arrives. Collection seals
@@ -181,6 +200,10 @@ class GemConfig:
     index_block_size: int = 4096
     index_n_lists: int | None = None
     index_n_probe: int = 8
+    index_dtype: str = "float64"
+    index_pq_subvectors: int = 8
+    index_pq_codes: int = 256
+    index_pq_rerank: int = 0
     serve_batch_window_ms: float = 2.0
     serve_max_batch: int = 64
     serve_max_workers: int = 2
@@ -239,6 +262,22 @@ class GemConfig:
             raise ValueError(f"index_n_lists must be None or >= 1, got {self.index_n_lists}")
         if self.index_n_probe < 1:
             raise ValueError(f"index_n_probe must be >= 1, got {self.index_n_probe}")
+        if self.index_dtype not in _INDEX_DTYPES:
+            raise ValueError(
+                f"index_dtype must be one of {_INDEX_DTYPES}, got {self.index_dtype!r}"
+            )
+        if self.index_pq_subvectors < 1:
+            raise ValueError(
+                f"index_pq_subvectors must be >= 1, got {self.index_pq_subvectors}"
+            )
+        if not 2 <= self.index_pq_codes <= 256:
+            raise ValueError(
+                f"index_pq_codes must be in [2, 256], got {self.index_pq_codes}"
+            )
+        if self.index_pq_rerank < 0:
+            raise ValueError(
+                f"index_pq_rerank must be >= 0, got {self.index_pq_rerank}"
+            )
         if self.serve_batch_window_ms < 0:
             raise ValueError(
                 f"serve_batch_window_ms must be >= 0, got {self.serve_batch_window_ms}"

@@ -578,10 +578,12 @@ class GemEmbedder:
             Stable column ids, one per column; defaults to
             ``"<position>:<header>"`` (:func:`repro.index.corpus_column_ids`).
         backend:
-            ``"exact"`` or ``"ivf"``; defaults to ``config.index_backend``.
+            ``"exact"``, ``"ivf"`` or ``"pq"``; defaults to
+            ``config.index_backend``.
         **index_overrides:
             Forwarded to :class:`~repro.index.GemIndex` (``block_size``,
-            ``n_lists``, ``n_probe``, …), overriding the config defaults.
+            ``n_lists``, ``n_probe``, ``dtype``, ``pq_rerank``, …),
+            overriding the config defaults.
         """
         from repro.index import GemIndex, corpus_column_ids
 
@@ -599,6 +601,10 @@ class GemEmbedder:
             block_size=cfg.index_block_size,
             n_lists=cfg.index_n_lists,
             n_probe=cfg.index_n_probe,
+            dtype=cfg.index_dtype,
+            pq_subvectors=cfg.index_pq_subvectors,
+            pq_codes=cfg.index_pq_codes,
+            pq_rerank=cfg.index_pq_rerank,
             random_state=cfg.random_state,
         )
         kwargs.update(index_overrides)

@@ -5,11 +5,16 @@ similarity of its Gem signature — is served here without ever materialising
 the ``(n, n)`` similarity matrix:
 
 * :class:`GemIndex` — stores signature rows under stable column ids, with
-  incremental ``add``/``remove`` and two backends: **exact** (streamed
-  blocked matmuls, bit-identical to the dense
-  :func:`repro.evaluation.neighbors.top_k_neighbors` path for any block
-  size) and **ivf** (k-means-partitioned approximate search with an
-  ``n_probe`` recall/speed knob);
+  incremental ``add``/``remove`` (tombstoned, threshold-compacted) and
+  three backends: **exact** (streamed blocked matmuls, bit-identical to
+  the dense :func:`repro.evaluation.neighbors.top_k_neighbors` path for
+  any block size), **ivf** (k-means-partitioned approximate search with an
+  ``n_probe`` recall/speed knob) and **pq** (IVF + product quantization:
+  rows stored as uint8 codes, searched by asymmetric distance computation
+  — the RAM-bound regime). Storage is float64 by default or float32
+  (``dtype="float32"``) at half the bytes per row;
+* :class:`ProductQuantizer` — the trained sub-codebooks behind the ``pq``
+  backend;
 * :func:`save_index` / :func:`load_index` — persistence that embeds the
   owning Gem model's fingerprint, so a stale index refuses to serve a refit
   model (:class:`StaleIndexError`).
@@ -21,11 +26,13 @@ from any embedding rows.
 
 from repro.index.core import GemIndex, SearchResult, StaleIndexError, corpus_column_ids
 from repro.index.persistence import load_index, save_index
+from repro.index.pq import ProductQuantizer
 
 __all__ = [
     "GemIndex",
     "SearchResult",
     "StaleIndexError",
+    "ProductQuantizer",
     "corpus_column_ids",
     "save_index",
     "load_index",

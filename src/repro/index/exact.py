@@ -54,6 +54,7 @@ def blocked_topk(
     *,
     block_size: int,
     exclude_positions: np.ndarray | None = None,
+    dead: np.ndarray | None = None,
     query_block: int = DEFAULT_QUERY_BLOCK,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Top-k cosine neighbours of every query over the stored unit rows.
@@ -65,8 +66,8 @@ def blocked_topk(
         clipped dot products, exactly as the dense path computes them.
     k:
         Neighbours per query; the caller is responsible for capping ``k``
-        so enough non-excluded rows exist (``k <= n``, or ``n - 1`` under
-        exclusion).
+        so enough non-excluded rows exist (``k <= n`` live rows, or
+        ``n - 1`` under exclusion).
     block_size:
         Stored rows scored per matmul. Purely a memory knob — any value
         returns bit-identical results.
@@ -74,6 +75,10 @@ def blocked_topk(
         Optional ``(n_queries,)`` stored position to mask per query (-1 for
         none): that entry scores ``-inf`` so a query never retrieves
         itself.
+    dead:
+        Optional ``(n,)`` boolean mask of tombstoned storage slots (rows
+        removed but not yet compacted); masked slots score ``-inf`` for
+        every query. ``None`` keeps the mask-free fast path.
     query_block:
         Queries processed per outer block (memory knob, result-invariant).
 
@@ -100,6 +105,10 @@ def blocked_topk(
             j1 = min(j0 + block_size, n)
             sim = pairwise_cosine(unit_queries[q0:q1], stored_unit[j0:j1])
             cand_pos = np.broadcast_to(np.arange(j0, j1, dtype=np.intp), sim.shape)
+            if dead is not None:
+                dead_block = dead[j0:j1]
+                if dead_block.any():
+                    sim = np.where(dead_block[None, :], -np.inf, sim)
             if excl is not None:
                 mask = cand_pos == excl[:, None]
                 if mask.any():

@@ -87,13 +87,24 @@ class IVFPartition:
         self.assignments_ = np.asarray(km.labels_, dtype=np.intp)
         self._members = None
 
-    def extend(self, unit_rows_new: np.ndarray) -> None:
-        """Assign newly added rows to their nearest existing centroid."""
+    def assign(self, unit_rows_new: np.ndarray) -> np.ndarray:
+        """Nearest-centroid list id per row (the extend() assignment rule)."""
         assert self.centroids_ is not None
         scores = centroid_scores(unit_rows_new, self.centroids_)
-        self.assignments_ = np.concatenate(
-            [self.assignments_, np.argmax(scores, axis=1).astype(np.intp)]
-        )
+        return np.argmax(scores, axis=1).astype(np.intp)
+
+    def extend(
+        self, unit_rows_new: np.ndarray, assignments: np.ndarray | None = None
+    ) -> None:
+        """Assign newly added rows to their nearest existing centroid.
+
+        ``assignments`` lets a caller that already computed :meth:`assign`
+        (the PQ backend, which also needs the residuals) reuse it.
+        """
+        assert self.centroids_ is not None
+        if assignments is None:
+            assignments = self.assign(unit_rows_new)
+        self.assignments_ = np.concatenate([self.assignments_, assignments])
         self._members = None
 
     def compact(self, keep: np.ndarray) -> None:
@@ -143,6 +154,7 @@ def ivf_topk(
     *,
     n_probe: int,
     exclude_positions: np.ndarray | None = None,
+    dead: np.ndarray | None = None,
     query_block: int = DEFAULT_QUERY_BLOCK,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Approximate top-k over the probed inverted lists.
@@ -150,7 +162,8 @@ def ivf_topk(
     Same contract as :func:`repro.index.exact.blocked_topk`, except only
     rows in each query's ``n_probe`` closest lists are scored, so slots may
     stay unfilled (score ``-inf``, sentinel position) when the probed lists
-    hold fewer than ``k`` rows.
+    hold fewer than ``k`` rows. ``dead`` optionally masks tombstoned
+    storage slots, which stay in their inverted lists until compaction.
     """
     assert partition.centroids_ is not None, "partition must be trained first"
     centroids = partition.centroids_
@@ -181,6 +194,10 @@ def ivf_topk(
                 continue
             sim = pairwise_cosine(Q[qs], stored_unit[mem])
             cand_pos = np.broadcast_to(mem, sim.shape)
+            if dead is not None:
+                dead_mem = dead[mem]
+                if dead_mem.any():
+                    sim = np.where(dead_mem[None, :], -np.inf, sim)
             if excl is not None:
                 mask = cand_pos == excl[qs, None]
                 if mask.any():

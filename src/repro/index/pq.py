@@ -1,0 +1,298 @@
+"""IVF-PQ: product-quantized inverted-file search for RAM-bound lakes.
+
+The IVF backend cuts *scanned work*, but every candidate row it scores is
+still a full-precision embedding row held in RAM — at millions of columns
+the rows themselves, not the GMM, are the memory wall. Product quantization
+(Jégou, Douze & Schmid, TPAMI 2011; FAISS's ``IndexIVFPQ``) compresses each
+row to a few bytes:
+
+* **train** — after the coarse k-means quantizer partitions the stored unit
+  rows into inverted lists, each row's *residual* to its list centroid is
+  split into ``n_subvectors`` sub-vector slices, and a k-means sub-codebook
+  of at most 256 entries is fitted per slice (so one code fits a uint8);
+* **encode** — a row becomes its list assignment plus ``n_subvectors``
+  uint8 codes: the nearest sub-centroid per slice;
+* **search** — *asymmetric distance computation* (ADC): for each query one
+  small lookup table of query-slice x sub-centroid dot products is built,
+  and every candidate's approximate cosine score is the query·centroid dot
+  plus ``n_subvectors`` table lookups. The corpus is never decoded.
+
+Scores are approximations of the true cosine; the optional **re-rank**
+stage re-scores the top ``rerank`` ADC candidates per query exactly from
+the stored rows (kept only when re-ranking is enabled), recovering most of
+the quantization recall loss for a small extra memory cost.
+
+Selection reuses the deterministic (score desc, position asc) total order
+of :func:`repro.evaluation.neighbors.top_k_desc` via the shared
+:func:`repro.index.exact.merge_topk` fold, so results are reproducible
+run-to-run, and every kernel is written with the blocking-invariant einsum
+contraction so encoding a row alone or in a batch yields the same code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evaluation.neighbors import top_k_desc, unit_rows
+from repro.gmm.kmeans import KMeans
+from repro.index.exact import DEFAULT_QUERY_BLOCK, merge_topk
+from repro.utils.rng import RandomState
+
+_TRAIN_ITERS = 25
+_MAX_CODES = 256  # one uint8 per sub-vector code
+#: Rows used to fit the sub-codebooks. 64 training points per code is
+#: plenty for a k-means sub-quantizer (FAISS trains on a similar budget);
+#: beyond that, training cost grows linearly for no recall gain. The
+#: sample is an evenly strided, deterministic subset — no RNG involved —
+#: and encoding always covers every row.
+_TRAIN_MAX_ROWS = 64 * _MAX_CODES
+
+
+def subvector_slices(dim: int, n_subvectors: int) -> list[slice]:
+    """Contiguous sub-vector slices of a ``dim``-dimensional row.
+
+    The first ``dim % n_subvectors`` slices are one dimension longer, so
+    any ``1 <= n_subvectors <= dim`` works — Gem embedding dims (components
+    + statistical block) are rarely divisible by a power of two.
+    """
+    if not 1 <= n_subvectors <= dim:
+        raise ValueError(
+            f"n_subvectors must be in [1, dim={dim}], got {n_subvectors}"
+        )
+    sizes = np.full(n_subvectors, dim // n_subvectors, dtype=np.intp)
+    sizes[: dim % n_subvectors] += 1
+    bounds = np.concatenate([[0], np.cumsum(sizes)])
+    return [slice(int(a), int(b)) for a, b in zip(bounds[:-1], bounds[1:])]
+
+
+class ProductQuantizer:
+    """Per-slice k-means codebooks over coarse-centroid residuals.
+
+    One shared codebook set is trained on the residuals of *all* rows (the
+    FAISS ``IndexIVFPQ`` layout), stored as a single ``(n_codes, dim)``
+    array whose column slice ``m`` holds sub-codebook ``m`` — uneven slice
+    widths then persist as one array. All arithmetic runs in float64 (the
+    codebook array is merely *stored* in the index dtype), and every
+    mutation rebinds ``codebooks_`` rather than writing into it, so
+    :meth:`fork` isolates snapshots exactly like
+    :meth:`repro.index.ivf.IVFPartition.fork`.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        n_subvectors: int = 8,
+        n_codes: int = 256,
+        random_state: RandomState = 0,
+    ) -> None:
+        if not 2 <= n_codes <= _MAX_CODES:
+            raise ValueError(
+                f"n_codes must be in [2, {_MAX_CODES}] (one uint8 per code), "
+                f"got {n_codes}"
+            )
+        self.dim = dim
+        self.n_subvectors = n_subvectors
+        self.n_codes = n_codes
+        self.random_state = random_state
+        self.slices = subvector_slices(dim, n_subvectors)
+        self.codebooks_: np.ndarray | None = None
+
+    @property
+    def trained(self) -> bool:
+        return self.codebooks_ is not None
+
+    def _slice_seed(self, m: int) -> RandomState:
+        # Distinct deterministic seeds per sub-codebook; a shared Generator
+        # is consumed sequentially, which is equally deterministic given
+        # the fixed training order.
+        if isinstance(self.random_state, (int, np.integer)):
+            return int(self.random_state) + 1_000_003 * (m + 1)
+        return self.random_state
+
+    def train(self, residuals: np.ndarray, dtype: np.dtype) -> None:
+        """Fit one k-means sub-codebook per slice on the residual rows.
+
+        ``n_codes`` is capped at the number of training rows; the fitted
+        codebooks are stored in ``dtype`` (the index's storage dtype) and
+        that *stored* array is what both :meth:`encode` and
+        :meth:`lookup_tables` read, so encoding and search see bitwise the
+        same sub-centroids.
+        """
+        n = residuals.shape[0]
+        if n == 0:
+            raise ValueError("cannot train a product quantizer on zero rows")
+        if n > _TRAIN_MAX_ROWS:
+            sample_idx = np.floor(
+                np.linspace(0, n, _TRAIN_MAX_ROWS, endpoint=False)
+            ).astype(np.intp)
+            residuals = residuals[sample_idx]
+            n = _TRAIN_MAX_ROWS
+        k = int(min(self.n_codes, n))
+        codebooks = np.zeros((k, self.dim))
+        for m, sl in enumerate(self.slices):
+            km = KMeans(
+                n_clusters=k,
+                n_init=1,
+                max_iter=_TRAIN_ITERS,
+                random_state=self._slice_seed(m),
+            ).fit(residuals[:, sl])
+            codebooks[:, sl] = km.cluster_centers_
+        self.codebooks_ = np.ascontiguousarray(codebooks, dtype=dtype)
+
+    def encode(self, residuals: np.ndarray) -> np.ndarray:
+        """Nearest sub-centroid per slice — ``(n, n_subvectors)`` uint8.
+
+        Distances are ranked by the L2-consistent ``||c||² − 2 r·c`` (the
+        row's own norm is constant per argmin), computed with the
+        blocking-invariant einsum contraction, and ties break to the
+        lowest code via ``np.argmin``'s first-minimum rule — a row encodes
+        identically alone or inside any batch.
+        """
+        assert self.codebooks_ is not None, "quantizer must be trained first"
+        codes = np.empty((residuals.shape[0], self.n_subvectors), dtype=np.uint8)
+        for m, sl in enumerate(self.slices):
+            cb = np.asarray(self.codebooks_[:, sl], dtype=np.float64)
+            d2 = np.sum(cb * cb, axis=1) - 2.0 * np.einsum(
+                "nd,kd->nk", residuals[:, sl], cb
+            )
+            codes[:, m] = np.argmin(d2, axis=1).astype(np.uint8)
+        return codes
+
+    def lookup_tables(self, unit_queries: np.ndarray) -> np.ndarray:
+        """ADC tables ``T[q, m, j] = query_slice_m · sub_centroid_j``.
+
+        A candidate's approximate cosine score against query ``q`` is then
+        ``q·centroid + Σ_m T[q, m, code_m]`` — search never touches a
+        decoded corpus row.
+        """
+        assert self.codebooks_ is not None, "quantizer must be trained first"
+        k = self.codebooks_.shape[0]
+        tables = np.empty((unit_queries.shape[0], self.n_subvectors, k))
+        for m, sl in enumerate(self.slices):
+            cb = np.asarray(self.codebooks_[:, sl], dtype=np.float64)
+            tables[:, m, :] = np.einsum("qd,kd->qk", unit_queries[:, sl], cb)
+        return tables
+
+    def restore(self, codebooks: np.ndarray, dtype: np.dtype) -> None:
+        """Reinstate persisted codebooks (stored-dtype checked by the caller)."""
+        self.codebooks_ = np.ascontiguousarray(codebooks, dtype=dtype)
+
+    def fork(self) -> "ProductQuantizer":
+        """A snapshot copy sharing the never-mutated-in-place codebook array."""
+        clone = ProductQuantizer(
+            self.dim, self.n_subvectors, self.n_codes, self.random_state
+        )
+        clone.codebooks_ = self.codebooks_
+        return clone
+
+
+def _exact_rerank(
+    unit_q_block: np.ndarray,
+    cand_scores: np.ndarray,
+    cand_pos: np.ndarray,
+    stored_rows: np.ndarray,
+    k: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Re-score the ADC candidates exactly from stored rows, keep top-k.
+
+    Candidate rows are gathered (never the whole corpus), unit-normalised
+    transiently and scored with the same clipped dot product as the exact
+    backend; unfilled candidate slots (score ``-inf``) stay unfilled.
+    Selection reuses the (score desc, position asc) total order.
+    """
+    qb, kc = cand_pos.shape
+    valid = ~np.isneginf(cand_scores)
+    safe = np.where(valid, cand_pos, 0)
+    gathered = np.asarray(stored_rows)[safe.ravel()]
+    unit_c = unit_rows(gathered).reshape(qb, kc, -1)
+    exact = np.clip(np.einsum("qd,qcd->qc", unit_q_block, unit_c), -1.0, 1.0)
+    exact = np.where(valid, exact, -np.inf)
+    sel = top_k_desc(exact, cand_pos, k)
+    rows_idx = np.arange(qb)[:, None]
+    return exact[rows_idx, sel], cand_pos[rows_idx, sel]
+
+
+def pq_topk(
+    unit_queries: np.ndarray,
+    codes: np.ndarray,
+    partition,
+    quantizer: ProductQuantizer,
+    k: int,
+    *,
+    n_probe: int,
+    rerank: int = 0,
+    stored_rows: np.ndarray | None = None,
+    exclude_positions: np.ndarray | None = None,
+    dead: np.ndarray | None = None,
+    query_block: int = DEFAULT_QUERY_BLOCK,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Approximate top-k by ADC over the probed inverted lists.
+
+    Same contract as :func:`repro.index.ivf.ivf_topk` (probe the ``n_probe``
+    closest lists, pad unfilled slots with score ``-inf``), except candidate
+    scores come from the PQ lookup tables instead of stored rows. With
+    ``rerank > 0`` the top ``max(k, rerank)`` ADC candidates per query are
+    re-scored exactly from ``stored_rows`` before the final top-k cut —
+    without it the returned scores are quantization *approximations* of the
+    cosine (they may slightly exceed 1). ``dead`` optionally masks
+    tombstoned storage slots.
+    """
+    assert partition.centroids_ is not None, "partition must be trained first"
+    assert quantizer.trained, "quantizer must be trained first"
+    if rerank:
+        assert stored_rows is not None, "re-ranking requires stored rows"
+    centroids = partition.centroids_
+    n_lists = centroids.shape[0]
+    n_probe = int(min(max(1, n_probe), n_lists))
+    members = partition.members()
+    q, n = unit_queries.shape[0], codes.shape[0]
+    k_cand = int(min(max(k, rerank), n)) if rerank else k
+    out_scores = np.full((q, k), -np.inf)
+    out_pos = np.full((q, k), n, dtype=np.intp)
+    half_norms = 0.5 * np.sum(centroids**2, axis=1)
+    list_ids = np.arange(n_lists, dtype=np.intp)
+    n_sub = quantizer.n_subvectors
+    for q0 in range(0, q, query_block):
+        q1 = min(q0 + query_block, q)
+        Q = unit_queries[q0:q1]
+        # One (block, n_lists) contraction serves both the probe ranking
+        # (the L2-consistent q·c − |c|²/2 rows were assigned with) and the
+        # ADC base term (the raw q·c dot).
+        dots = np.einsum("qd,nd->qn", Q, centroids)
+        probe = top_k_desc(dots - half_norms, np.broadcast_to(list_ids, dots.shape), n_probe)
+        tables = quantizer.lookup_tables(Q)
+        run_scores = np.full((q1 - q0, k_cand), -np.inf)
+        run_pos = np.full((q1 - q0, k_cand), n, dtype=np.intp)
+        excl = exclude_positions[q0:q1] if exclude_positions is not None else None
+        for list_id in range(n_lists):
+            mem = members[list_id]
+            if mem.size == 0:
+                continue
+            qs = np.flatnonzero((probe == list_id).any(axis=1))
+            if qs.size == 0:
+                continue
+            codes_mem = codes[mem]
+            tab = tables[qs]
+            sim = np.repeat(dots[qs, list_id][:, None], mem.size, axis=1)
+            for m in range(n_sub):
+                sim += tab[:, m, :][:, codes_mem[:, m]]
+            cand_pos = np.broadcast_to(mem, sim.shape)
+            if dead is not None:
+                dm = dead[mem]
+                if dm.any():
+                    sim = np.where(dm[None, :], -np.inf, sim)
+            if excl is not None:
+                mask = cand_pos == excl[qs, None]
+                if mask.any():
+                    sim = np.where(mask, -np.inf, sim)
+            run_scores[qs], run_pos[qs] = merge_topk(
+                run_scores[qs], run_pos[qs], sim, cand_pos, k_cand
+            )
+        if rerank:
+            run_scores, run_pos = _exact_rerank(Q, run_scores, run_pos, stored_rows, k)
+        out_scores[q0:q1] = run_scores[:, :k]
+        out_pos[q0:q1] = run_pos[:, :k]
+    return out_pos, out_scores
+
+
+__all__ = ["ProductQuantizer", "pq_topk", "subvector_slices"]

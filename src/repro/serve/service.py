@@ -126,6 +126,10 @@ class GemService:
                 block_size=cfg.index_block_size,
                 n_lists=cfg.index_n_lists,
                 n_probe=cfg.index_n_probe,
+                dtype=cfg.index_dtype,
+                pq_subvectors=cfg.index_pq_subvectors,
+                pq_codes=cfg.index_pq_codes,
+                pq_rerank=cfg.index_pq_rerank,
                 random_state=cfg.random_state,
             )
         index.attach(embedder)  # fingerprint-checked warm start

@@ -99,12 +99,12 @@ class SnapshotStore:
 
     @staticmethod
     def _train_if_needed(index: GemIndex) -> None:
-        # An untrained IVF quantizer would otherwise train lazily inside
-        # the first search of *every* published snapshot; train the
-        # working index once so snapshots fork an already-trained
-        # partition. (Incremental adds extend the trained partition.)
-        partition = index._partition
-        if partition is not None and not partition.trained and len(index) > 0:
+        # Untrained quantizer state (IVF coarse quantizer, PQ sub-codebooks)
+        # would otherwise train lazily inside the first search of *every*
+        # published snapshot; train the working index once so snapshots
+        # fork already-trained state. (Incremental adds extend the trained
+        # partition and encode against the trained codebooks.)
+        if index.needs_training and len(index) > 0:
             index.train()
 
 

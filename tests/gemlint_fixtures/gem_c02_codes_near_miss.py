@@ -1,0 +1,18 @@
+# gemlint-fixture: module=repro.fake.pq_index_ok
+# gemlint-fixture: expect=GEM-C02:0
+"""Near misses: re-encoding into a fresh code buffer, then rebinding."""
+import numpy as np
+
+
+class MiniPQIndex:
+    def __init__(self, n_subvectors):
+        self._codes_buf = np.empty((0, n_subvectors), dtype=np.uint8)
+        self._n_rows = 0
+
+    def retrain(self, codes, capacity):
+        fresh = np.empty((capacity, self._codes_buf.shape[1]), dtype=np.uint8)
+        fresh[: self._n_rows] = codes  # writes the private fresh buffer
+        self._codes_buf = fresh  # rebinding is the COW idiom, not a mutation
+        scratch = self._codes_buf[: self._n_rows].copy()
+        scratch[0] = 0  # writes a private copy, not the shared buffer
+        return scratch

@@ -1,0 +1,15 @@
+# gemlint-fixture: module=repro.fake.pq_index
+# gemlint-fixture: expect=GEM-C02:3
+"""True positives: in-place writes into the snapshot-shared PQ code buffer."""
+import numpy as np
+
+
+class MiniPQIndex:
+    def __init__(self, n_subvectors):
+        self._codes_buf = np.empty((0, n_subvectors), dtype=np.uint8)
+        self._n_rows = 0
+
+    def recode(self, codes):
+        self._codes_buf[: self._n_rows] = codes  # rewrites codes a snapshot serves
+        self._codes_buf[0, :] ^= 0xFF  # in-place augmented write
+        self._codes_buf.fill(0)  # ndarray.fill writes through

@@ -339,7 +339,11 @@ class TestSnapshots:
         for snap, size in zip(snaps, sizes):
             assert len(snap) == size
             result = snap.search(X[:2], min(4, size))
-            assert (result.positions < size).all()
+            # Positions index storage slots, which may exceed the live
+            # count while removed rows are tombstoned awaiting compaction —
+            # but every returned slot must be a live one.
+            assert (result.positions < snap._n_rows).all()
+            assert all(cid is not None for cid in result.ids.ravel())
 
     def test_snapshot_buffers_shared_and_writer_appends_in_place(self, rng):
         X = rng.normal(size=(10, 4))
@@ -386,7 +390,11 @@ class TestSnapshots:
         index.add(["extra"], rng.normal(size=(1, 4)))
         index.remove(["c0"])
         assert snap._partition.assignments_.shape[0] == 40
-        assert index._partition.assignments_.shape[0] == 40  # 41 - 1
+        # The removed row is tombstoned (below the compaction threshold),
+        # so its assignment slot survives until compact().
+        assert index._partition.assignments_.shape[0] == 41
+        index.compact()
+        assert index._partition.assignments_.shape[0] == 40
         result = snap.search(X[:3], 5)
         assert "extra" not in set(result.ids.ravel())
 
@@ -514,6 +522,331 @@ class TestPersistence:
         np.savez(tmp_path / "bad.npz", **payload)
         with pytest.raises(ValueError, match="schema version"):
             load_index(tmp_path / "bad.npz")
+
+
+def _separable(rng, n=120, d=8, n_centers=4):
+    """Well-separated clusters: rankings are dtype- and backend-stable."""
+    centers = rng.normal(size=(n_centers, d)) * 4.0
+    return centers[rng.integers(0, n_centers, n)] + rng.normal(size=(n, d)) * 0.05
+
+
+def _tamper_config(src, dst, **overrides):
+    """Rewrite config fields of a saved archive (corruption simulator)."""
+    import json
+
+    payload = dict(np.load(src))
+    config = json.loads(bytes(payload["config_json"]).decode())
+    config.update(overrides)
+    payload["config_json"] = np.frombuffer(
+        json.dumps(config).encode(), dtype=np.uint8
+    )
+    np.savez(dst, **payload)
+
+
+class TestFloat32Mode:
+    def test_rows_stored_in_float32_at_half_the_bytes(self, rng):
+        X = _separable(rng)
+        f64 = GemIndex(8)
+        f64.add(_ids(len(X)), X)
+        f32 = GemIndex(8, dtype="float32")
+        f32.add(_ids(len(X)), X)
+        assert f32._rows.dtype == np.float32
+        ratio = f64.storage_bytes()["total"] / f32.storage_bytes()["total"]
+        assert ratio >= 1.9
+
+    def test_search_matches_float64_ranking(self, rng):
+        X = _separable(rng)
+        queries = X[:20]
+        f64 = GemIndex(8)
+        f64.add(_ids(len(X)), X)
+        f32 = GemIndex(8, dtype="float32")
+        f32.add(_ids(len(X)), X)
+        a, b = f64.search(queries, 10), f32.search(queries, 10)
+        assert np.array_equal(a.positions, b.positions)
+        # Scores are computed in float64 regardless of the storage dtype.
+        assert b.scores.dtype == np.float64
+        np.testing.assert_allclose(a.scores, b.scores, atol=1e-5)
+
+    def test_round_trip_preserves_float32_rows_bitwise(self, rng, tmp_path):
+        X = _separable(rng, n=40)
+        index = GemIndex(8, dtype="float32")
+        index.add(_ids(40), X)
+        before = index.search(X[:8], 5)
+        save_index(index, tmp_path / "f32.npz")
+        loaded = load_index(tmp_path / "f32.npz")
+        assert loaded.dtype == np.dtype(np.float32)
+        assert loaded._rows.dtype == np.float32
+        assert np.array_equal(index._rows, loaded._rows)
+        after = loaded.search(X[:8], 5)
+        assert np.array_equal(before.positions, after.positions)
+        assert np.array_equal(before.scores, after.scores)
+
+    def test_archive_dtype_mismatch_rejected(self, rng, tmp_path):
+        # A float32 archive whose config claims float64 must refuse to
+        # load instead of silently casting the rows up (or down).
+        index = GemIndex(8, dtype="float32")
+        index.add(_ids(10), _separable(rng, n=10))
+        save_index(index, tmp_path / "f32.npz")
+        _tamper_config(tmp_path / "f32.npz", tmp_path / "bad.npz", dtype="float64")
+        with pytest.raises(ValueError, match="refusing to cast"):
+            load_index(tmp_path / "bad.npz")
+
+    def test_invalid_dtype_rejected(self):
+        with pytest.raises(ValueError, match="dtype"):
+            GemIndex(8, dtype="float16")
+
+
+class TestPQBackend:
+    def _trained(self, rng, n=160, d=8, **kwargs):
+        kwargs.setdefault("n_lists", 4)
+        kwargs.setdefault("n_probe", 4)
+        kwargs.setdefault("pq_subvectors", d)
+        X = _separable(rng, n=n, d=d)
+        index = GemIndex(d, backend="pq", random_state=0, **kwargs)
+        index.add(_ids(n), X)
+        return index, X
+
+    def test_search_auto_trains_and_finds_cluster_neighbours(self, rng):
+        index, X = self._trained(rng)
+        exact = GemIndex(8)
+        exact.add(_ids(len(X)), X)
+        assert index.needs_training
+        truth = exact.search(X[:32], 10).positions
+        approx = index.search(X[:32], 10).positions  # search() trains lazily
+        assert not index.needs_training
+        hits = sum(len(set(approx[i]) & set(truth[i])) for i in range(32))
+        assert hits / truth.size >= 0.9
+
+    def test_codes_only_mode_releases_rows(self, rng):
+        index, _ = self._trained(rng)
+        index.train()
+        assert not index._stores_rows
+        sizes = index.storage_bytes()
+        assert sizes["codes"] > 0 and sizes["rows"] == 0 and sizes["unit"] == 0
+        with pytest.raises(RuntimeError, match="codes"):
+            index.vectors()
+
+    def test_rerank_restores_exact_scores(self, rng):
+        # Probing every list with rerank >= n makes the candidate set the
+        # whole corpus, so the exact re-scoring pass must reproduce the
+        # exact backend's answers.
+        index, X = self._trained(rng, pq_rerank=160)
+        index.train()
+        assert index._stores_rows  # rows kept resident for the re-rank
+        exact = GemIndex(8)
+        exact.add(_ids(len(X)), X)
+        a, b = exact.search(X[:32], 10), index.search(X[:32], 10)
+        assert np.array_equal(a.positions, b.positions)
+        np.testing.assert_allclose(a.scores, b.scores, atol=1e-12)
+
+    def test_add_after_training_encodes_new_rows(self, rng):
+        index, X = self._trained(rng)
+        index.train()
+        new_vec = X[7:8] * 1.5  # same direction as a stored cluster row
+        index.add(["fresh"], new_vec)
+        assert len(index) == 161
+        result = index.search(new_vec, 3)
+        assert "fresh" in set(result.ids[0])
+
+    def test_remove_tombstones_on_trained_pq(self, rng):
+        index, X = self._trained(rng)
+        index.train()
+        index.remove(["c3", "c5"])
+        result = index.search(X[3:4], 20)
+        returned = set(result.ids.ravel())
+        assert "c3" not in returned and "c5" not in returned
+        index.add(["c3"], X[3:4])
+        assert "c3" in set(index.search(X[3:4], 3).ids[0])
+
+    def test_round_trip_bitwise(self, rng, tmp_path):
+        index, X = self._trained(rng)
+        index.train()
+        before = index.search(X[:16], 5)
+        save_index(index, tmp_path / "pq.npz")
+        loaded = load_index(tmp_path / "pq.npz")
+        assert np.array_equal(index._codes, loaded._codes)
+        assert np.array_equal(index._pq.codebooks_, loaded._pq.codebooks_)
+        assert loaded._pq.codebooks_.dtype == index.dtype
+        after = loaded.search(X[:16], 5)
+        assert np.array_equal(before.positions, after.positions)
+        assert np.array_equal(before.scores, after.scores)
+        assert before.ids.tolist() == after.ids.tolist()
+
+    def test_float32_pq_round_trips_in_float32(self, rng, tmp_path):
+        index, X = self._trained(rng, dtype="float32", pq_rerank=20)
+        index.train()
+        save_index(index, tmp_path / "pq32.npz")
+        loaded = load_index(tmp_path / "pq32.npz")
+        assert loaded.dtype == np.dtype(np.float32)
+        assert loaded._pq.codebooks_.dtype == np.float32
+        assert np.array_equal(index._rows, loaded._rows)
+        a, b = index.search(X[:8], 5), loaded.search(X[:8], 5)
+        assert np.array_equal(a.positions, b.positions)
+        assert np.array_equal(a.scores, b.scores)
+
+    def test_codes_only_archive_refuses_rerank_config(self, rng, tmp_path):
+        # A codes-only archive cannot serve a config that promises exact
+        # re-ranking: the raw rows were never saved.
+        index, _ = self._trained(rng)
+        index.train()
+        save_index(index, tmp_path / "pq.npz")
+        _tamper_config(tmp_path / "pq.npz", tmp_path / "bad.npz", pq_rerank=50)
+        with pytest.raises(ValueError, match="pq_rerank"):
+            load_index(tmp_path / "bad.npz")
+
+    def test_truncated_codebooks_rejected(self, rng, tmp_path):
+        index, _ = self._trained(rng)
+        index.train()
+        save_index(index, tmp_path / "pq.npz")
+        payload = dict(np.load(tmp_path / "pq.npz"))
+        del payload["pq_codebooks"]
+        np.savez(tmp_path / "bad.npz", **payload)
+        with pytest.raises(ValueError, match="codebooks"):
+            load_index(tmp_path / "bad.npz")
+        # And a dtype drift between codebooks and config is refused too.
+        payload = dict(np.load(tmp_path / "pq.npz"))
+        payload["pq_codebooks"] = payload["pq_codebooks"].astype(np.float32)
+        np.savez(tmp_path / "bad2.npz", **payload)
+        with pytest.raises(ValueError, match="cast"):
+            load_index(tmp_path / "bad2.npz")
+
+    def test_dim_not_divisible_by_subvectors(self, rng):
+        X = _separable(rng, n=80, d=10)
+        index = GemIndex(10, backend="pq", n_lists=4, n_probe=4,
+                         pq_subvectors=4, random_state=0)
+        index.add(_ids(80), X)
+        index.train()
+        assert index._codes.shape == (80, 4)
+        result = index.search(X[:4], 5)
+        assert result.positions.shape == (4, 5)
+
+    def test_snapshot_isolated_under_writes(self, rng):
+        index, X = self._trained(rng)
+        index.train()
+        snap = index.snapshot()
+        baseline = snap.search(X[:8], 5)
+        index.add(["w0", "w1"], X[:2] * 2.0)
+        index.remove(["c0", "c1"])
+        after = snap.search(X[:8], 5)
+        assert baseline.ids.tolist() == after.ids.tolist()
+        assert np.array_equal(baseline.scores, after.scores)
+
+
+class TestTombstoneCompaction:
+    def test_remove_is_lazy_below_threshold(self, rng):
+        X = rng.normal(size=(20, 4))
+        index = GemIndex(4)  # compact_threshold=0.25
+        index.add(_ids(20), X)
+        index.remove(["c0", "c1"])  # 10% dead: tombstoned, not compacted
+        assert len(index) == 18 and index._n_rows == 20
+        assert index._dead is not None and index._dead.sum() == 2
+
+    def test_autocompact_past_threshold(self, rng):
+        X = rng.normal(size=(20, 4))
+        index = GemIndex(4)
+        index.add(_ids(20), X)
+        index.remove([f"c{i}" for i in range(6)])  # 30% dead > 0.25
+        assert len(index) == 14 and index._n_rows == 14
+        assert index._dead is None
+
+    def test_threshold_one_disables_autocompact(self, rng):
+        X = rng.normal(size=(20, 4))
+        index = GemIndex(4, compact_threshold=1.0)
+        index.add(_ids(20), X)
+        index.remove([f"c{i}" for i in range(19)])
+        assert len(index) == 1 and index._n_rows == 20
+        index.compact()
+        assert index._n_rows == 1 and index.ids == ("c19",)
+
+    def test_search_identical_before_and_after_compact(self, rng):
+        X = rng.normal(size=(30, 5))
+        index = GemIndex(5, compact_threshold=1.0)
+        index.add(_ids(30), X)
+        index.remove([f"c{i}" for i in range(0, 30, 3)])
+        q = rng.normal(size=(4, 5))
+        before = index.search(q, 5)
+        index.compact()
+        after = index.search(q, 5)
+        assert before.ids.tolist() == after.ids.tolist()
+        assert np.array_equal(before.scores, after.scores)
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError, match="compact_threshold"):
+            GemIndex(4, compact_threshold=0.0)
+        with pytest.raises(ValueError, match="compact_threshold"):
+            GemIndex(4, compact_threshold=1.5)
+
+
+class TestTrainedPartitionPersistence:
+    def test_ivf_state_restores_bit_identical(self, rng, tmp_path):
+        X = _separable(rng, n=60)
+        index = GemIndex(8, backend="ivf", n_lists=4, n_probe=2, random_state=0)
+        index.add(_ids(60), X)
+        index.train()
+        save_index(index, tmp_path / "ivf.npz")
+        loaded = load_index(tmp_path / "ivf.npz")
+        assert np.array_equal(index._partition.centroids_, loaded._partition.centroids_)
+        assert index._partition.centroids_.dtype == loaded._partition.centroids_.dtype
+        assert np.array_equal(
+            index._partition.assignments_, loaded._partition.assignments_
+        )
+
+    def test_pq_coarse_state_restores_bit_identical(self, rng, tmp_path):
+        X = _separable(rng, n=60)
+        index = GemIndex(8, backend="pq", n_lists=4, n_probe=2,
+                         pq_subvectors=8, random_state=0)
+        index.add(_ids(60), X)
+        index.train()
+        save_index(index, tmp_path / "pq.npz")
+        loaded = load_index(tmp_path / "pq.npz")
+        assert np.array_equal(index._partition.centroids_, loaded._partition.centroids_)
+        assert np.array_equal(
+            index._partition.assignments_, loaded._partition.assignments_
+        )
+
+
+class TestCowStormOnTrainedPartition:
+    @pytest.mark.parametrize("backend", ["ivf", "pq"])
+    def test_snapshot_torn_read_free_under_evict_reingest_storm(self, rng, backend):
+        # The serving failure this guards: a snapshot published from a
+        # *trained* partition keeps serving while the writer churns through
+        # evictions, re-ingests, compactions and retrains. Any in-place
+        # write into storage the fork shares would show up here as a
+        # drifting score or id. The pq variant keeps rows resident
+        # (pq_rerank > 0): retraining a codes-only index is refused by
+        # design, and the storm includes retrains.
+        X = _separable(rng, n=80)
+        index = GemIndex(8, backend=backend, n_lists=4, n_probe=4,
+                         pq_subvectors=8, pq_rerank=16, random_state=0)
+        index.add(_ids(80), X)
+        index.train()
+        snap = index.snapshot()
+        queries = X[:10]
+        baseline = snap.search(queries, 5)
+        live = list(_ids(80))
+        fresh_rows = iter(rng.normal(size=(200, 8)) * 4.0)
+        for step in range(12):
+            evicted = live[:5]
+            del live[:5]
+            index.remove(evicted)
+            new_ids = [f"s{step}:{j}" for j in range(5)]
+            index.add(new_ids, np.stack([next(fresh_rows) for _ in range(5)]))
+            live.extend(new_ids)
+            if step % 4 == 3:
+                index.compact()
+            if step % 6 == 5:
+                index.train()
+            result = snap.search(queries, 5)
+            assert baseline.ids.tolist() == result.ids.tolist(), f"step {step}"
+            assert np.array_equal(baseline.scores, result.scores), f"step {step}"
+        # A snapshot taken mid-storm freezes at *its* corpus too.
+        mid = index.snapshot()
+        mid_baseline = mid.search(queries, 5)
+        index.remove(live[:10])
+        index.add(["tail"], np.stack([next(fresh_rows)]))
+        final = mid.search(queries, 5)
+        assert mid_baseline.ids.tolist() == final.ids.tolist()
+        assert np.array_equal(mid_baseline.scores, final.scores)
 
 
 class TestEmbedderIntegration:
