@@ -9,9 +9,10 @@ groups one contract area:
 * :mod:`~repro.analysis.rules.concurrency` — GEM-C01 (lock discipline),
   GEM-C02 (copy-on-write buffer safety);
 * :mod:`~repro.analysis.rules.layering` — GEM-L01 (import layering);
-* :mod:`~repro.analysis.rules.floats` — GEM-F01 (float equality).
+* :mod:`~repro.analysis.rules.floats` — GEM-F01 (float equality);
+* :mod:`~repro.analysis.rules.resilience` — GEM-R01 (bounded waits).
 """
 
-from repro.analysis.rules import concurrency, determinism, floats, layering
+from repro.analysis.rules import concurrency, determinism, floats, layering, resilience
 
-__all__ = ["concurrency", "determinism", "floats", "layering"]
+__all__ = ["concurrency", "determinism", "floats", "layering", "resilience"]

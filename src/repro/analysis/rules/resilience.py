@@ -1,0 +1,92 @@
+"""Resilience rule: no unbounded blocking waits in the serving layer
+(GEM-R01).
+
+PR 8's deadline work rests on one structural property: every point where
+a serving thread blocks — a follower waiting for its batch's ``Event``, a
+caller in ``Ticket.result``, a leader in ``Condition.wait`` — takes a
+finite timeout and re-checks its deadline in a loop. A single bare
+``.wait()`` re-opens the hole the deadline machinery closed: a wedged
+batch thread (or a lost ``notify``) strands the caller forever, and no
+``deadline_ms`` in the world releases it. The hand-audit that found those
+call sites is exactly the kind of check that regresses silently, so this
+rule pins it.
+
+Scope is :mod:`repro.serve` only — offline code (a fit loop joining its
+workers, a test harness) may legitimately wait without bound.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Sequence
+
+from repro.analysis.engine import FileContext, Finding, Rule, register
+
+#: Blocking-call method names the rule audits. ``wait`` covers
+#: ``Event.wait`` / ``Condition.wait`` / ``Barrier.wait``; ``result``
+#: covers ``Ticket.result`` and ``concurrent.futures`` futures; ``join``
+#: covers thread/queue joins a serving thread could block on.
+_BLOCKING_METHODS = {"wait", "result", "join"}
+
+
+def _timeout_argument(node: ast.Call) -> ast.expr | None:
+    """The expression bounding the call's wait, or None if there is none.
+
+    The first positional argument counts (``wait``/``result``/``join``
+    all take the timeout first); so does an explicit ``timeout=``
+    keyword.
+    """
+    if node.args:
+        return node.args[0]
+    for kw in node.keywords:
+        if kw.arg == "timeout":
+            return kw.value
+    return None
+
+
+@register
+class UnboundedWaitRule(Rule):
+    """GEM-R01: serving-layer blocking waits always carry a finite timeout.
+
+    Inside :mod:`repro.serve`, any ``<obj>.wait()`` / ``<obj>.result()``
+    / ``<obj>.join()`` call must pass a timeout — positionally or as
+    ``timeout=`` — and a literal ``None`` timeout does not count (it is
+    the unbounded wait, spelled out). Chunked waits that re-check a
+    deadline (``event.wait(min(remaining, MAX_WAIT_S))``) are the
+    sanctioned idiom and pass untouched.
+    """
+
+    id = "GEM-R01"
+    name = "unbounded-blocking-wait"
+    invariant = (
+        "every blocking wait in repro.serve carries a finite timeout so "
+        "no caller can be stranded past its deadline"
+    )
+    motivation = "PR 8's deadline-bounded serving (resilient serving)"
+    node_types = (ast.Call,)
+
+    def visit_node(
+        self, node: ast.Call, ctx: FileContext, parents: Sequence[ast.AST]
+    ) -> Iterator[Finding]:
+        module = ctx.module
+        if not (module == "repro.serve" or module.startswith("repro.serve.")):
+            return
+        func = node.func
+        if not isinstance(func, ast.Attribute) or func.attr not in _BLOCKING_METHODS:
+            return
+        timeout = _timeout_argument(node)
+        if timeout is not None and not (
+            isinstance(timeout, ast.Constant) and timeout.value is None
+        ):
+            return
+        spelled = "timeout=None" if timeout is not None else "no timeout"
+        yield ctx.finding(
+            self,
+            node,
+            f".{func.attr}() with {spelled} can block a serving thread "
+            "forever — pass a finite timeout (chunked with MAX_WAIT_S) "
+            "and re-check the request deadline in a loop",
+        )
+
+
+__all__ = ["UnboundedWaitRule"]

@@ -8,6 +8,7 @@ normalisation, stacked-vs-per-column fitting, value transform).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, replace
 
 from repro.utils.rng import RandomState
@@ -165,6 +166,29 @@ class GemConfig:
         Worker threads executing read batches in the serving layer (writes
         are always applied by a single thread so snapshots publish in
         order).
+    serve_deadline_ms:
+        Default per-request latency budget in the serving layer. A
+        request whose budget expires before its result is ready raises
+        ``DeadlineExceededError`` — the caller never blocks past it, even
+        against a wedged executor. Overridable per call; must be finite
+        (threading waits cannot take infinity — raise it instead of
+        disabling it).
+    serve_max_pending:
+        Bound on concurrently admitted serving requests. Past it, new
+        requests fast-fail with ``SheddingError`` instead of queueing
+        (admission control): a queued request past saturation costs
+        memory and someone else's deadline, a shed one costs
+        microseconds. Also the queue depth at which the degradation
+        breaker opens fully.
+    serve_degrade_pending:
+        Queue depth at which the serving layer starts trading quality for
+        latency (``DegradationPolicy``: IVF ``n_probe`` halves stepwise,
+        PQ re-ranking turns off) before shedding outright at
+        ``serve_max_pending``. Must not exceed ``serve_max_pending``.
+    serve_degrade_latency_ms:
+        Observed p99 request latency that also triggers degradation
+        (``None`` disables the latency trigger; queue depth still
+        applies).
     random_state:
         Seed threaded through every stochastic stage.
     """
@@ -207,6 +231,10 @@ class GemConfig:
     serve_batch_window_ms: float = 2.0
     serve_max_batch: int = 64
     serve_max_workers: int = 2
+    serve_deadline_ms: float = 10_000.0
+    serve_max_pending: int = 256
+    serve_degrade_pending: int = 64
+    serve_degrade_latency_ms: float | None = None
     random_state: RandomState = 0
 
     def __post_init__(self) -> None:
@@ -286,6 +314,24 @@ class GemConfig:
             raise ValueError(f"serve_max_batch must be >= 1, got {self.serve_max_batch}")
         if self.serve_max_workers < 1:
             raise ValueError(f"serve_max_workers must be >= 1, got {self.serve_max_workers}")
+        if not self.serve_deadline_ms > 0 or not math.isfinite(self.serve_deadline_ms):
+            raise ValueError(
+                f"serve_deadline_ms must be finite and > 0, got "
+                f"{self.serve_deadline_ms} (raise it instead of disabling it: "
+                "threading waits cannot take an infinite timeout)"
+            )
+        if self.serve_max_pending < 1:
+            raise ValueError(f"serve_max_pending must be >= 1, got {self.serve_max_pending}")
+        if not 1 <= self.serve_degrade_pending <= self.serve_max_pending:
+            raise ValueError(
+                f"serve_degrade_pending must be in [1, serve_max_pending="
+                f"{self.serve_max_pending}], got {self.serve_degrade_pending}"
+            )
+        if self.serve_degrade_latency_ms is not None and not self.serve_degrade_latency_ms > 0:
+            raise ValueError(
+                f"serve_degrade_latency_ms must be None or > 0, got "
+                f"{self.serve_degrade_latency_ms}"
+            )
 
     def with_features(
         self,

@@ -20,8 +20,12 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import os
 import warnings
+import zipfile
+import zlib
 from pathlib import Path
+from typing import Callable
 
 import numpy as np
 
@@ -60,6 +64,43 @@ _FINGERPRINT_CONFIG_FIELDS = (
 _PER_COLUMN_FIT_FIELDS = ("gmm_init", "tol", "max_iter", "covariance_floor")
 
 
+class CorruptArchiveError(RuntimeError):
+    """The archive on disk does not match its recorded content checksum.
+
+    Raised by :func:`read_archive` when an archive is truncated, bit-rotted
+    or otherwise unreadable — distinct from :exc:`FileNotFoundError` (the
+    archive never existed) and from a clean-but-stale archive (see
+    :class:`~repro.index.core.StaleIndexError`). A corrupt archive cannot
+    be partially trusted; rebuild it from source or restore a backup.
+    """
+
+
+# Fault-injection registration point. ``repro.serve.faults`` installs its
+# hook here for the duration of a FaultPlan so chaos tests can kill or
+# fail archive writes at named sites; core stays serve-agnostic (the same
+# inversion as ``repro.core.gem.register_serve_factory``, enforcing the
+# GEM-L01 layering: core never imports serve).
+_FAULT_HOOK: Callable[[str], None] | None = None
+
+
+def set_fault_hook(hook: Callable[[str], None] | None) -> Callable[[str], None] | None:
+    """Install a fault-injection hook; returns the previously installed one.
+
+    Test-only machinery: production never installs a hook, and the
+    disabled path below is a single global read.
+    """
+    global _FAULT_HOOK
+    previous = _FAULT_HOOK
+    _FAULT_HOOK = hook
+    return previous
+
+
+def _fault(site: str) -> None:
+    hook = _FAULT_HOOK
+    if hook is not None:
+        hook(site)
+
+
 def npz_path(path: str | Path) -> Path:
     """The path ``np.savez`` actually writes: ``.npz`` is appended if absent.
 
@@ -84,6 +125,100 @@ def json_to_array(obj: object) -> np.ndarray:
 def json_from_array(array: np.ndarray) -> object:
     """Decode an object written by :func:`json_to_array`."""
     return json.loads(bytes(array).decode("utf-8"))
+
+
+def archive_checksum(arrays: dict[str, np.ndarray]) -> str:
+    """Content checksum over an archive's arrays (name, dtype, shape, bytes).
+
+    Deliberately computed over the decoded arrays, not the zip bytes: it
+    survives recompression and is what :func:`read_archive` can re-derive
+    after a successful decode, catching corruption the zip layer's
+    per-member CRC does not cover (e.g. a truncated final member, or a
+    hand-edited payload re-zipped consistently).
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    for name in sorted(arrays):
+        arr = np.ascontiguousarray(arrays[name])
+        digest.update(f"{name}:{arr.dtype.str}:{arr.shape};".encode("utf-8"))
+        digest.update(arr.tobytes())
+    return digest.hexdigest()
+
+
+def atomic_savez(path: str | Path, arrays: dict[str, np.ndarray]) -> Path:
+    """Write an ``.npz`` archive atomically, with an embedded checksum.
+
+    The archive is written to a sibling ``.tmp`` file, flushed and
+    fsynced, then :func:`os.replace`'d over the final name — so a crash
+    at *any* point leaves either the previous archive intact or the new
+    one complete, never a torn file under the real name. The payload
+    gains a ``__checksum__`` member (:func:`archive_checksum` over the
+    caller's arrays) that :func:`read_archive` verifies on load.
+
+    Returns the final path written (with the ``.npz`` suffix applied).
+    """
+    final = npz_path(path)
+    payload = dict(arrays)
+    payload["__checksum__"] = json_to_array(archive_checksum(arrays))
+    tmp = final.with_name(final.name + ".tmp")
+    try:
+        with open(tmp, "wb") as fh:
+            np.savez(fh, **payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        _fault("persistence.replace")
+        os.replace(tmp, final)
+    except Exception:
+        # Recoverable failure: don't litter. A KillPoint (BaseException,
+        # modelling process death) skips this on purpose — a real crash
+        # leaves the tmp file behind too, and the final name untouched.
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise
+    try:
+        # Durability of the rename itself: fsync the directory entry.
+        dir_fd = os.open(final.parent, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+    except OSError:
+        pass  # not supported on every platform/filesystem; rename still atomic
+    return final
+
+
+def read_archive(path: str | Path) -> dict[str, np.ndarray]:
+    """Read an ``.npz`` archive, verifying its content checksum.
+
+    Returns the archive's arrays as a dict (eagerly decoded — corruption
+    must surface here, not lazily mid-restore). Raises
+    :exc:`CorruptArchiveError` if the file cannot be decoded or its
+    ``__checksum__`` does not match the content; archives written before
+    checksums existed (no ``__checksum__`` member) load without
+    verification for backward compatibility. A missing file still raises
+    :exc:`FileNotFoundError` — absence and corruption are different
+    operational problems.
+    """
+    final = npz_path(path)
+    try:
+        with np.load(final) as payload:
+            arrays = {name: payload[name] for name in payload.files}
+    except (zipfile.BadZipFile, zlib.error, EOFError, ValueError, KeyError, OSError) as exc:
+        if isinstance(exc, FileNotFoundError):
+            raise
+        raise CorruptArchiveError(f"archive {final} is unreadable: {exc}") from exc
+    stored = arrays.pop("__checksum__", None)
+    if stored is not None:
+        expected = json_from_array(stored)
+        actual = archive_checksum(arrays)
+        if actual != expected:
+            raise CorruptArchiveError(
+                f"archive {final} failed its content checksum "
+                f"(stored {expected}, recomputed {actual}); the file is "
+                "corrupt — rebuild it from source or restore a backup"
+            )
+    return arrays
 
 
 def gem_fingerprint(gem: GemEmbedder) -> str:
@@ -174,63 +309,65 @@ def save_gem(gem: GemEmbedder, path: str | Path) -> None:
         arrays["gmm_weights"] = gem.gmm_.weights_
         arrays["gmm_means"] = gem.gmm_.means_
         arrays["gmm_covariances"] = gem.gmm_.covariances_
-    np.savez(npz_path(path), **arrays)
+    atomic_savez(path, arrays)
 
 
 def load_gem(path: str | Path) -> GemEmbedder:
     """Load an embedder previously written by :func:`save_gem`.
 
     The returned embedder is ready to ``transform`` new corpora; the fitted
-    GMM and feature standardisation are restored exactly.
+    GMM and feature standardisation are restored exactly. The archive's
+    content checksum is verified first (:exc:`CorruptArchiveError` on
+    mismatch).
     """
-    with np.load(npz_path(path)) as payload:
-        cfg_dict = json_from_array(payload["config_json"])
-        if "bic_candidates" in cfg_dict:
-            cfg_dict["bic_candidates"] = tuple(cfg_dict["bic_candidates"])
-        # Archives written by other library versions may carry config keys
-        # this version lacks (or miss ones it has); unknown keys are dropped
-        # with a warning — not silently, a typo'd hand-edited key must be
-        # noticed — and missing ones fall back to the dataclass defaults, so
-        # batching knobs like batch_size/cache_signatures round-trip when
-        # present.
-        known = {f.name for f in dataclasses.fields(GemConfig)}
-        unknown = sorted(set(cfg_dict) - known)
-        if unknown:
-            warnings.warn(
-                f"ignoring unknown GemConfig keys in archive: {unknown}",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-        config = GemConfig(**{k: v for k, v in cfg_dict.items() if k in known})
-        gem = GemEmbedder(config=config)
-        gem._feature_mean = payload["feature_mean"]
-        gem._feature_std = payload["feature_std"]
-        if "transform_stats" in payload:
-            stats = payload["transform_stats"]
-            gem._transform_stats = (float(stats[0]), float(stats[1]))
-        if "signature_balance" in payload:
-            gem._signature_balance = float(payload["signature_balance"][0])
-        if "block_norms" in payload:
-            gem._block_norms = [float(v) for v in payload["block_norms"]]
-        if "gmm_weights" in payload:
-            # Reconstruct with the full training configuration so a refit of
-            # the loaded mixture behaves like the original embedder's.
-            gmm = GaussianMixture(
-                n_components=int(payload["gmm_weights"].shape[0]),
-                tol=config.tol,
-                n_init=config.n_init,
-                max_iter=config.max_iter,
-                reg_covar=config.covariance_floor,
-                init=config.gmm_init,
-                fit_engine=config.fit_engine,
-                fit_batch_size=config.fit_batch_size,
-                random_state=config.random_state,
-            )
-            gmm.weights_ = payload["gmm_weights"]
-            gmm.means_ = payload["gmm_means"]
-            gmm.covariances_ = payload["gmm_covariances"]
-            gmm.converged_ = True
-            gem.gmm_ = gmm
+    payload = read_archive(path)
+    cfg_dict = json_from_array(payload["config_json"])
+    if "bic_candidates" in cfg_dict:
+        cfg_dict["bic_candidates"] = tuple(cfg_dict["bic_candidates"])
+    # Archives written by other library versions may carry config keys
+    # this version lacks (or miss ones it has); unknown keys are dropped
+    # with a warning — not silently, a typo'd hand-edited key must be
+    # noticed — and missing ones fall back to the dataclass defaults, so
+    # batching knobs like batch_size/cache_signatures round-trip when
+    # present.
+    known = {f.name for f in dataclasses.fields(GemConfig)}
+    unknown = sorted(set(cfg_dict) - known)
+    if unknown:
+        warnings.warn(
+            f"ignoring unknown GemConfig keys in archive: {unknown}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    config = GemConfig(**{k: v for k, v in cfg_dict.items() if k in known})
+    gem = GemEmbedder(config=config)
+    gem._feature_mean = payload["feature_mean"]
+    gem._feature_std = payload["feature_std"]
+    if "transform_stats" in payload:
+        stats = payload["transform_stats"]
+        gem._transform_stats = (float(stats[0]), float(stats[1]))
+    if "signature_balance" in payload:
+        gem._signature_balance = float(payload["signature_balance"][0])
+    if "block_norms" in payload:
+        gem._block_norms = [float(v) for v in payload["block_norms"]]
+    if "gmm_weights" in payload:
+        # Reconstruct with the full training configuration so a refit of
+        # the loaded mixture behaves like the original embedder's.
+        gmm = GaussianMixture(
+            n_components=int(payload["gmm_weights"].shape[0]),
+            tol=config.tol,
+            n_init=config.n_init,
+            max_iter=config.max_iter,
+            reg_covar=config.covariance_floor,
+            init=config.gmm_init,
+            fit_engine=config.fit_engine,
+            fit_batch_size=config.fit_batch_size,
+            random_state=config.random_state,
+        )
+        gmm.weights_ = payload["gmm_weights"]
+        gmm.means_ = payload["gmm_means"]
+        gmm.covariances_ = payload["gmm_covariances"]
+        gmm.converged_ = True
+        gem.gmm_ = gmm
     gem._fitted = True
     return gem
 
@@ -242,4 +379,9 @@ __all__ = [
     "json_to_array",
     "json_from_array",
     "npz_path",
+    "atomic_savez",
+    "read_archive",
+    "archive_checksum",
+    "CorruptArchiveError",
+    "set_fault_hook",
 ]

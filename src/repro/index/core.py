@@ -604,6 +604,8 @@ class GemIndex:
         k: int,
         *,
         exclude_ids: Sequence[str | None] | None = None,
+        n_probe: int | None = None,
+        pq_rerank: int | None = None,
     ) -> SearchResult:
         """Top-k stored neighbours of each query row by cosine similarity.
 
@@ -624,6 +626,12 @@ class GemIndex:
             so queries without a resolved exclusion never lose their k-th
             neighbour — a query *with* one then pads its final slot
             (position ``-1``, score ``-inf``) when ``k`` reaches ``n``.
+        n_probe / pq_rerank:
+            Per-call overrides of the index's configured probe width and
+            PQ re-rank depth — the serving layer's degradation lever:
+            under load it trades recall for latency on *this* call
+            without touching shared index state. ``None`` (the default)
+            keeps the configured values; the exact backend ignores both.
         """
         Q = check_array_2d(queries, "queries", min_rows=1)
         if Q.shape[1] != self.dim:
@@ -661,6 +669,15 @@ class GemIndex:
                 scores=empty,
             )
         unit_q = unit_rows(Q)
+        probe = self.n_probe if n_probe is None else check_positive_int(n_probe, "n_probe")
+        rerank = self.pq_rerank if pq_rerank is None else int(pq_rerank)
+        if rerank < 0:
+            raise ValueError(f"pq_rerank must be >= 0, got {rerank}")
+        if rerank > 0 and not self._stores_rows:
+            # A codes-only index has nothing to re-rank against; raising
+            # here would turn a degradation *recovery* (rerank back up)
+            # into an outage, so clamp instead.
+            rerank = 0
         if self.backend == "pq":
             assert self._partition is not None and self._pq is not None
             if self.needs_training:
@@ -671,9 +688,9 @@ class GemIndex:
                 self._partition,
                 self._pq,
                 k_eff,
-                n_probe=self.n_probe,
-                rerank=self.pq_rerank,
-                stored_rows=self._rows if self.pq_rerank else None,
+                n_probe=probe,
+                rerank=rerank,
+                stored_rows=self._rows if rerank else None,
                 exclude_positions=exclude_positions,
                 dead=self._dead,
             )
@@ -686,7 +703,7 @@ class GemIndex:
                 self._unit,
                 self._partition,
                 k_eff,
-                n_probe=self.n_probe,
+                n_probe=probe,
                 exclude_positions=exclude_positions,
                 dead=self._dead,
             )

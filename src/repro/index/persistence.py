@@ -32,7 +32,12 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core.persistence import json_from_array, json_to_array, npz_path
+from repro.core.persistence import (
+    atomic_savez,
+    json_from_array,
+    json_to_array,
+    read_archive,
+)
 from repro.index.core import GemIndex
 
 # Version 2 added: storage dtype, PQ state (codes/codebooks/knobs) and the
@@ -99,7 +104,9 @@ def save_index(index: GemIndex, path: str | Path) -> None:
     if index._stores_codes:
         arrays["pq_codes"] = index._codes if keep is None else index._codes[keep]
         arrays["pq_codebooks"] = index._pq.codebooks_
-    np.savez(npz_path(path), **arrays)
+    # Atomic write + content checksum: a crash mid-save leaves the previous
+    # archive intact, and a bit-rotted archive is refused at load.
+    atomic_savez(path, arrays)
 
 
 def _check_archive(
@@ -169,64 +176,61 @@ def load_index(path: str | Path) -> GemIndex:
     the attach enforces the persisted model fingerprint. Trained quantizer
     state (IVF centroids/assignments, PQ codebooks and codes) is restored
     bit-identically, so a reloaded index returns exactly the searches of
-    the saved one.
+    the saved one. The archive's content checksum is verified first
+    (:exc:`~repro.core.persistence.CorruptArchiveError` on mismatch).
     """
-    with np.load(npz_path(path)) as payload:
-        config = json_from_array(payload["config_json"])
-        version = config.get("schema_version")
-        if version not in _READABLE_VERSIONS:
-            raise ValueError(
-                f"unsupported index schema version {version!r} "
-                f"(this library reads versions {_READABLE_VERSIONS})"
-            )
-        index = GemIndex(
-            int(config["dim"]),
-            backend=config["backend"],
-            block_size=int(config["block_size"]),
-            n_lists=config["n_lists"],
-            n_probe=int(config["n_probe"]),
-            dtype=config.get("dtype", "float64"),
-            pq_subvectors=int(config.get("pq_subvectors", 8)),
-            pq_codes=int(config.get("pq_codes", 256)),
-            pq_rerank=int(config.get("pq_rerank", 0)),
-            compact_threshold=float(config.get("compact_threshold", 0.25)),
-            random_state=config["random_state"] or 0,
-            model_fingerprint=config["model_fingerprint"],
+    payload = read_archive(path)
+    config = json_from_array(payload["config_json"])
+    version = config.get("schema_version")
+    if version not in _READABLE_VERSIONS:
+        raise ValueError(
+            f"unsupported index schema version {version!r} "
+            f"(this library reads versions {_READABLE_VERSIONS})"
         )
-        rows = payload["rows"] if "rows" in payload else None
-        ids = [str(cid) for cid in payload["ids"]]
-        _check_archive(index, ids, rows, payload)
-        if "pq_codes" in payload:
-            # A trained PQ index: rebuild storage directly — rows may not
-            # exist, and re-encoding (even when they do) must not happen,
-            # so the reloaded codes are bitwise the saved ones.
-            n = len(ids)
-            index._slot_ids = list(ids)
-            index._pos = {cid: i for i, cid in enumerate(ids)}
-            index._n_rows = n
-            index._capacity = n
-            index._codes_buf = np.ascontiguousarray(payload["pq_codes"], dtype=np.uint8)
-            if rows is not None and index.pq_rerank > 0:
-                index._rows_buf = np.ascontiguousarray(rows, dtype=index.dtype)
-            index._pq.restore(payload["pq_codebooks"], index.dtype)
-            index._partition.restore(
-                payload["ivf_centroids"], payload["ivf_assignments"]
+    index = GemIndex(
+        int(config["dim"]),
+        backend=config["backend"],
+        block_size=int(config["block_size"]),
+        n_lists=config["n_lists"],
+        n_probe=int(config["n_probe"]),
+        dtype=config.get("dtype", "float64"),
+        pq_subvectors=int(config.get("pq_subvectors", 8)),
+        pq_codes=int(config.get("pq_codes", 256)),
+        pq_rerank=int(config.get("pq_rerank", 0)),
+        compact_threshold=float(config.get("compact_threshold", 0.25)),
+        random_state=config["random_state"] or 0,
+        model_fingerprint=config["model_fingerprint"],
+    )
+    rows = payload["rows"] if "rows" in payload else None
+    ids = [str(cid) for cid in payload["ids"]]
+    _check_archive(index, ids, rows, payload)
+    if "pq_codes" in payload:
+        # A trained PQ index: rebuild storage directly — rows may not
+        # exist, and re-encoding (even when they do) must not happen,
+        # so the reloaded codes are bitwise the saved ones.
+        n = len(ids)
+        index._slot_ids = list(ids)
+        index._pos = {cid: i for i, cid in enumerate(ids)}
+        index._n_rows = n
+        index._capacity = n
+        index._codes_buf = np.ascontiguousarray(payload["pq_codes"], dtype=np.uint8)
+        if rows is not None and index.pq_rerank > 0:
+            index._rows_buf = np.ascontiguousarray(rows, dtype=index.dtype)
+        index._pq.restore(payload["pq_codebooks"], index.dtype)
+        index._partition.restore(payload["ivf_centroids"], payload["ivf_assignments"])
+    else:
+        if rows is not None and rows.shape[0]:
+            index.add(ids, rows)
+        if "ivf_centroids" in payload:
+            assert index._partition is not None
+            index._partition.restore(payload["ivf_centroids"], payload["ivf_assignments"])
+    if "value_fp_ids" in payload:
+        index._value_fps = dict(
+            zip(
+                (str(cid) for cid in payload["value_fp_ids"]),
+                (str(fp) for fp in payload["value_fp_hashes"]),
             )
-        else:
-            if rows is not None and rows.shape[0]:
-                index.add(ids, rows)
-            if "ivf_centroids" in payload:
-                assert index._partition is not None
-                index._partition.restore(
-                    payload["ivf_centroids"], payload["ivf_assignments"]
-                )
-        if "value_fp_ids" in payload:
-            index._value_fps = dict(
-                zip(
-                    (str(cid) for cid in payload["value_fp_ids"]),
-                    (str(fp) for fp in payload["value_fp_hashes"]),
-                )
-            )
+        )
     return index
 
 

@@ -10,9 +10,17 @@ concurrently:
 * :class:`MicroBatcher` — coalesces requests arriving within a window
   into one vectorised pass, bit-identical to solo calls;
 * :class:`ServiceMetrics` — requests, batched ratio, p50/p99 latency,
-  snapshot age;
+  snapshot age, resilience accounting;
 * :class:`SnapshotStore` / :class:`WriteOp` — single-writer batched
-  mutation publishing immutable copy-on-write index snapshots.
+  mutation publishing immutable copy-on-write index snapshots;
+* :mod:`~repro.serve.resilience` — per-request :class:`Deadline` budgets
+  (:class:`DeadlineExceededError`), :class:`AdmissionController` load
+  shedding (:class:`SheddingError`) and the hysteretic
+  :class:`DegradationPolicy` breaker;
+* :class:`GemOpLog` — append-only write-ahead log making acknowledged
+  writes survive a crash between index checkpoints;
+* :class:`FaultPlan` — deterministic fault injection at named sites
+  (:func:`fault_point`) for chaos testing; zero overhead when disabled.
 
 Quickstart::
 
@@ -25,7 +33,24 @@ Quickstart::
 
 from repro.core import gem as _gem
 from repro.serve.batching import BatcherClosedError, MicroBatcher, Ticket
+from repro.serve.faults import (
+    Delay,
+    Fail,
+    FaultError,
+    FaultPlan,
+    Kill,
+    KillPoint,
+    fault_point,
+)
 from repro.serve.metrics import ServiceMetrics
+from repro.serve.oplog import GemOpLog
+from repro.serve.resilience import (
+    AdmissionController,
+    Deadline,
+    DeadlineExceededError,
+    DegradationPolicy,
+    SheddingError,
+)
 from repro.serve.service import GemService
 from repro.serve.snapshot import SnapshotStore, WriteOp
 
@@ -41,4 +66,17 @@ __all__ = [
     "ServiceMetrics",
     "SnapshotStore",
     "WriteOp",
+    "Deadline",
+    "DeadlineExceededError",
+    "SheddingError",
+    "AdmissionController",
+    "DegradationPolicy",
+    "GemOpLog",
+    "FaultPlan",
+    "FaultError",
+    "KillPoint",
+    "Delay",
+    "Fail",
+    "Kill",
+    "fault_point",
 ]

@@ -33,6 +33,26 @@ thread. Three properties fall out:
 With ``max_workers=1`` execution slots are exclusive and batches are
 sealed strictly in formation order — the property the write path's
 snapshot publishing relies on.
+
+**Deadlines.** A submission may carry a
+:class:`~repro.serve.resilience.Deadline`; the guarantee is then that its
+caller is *never* blocked past it. Enforcement is belt and braces:
+
+* caller side (the guarantee): :meth:`Ticket.result` bounds its wait by
+  the deadline and raises
+  :class:`~repro.serve.resilience.DeadlineExceededError` on expiry — the
+  caller unblocks even if the executing thread is wedged in a fault;
+* leader side (the optimisation): a leader waiting for an execution slot
+  bounds that wait by the latest live deadline in its batch and, at
+  execution, sheds tickets that already expired (their result slot gets
+  the error, the batch function never sees them) — expired work is not
+  done, not merely not waited for.
+
+Deadline-less submissions keep the original semantics: ``result()``
+blocks until execution. Every wait in this module is nevertheless
+chunked (``MAX_WAIT_S`` re-check period), so no single blocking call is
+unbounded — the invariant gemlint's GEM-R01 enforces for the whole
+serving layer.
 """
 
 from __future__ import annotations
@@ -40,6 +60,9 @@ from __future__ import annotations
 import threading
 import time
 from typing import Callable, Sequence
+
+from repro.serve.faults import fault_point
+from repro.serve.resilience import MAX_WAIT_S, Deadline, DeadlineExceededError
 
 # Consecutive interpreter yields without batch growth before a leader
 # fires early. Two yields let every runnable client thread enqueue once;
@@ -70,17 +93,49 @@ class Ticket:
     service feeds into its ``batched_ratio`` metric.
     """
 
-    __slots__ = ("payload", "batch_size", "_batch", "_index")
+    __slots__ = ("payload", "batch_size", "deadline", "_batch", "_index")
 
-    def __init__(self, payload: object, batch: _Batch) -> None:
+    def __init__(self, payload: object, batch: _Batch, deadline: Deadline | None) -> None:
         self.payload = payload
         self.batch_size = 0
+        self.deadline = deadline
         self._batch = batch
         self._index = len(batch.tickets)
 
     def result(self, timeout: float | None = None) -> object:
-        if not self._batch.done.wait(timeout):
-            raise TimeoutError("batch did not execute within the timeout")
+        """The request's result; raises what the request raised.
+
+        Blocks until the batch executed, bounded by the ticket's deadline
+        (:class:`~repro.serve.resilience.DeadlineExceededError` on expiry
+        — this is the serving layer's no-hung-callers guarantee, enforced
+        on the *calling* thread so it holds even when the executor is
+        wedged) and by ``timeout`` if given (``TimeoutError``, the
+        pre-deadline API kept for polling callers).
+        """
+        done = self._batch.done
+        if done.is_set():  # leader, or a late reader: result already there
+            return self._fetch()
+        limit = None if timeout is None else time.monotonic() + timeout
+        while not done.is_set():
+            chunk = MAX_WAIT_S
+            if self.deadline is not None:
+                remaining = self.deadline.remaining()
+                if remaining <= 0:
+                    if done.is_set():  # result landed at the wire: deliver it
+                        break
+                    raise DeadlineExceededError(
+                        "request deadline expired before its batch completed"
+                    )
+                chunk = min(chunk, remaining)
+            if limit is not None:
+                remaining_t = limit - time.monotonic()
+                if remaining_t <= 0:
+                    raise TimeoutError("batch did not execute within the timeout")
+                chunk = min(chunk, remaining_t)
+            done.wait(chunk)
+        return self._fetch()
+
+    def _fetch(self) -> object:
         res = self._batch.results[self._index]
         if isinstance(res, Exception):
             raise res
@@ -142,12 +197,22 @@ class MicroBatcher:
 
     # --------------------------------------------------------------- public
 
-    def submit(self, payload: object) -> Ticket:
+    def submit(self, payload: object, deadline: Deadline | None = None) -> Ticket:
         """Join the open batch (or lead a new one); returns the ticket.
 
         The leader executes the batch on this thread before returning, so
         its ``result()`` is already resolved; followers return immediately
-        and block in ``result()``.
+        and block in ``result()``. ``deadline`` bounds this request's
+        waits (see the module docstring).
+
+        Admission is atomic with respect to :meth:`close`: the closed
+        check and the ticket joining its batch happen inside one critical
+        section, so a submission either raises
+        :class:`BatcherClosedError` or is *accepted* — and every accepted
+        ticket resolves, because each batch's leader (chosen in the same
+        critical section) seals and executes it regardless of a
+        concurrent close. There is no window in which a request can slip
+        past the closed check into a batch nobody will run.
         """
         with self._cond:
             while True:
@@ -163,7 +228,7 @@ class MicroBatcher:
                     break
                 # Open batch full: wait for its leader to seal it.
                 self._cond.wait(0.05)
-            ticket = Ticket(payload, batch)
+            ticket = Ticket(payload, batch, deadline)
             batch.tickets.append(ticket)
         if is_leader:
             self._lead(batch)
@@ -173,7 +238,9 @@ class MicroBatcher:
         """Refuse new submissions; in-flight batches finish. Idempotent.
 
         Never strands a waiter: every open batch has a live leader that
-        seals and executes it regardless of the closed flag.
+        seals and executes it regardless of the closed flag (see
+        :meth:`submit` for why this pair of guarantees makes close-vs-
+        submit race-free).
         """
         with self._cond:
             self._closed = True
@@ -200,11 +267,13 @@ class MicroBatcher:
                 grown = len(batch.tickets)
                 quiet = quiet + 1 if grown == size else 0
                 size = grown
-            self._exec_slots.acquire()
+            if not self._claim_slot_or_abandon(batch):
+                return  # every ticket's deadline expired; batch was shed
             try:
                 with self._cond:
-                    self._open = None
-                    self._cond.notify_all()
+                    if self._open is batch:
+                        self._open = None
+                        self._cond.notify_all()
                 self._execute(batch)
             finally:
                 self._exec_slots.release()
@@ -221,19 +290,99 @@ class MicroBatcher:
                 batch.done.set()
             raise
 
+    def _claim_slot_or_abandon(self, batch: _Batch) -> bool:
+        """Acquire an execution slot, bounded by the batch's deadlines.
+
+        The leader is a *caller's* thread, so an unbounded semaphore wait
+        here would hang that caller past its deadline — exactly what the
+        deadline machinery exists to prevent. The wait is therefore
+        bounded by the latest live deadline across the batch's tickets
+        (recomputed each cycle: followers keep joining while we wait, and
+        a deadline-less ticket makes the wait effectively unbounded again,
+        chunked at ``MAX_WAIT_S``). When every ticket has expired, the
+        batch is sealed and shed: all result slots get
+        ``DeadlineExceededError``, ``done`` is set, and False is returned
+        — no caller is left waiting on work that will never run.
+        """
+        if self._exec_slots.acquire(blocking=False):  # uncontended fast path
+            return True
+        while True:
+            with self._cond:
+                tickets = list(batch.tickets)
+            budget = self._latest_remaining(tickets)
+            if budget is None:
+                if self._exec_slots.acquire(timeout=MAX_WAIT_S):
+                    return True
+                continue
+            if budget > 0:
+                if self._exec_slots.acquire(timeout=min(budget, MAX_WAIT_S)):
+                    return True
+                continue
+            # Every currently joined ticket is expired. Seal first, then
+            # re-check: a live-deadline follower may have joined between
+            # the snapshot above and the seal — it must not be shed.
+            with self._cond:
+                if self._open is batch:
+                    self._open = None
+                    self._cond.notify_all()
+                tickets = list(batch.tickets)  # final: sealed, no more joins
+            budget = self._latest_remaining(tickets)
+            if budget is None or budget > 0:
+                continue  # a live ticket made the wire; keep trying for a slot
+            for ticket in tickets:
+                ticket.batch_size = len(tickets)
+            batch.results = [
+                DeadlineExceededError(
+                    "request deadline expired while its batch waited for an "
+                    "execution slot; shed without executing"
+                )
+            ] * len(tickets)
+            batch.done.set()
+            return False
+
+    @staticmethod
+    def _latest_remaining(tickets: list[Ticket]) -> float | None:
+        """Seconds until the *last* deadline in the batch; None if any
+        ticket is deadline-less (the batch must then execute eventually)."""
+        latest = 0.0
+        for ticket in tickets:
+            if ticket.deadline is None:
+                return None
+            latest = max(latest, ticket.deadline.remaining())
+        return latest
+
     def _execute(self, batch: _Batch) -> None:
         tickets = batch.tickets
+        n = len(tickets)
         for ticket in tickets:
-            ticket.batch_size = len(tickets)
-        try:
-            results = list(self._batch_fn([t.payload for t in tickets]))
-            if len(results) != len(tickets):
-                raise RuntimeError(
-                    f"batch_fn returned {len(results)} results for "
-                    f"{len(tickets)} payloads"
+            ticket.batch_size = n
+        results: list[object] = [None] * n
+        live: list[int] = []
+        for i, ticket in enumerate(tickets):
+            if ticket.deadline is not None and ticket.deadline.expired:
+                # Leader-side shed: the caller already (or imminently)
+                # raised on its own wait; doing the work anyway would
+                # charge the whole batch for a result nobody can use.
+                results[i] = DeadlineExceededError(
+                    "request deadline expired before its batch began "
+                    "executing; shed"
                 )
-        except Exception as exc:  # noqa: BLE001 — delivered to every waiter
-            results = [exc] * len(tickets)
+            else:
+                live.append(i)
+        if live:
+            try:
+                fault_point("batcher.execute")
+                out = list(self._batch_fn([tickets[i].payload for i in live]))
+                if len(out) != len(live):
+                    raise RuntimeError(
+                        f"batch_fn returned {len(out)} results for "
+                        f"{len(live)} payloads"
+                    )
+                for j, i in enumerate(live):
+                    results[i] = out[j]
+            except Exception as exc:  # noqa: BLE001 — delivered to every waiter
+                for i in live:
+                    results[i] = exc
         batch.results = results
         batch.done.set()  # one wake for the whole batch
 

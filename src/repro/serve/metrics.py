@@ -16,7 +16,15 @@ framework:
 * ``snapshot_age_s`` — seconds since the last snapshot publish, i.e. an
   upper bound on how stale the corpus served to readers is;
 * ``snapshot_publishes`` / ``rows_ingested`` / ``rows_evicted`` — write
-  side throughput.
+  side throughput;
+* resilience accounting — ``shed_count`` (requests refused by admission
+  control or an open breaker), ``deadline_misses`` (callers released by
+  deadline expiry), ``degraded_seconds`` / ``degraded_searches`` (time
+  spent and searches answered with reduced quality),
+  ``degradation_state`` (the breaker right now) and ``replayed_ops``
+  (write ops recovered from the op log at warm start). The chaos suite
+  reconciles these against the faults it injected — a shed/missed/
+  degraded/replayed event that is not accounted for here is a bug.
 """
 
 from __future__ import annotations
@@ -51,6 +59,13 @@ class ServiceMetrics:
         self._rows_evicted = 0
         self._snapshot_publishes = 0
         self._snapshot_published_at: float | None = None
+        self._shed = 0
+        self._deadline_misses = 0
+        self._replayed_ops = 0
+        self._degraded_searches = 0
+        self._degraded_seconds = 0.0
+        self._degradation_state = "closed"
+        self._degraded_since: float | None = None
 
     # ------------------------------------------------------------ recording
 
@@ -79,6 +94,37 @@ class ServiceMetrics:
             self._rows_evicted += int(n_evicted)
             self._snapshot_published_at = time.monotonic()
 
+    def record_shed(self) -> None:
+        """Account one request refused to protect the service."""
+        with self._lock:
+            self._shed += 1
+
+    def record_deadline_miss(self) -> None:
+        """Account one caller released by deadline expiry."""
+        with self._lock:
+            self._deadline_misses += 1
+
+    def record_replayed(self, n_ops: int) -> None:
+        """Account write ops recovered from the op log at warm start."""
+        with self._lock:
+            self._replayed_ops += int(n_ops)
+
+    def record_degraded_search(self) -> None:
+        """Account one search answered with reduced quality."""
+        with self._lock:
+            self._degraded_searches += 1
+
+    def record_degradation_state(self, state: str) -> None:
+        """Track the breaker state; accrues time spent outside ``closed``."""
+        now = time.monotonic()
+        with self._lock:
+            if self._degraded_since is not None:
+                self._degraded_seconds += now - self._degraded_since
+                self._degraded_since = None
+            if state != "closed":
+                self._degraded_since = now
+            self._degradation_state = state
+
     # ------------------------------------------------------------- reporting
 
     def snapshot(self) -> dict[str, object]:
@@ -87,6 +133,9 @@ class ServiceMetrics:
             total = int(sum(self._requests.values()))
             latencies = np.asarray(self._latencies, dtype=float)
             published_at = self._snapshot_published_at
+            degraded_s = self._degraded_seconds
+            if self._degraded_since is not None:
+                degraded_s += time.monotonic() - self._degraded_since
             out: dict[str, object] = {
                 "requests": total,
                 "requests_by_op": dict(self._requests),
@@ -95,6 +144,12 @@ class ServiceMetrics:
                 "rows_ingested": self._rows_ingested,
                 "rows_evicted": self._rows_evicted,
                 "snapshot_publishes": self._snapshot_publishes,
+                "shed_count": self._shed,
+                "deadline_misses": self._deadline_misses,
+                "replayed_ops": self._replayed_ops,
+                "degraded_searches": self._degraded_searches,
+                "degraded_seconds": degraded_s,
+                "degradation_state": self._degradation_state,
             }
         if latencies.size:
             p50, p99 = np.percentile(latencies, [50, 99])

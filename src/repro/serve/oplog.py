@@ -1,0 +1,181 @@
+"""Append-only write-ahead op log for crash recovery of served writes.
+
+``save_index`` checkpoints are heavyweight (a full compacted archive), so
+a service snapshots occasionally — which leaves every write accepted
+*after* the last checkpoint with no durable record. :class:`GemOpLog`
+closes that window: the write applier appends each applied batch of
+:class:`~repro.serve.snapshot.WriteOp` to the log *before* acknowledging
+the callers, so "the service said OK" implies "the op is on disk".
+After a crash, ``GemService.from_archives(..., oplog=...)`` replays the
+log over the restored archive, reproducing exactly the acknowledged
+writes (replaying an op the archive already contains is detected by the
+caller via the usual duplicate-id/missing-id errors and skipped).
+
+Format — one framed record per applied batch::
+
+    [4-byte LE body length][8-byte blake2b(body)][body]
+
+where the body is UTF-8 JSON: ``{"ops": [...]}`` with embedding rows as
+``{dtype, shape, b64}`` (bit-exact round trip; embeddings are what the
+crash lost — re-embedding is not an option since the source values are
+gone). The framing makes torn tails self-detecting: a record whose
+length field, payload or digest is incomplete — the classic
+crashed-mid-append artifact — terminates replay silently, exactly like a
+real WAL. Everything *before* the torn record is intact by construction
+(appends are sequential and flushed).
+
+A successful checkpoint (``save_index`` through the write applier)
+truncates the log: the archive now covers everything, and an unbounded
+log would replay unboundedly.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import struct
+import threading
+from pathlib import Path
+
+import numpy as np
+
+from repro.serve.faults import fault_point
+from repro.serve.snapshot import WriteOp
+
+_LEN = struct.Struct("<I")
+_DIGEST_BYTES = 8
+
+
+def _digest(body: bytes) -> bytes:
+    return hashlib.blake2b(body, digest_size=_DIGEST_BYTES).digest()
+
+
+def _encode_rows(rows: np.ndarray) -> dict[str, object]:
+    arr = np.ascontiguousarray(rows)
+    return {
+        "dtype": arr.dtype.str,
+        "shape": list(arr.shape),
+        "b64": base64.b64encode(arr.tobytes()).decode("ascii"),
+    }
+
+
+def _decode_rows(spec: dict[str, object]) -> np.ndarray:
+    raw = base64.b64decode(spec["b64"])  # type: ignore[arg-type]
+    arr = np.frombuffer(raw, dtype=np.dtype(spec["dtype"]))  # type: ignore[arg-type]
+    return arr.reshape([int(n) for n in spec["shape"]]).copy()  # type: ignore[union-attr]
+
+
+def _encode_op(op: WriteOp) -> dict[str, object]:
+    record: dict[str, object] = {"kind": op.kind, "ids": list(op.ids)}
+    if op.rows is not None:
+        record["rows"] = _encode_rows(op.rows)
+    if op.value_fps is not None:
+        record["value_fps"] = list(op.value_fps)
+    return record
+
+
+def _decode_op(record: dict[str, object]) -> WriteOp:
+    return WriteOp(
+        str(record["kind"]),
+        [str(cid) for cid in record["ids"]],  # type: ignore[union-attr]
+        rows=_decode_rows(record["rows"]) if "rows" in record else None,  # type: ignore[arg-type]
+        value_fps=(
+            [str(fp) for fp in record["value_fps"]]  # type: ignore[union-attr]
+            if "value_fps" in record
+            else None
+        ),
+    )
+
+
+class GemOpLog:
+    """Append-only, checksum-framed log of applied write batches.
+
+    One instance is owned by a :class:`~repro.serve.GemService` and
+    appended from its single write-applier thread; ``replay`` reads from
+    disk independently (it is how a *new* process recovers the previous
+    one's writes). All methods are thread-safe regardless.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self._fh = None
+
+    # -------------------------------------------------------------- writing
+
+    def append(self, ops: list[WriteOp]) -> None:
+        """Durably record one applied batch (no-op for an empty batch).
+
+        Flushes and fsyncs before returning: once this returns, the batch
+        survives a crash. The service calls it after the batch applied
+        but *before* acknowledging its callers — acked implies logged.
+        """
+        if not ops:
+            return
+        body = json.dumps({"ops": [_encode_op(op) for op in ops]}).encode("utf-8")
+        frame = _LEN.pack(len(body)) + _digest(body) + body
+        with self._lock:
+            if self._fh is None:
+                self._fh = open(self.path, "ab")
+            fault_point("oplog.append")
+            self._fh.write(frame)
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+
+    def truncate(self) -> None:
+        """Drop every record: a checkpoint made the log redundant."""
+        with self._lock:
+            if self._fh is None:
+                self._fh = open(self.path, "ab")
+            self._fh.truncate(0)
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+    def __enter__(self) -> "GemOpLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -------------------------------------------------------------- reading
+
+    def replay(self) -> list[list[WriteOp]]:
+        """Every intact batch in append order; a missing file is empty.
+
+        A torn tail — truncated length field, short payload, or digest
+        mismatch, i.e. the record being written when the process died —
+        ends the replay at the last intact record. Its callers were never
+        acknowledged (append fsyncs before the service acks), so dropping
+        it loses nothing that was promised.
+        """
+        try:
+            raw = self.path.read_bytes()
+        except FileNotFoundError:
+            return []
+        batches: list[list[WriteOp]] = []
+        offset = 0
+        while offset + _LEN.size + _DIGEST_BYTES <= len(raw):
+            (length,) = _LEN.unpack_from(raw, offset)
+            start = offset + _LEN.size + _DIGEST_BYTES
+            end = start + length
+            if end > len(raw):
+                break  # torn tail: record cut short mid-append
+            stored = raw[offset + _LEN.size : start]
+            body = raw[start:end]
+            if _digest(body) != stored:
+                break  # torn/corrupt tail record
+            decoded = json.loads(body.decode("utf-8"))
+            batches.append([_decode_op(record) for record in decoded["ops"]])
+            offset = end
+        return batches
+
+
+__all__ = ["GemOpLog"]

@@ -18,12 +18,26 @@ table, evict a retracted one. :class:`GemService` owns one fitted
   (:mod:`repro.serve.snapshot`); readers never block on writers and never
   observe a half-applied batch. Within one write batch, ops apply in
   arrival order, so evict + ingest of the same id resurrects the row.
-* **metrics** — request counts, batched ratio, p50/p99 latency and
-  snapshot age (:mod:`repro.serve.metrics`).
+* **resilience** (:mod:`repro.serve.resilience`) — every request carries
+  a deadline (``serve_deadline_ms``, overridable per call) bounding all
+  of its waits; admission control sheds load past ``serve_max_pending``
+  (:exc:`~repro.serve.SheddingError` fast-fail); a degradation breaker
+  trades search quality (IVF ``n_probe``, PQ re-rank) for latency under
+  pressure and recovers hysteretically. ``resilience=False`` disables
+  all three (benchmarking the bare fast path); the machinery idles at
+  <5% throughput overhead when enabled but unstressed.
+* **crash safety** — archives are written atomically with content
+  checksums, and an optional write-ahead op log
+  (:mod:`repro.serve.oplog`) records every acknowledged write batch so
+  :meth:`from_archives` can replay what the last :meth:`checkpoint`
+  missed. Acked implies logged: the applier appends to the log before
+  callers unblock.
+* **metrics** — request counts, batched ratio, p50/p99 latency, snapshot
+  age, and resilience accounting (:mod:`repro.serve.metrics`).
 
 Warm start from archives written by ``save_gem``/``save_index``::
 
-    service = GemService.from_archives("gem.npz", "lake.idx.npz")
+    service = GemService.from_archives("gem.npz", "lake.idx.npz", oplog="lake.wal")
     hits = service.search(new_corpus, k=10)
 
 The index archive embeds the owning model's fingerprint; a mismatched
@@ -34,8 +48,9 @@ neighbours from a different embedding space.
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from pathlib import Path
-from typing import Sequence
+from typing import ContextManager, Sequence
 
 import numpy as np
 
@@ -45,7 +60,21 @@ from repro.data.table import ColumnCorpus, NumericColumn
 from repro.index.core import GemIndex, SearchResult
 from repro.serve.batching import MicroBatcher
 from repro.serve.metrics import ServiceMetrics
+from repro.serve.oplog import GemOpLog
+from repro.serve.resilience import (
+    CLOSED,
+    AdmissionController,
+    Deadline,
+    DeadlineExceededError,
+    DegradationPolicy,
+    SheddingError,
+)
 from repro.serve.snapshot import SnapshotStore, WriteOp
+
+# Backstop on every ticket wait, even with resilience disabled: a wedged
+# batch thread must surface as a TimeoutError, not a caller hung forever
+# (GEM-R01). Deadlines, when active, bound the wait far tighter.
+_RESULT_BACKSTOP_S = 600.0
 
 
 def _as_columns(columns: object, what: str) -> list[NumericColumn]:
@@ -87,14 +116,35 @@ class GemService:
         Micro-batching knobs; default to the embedder config's
         ``serve_batch_window_ms`` / ``serve_max_batch`` /
         ``serve_max_workers``.
+    deadline_ms / max_pending / degrade_pending / degrade_latency_ms:
+        Resilience knobs; default to the config's ``serve_deadline_ms`` /
+        ``serve_max_pending`` / ``serve_degrade_pending`` /
+        ``serve_degrade_latency_ms``.
+    resilience:
+        ``False`` turns off deadlines, admission control and degradation
+        entirely (requests behave like the pre-resilience service unless
+        a per-call ``deadline_ms`` is passed). Exists so the benchmark
+        can price the machinery; production keeps the default ``True``.
+    oplog:
+        A :class:`~repro.serve.oplog.GemOpLog` (or a path for one) that
+        durably records every acknowledged write batch. See
+        :meth:`from_archives` for the recovery side.
 
-    All four public operations may be called from any number of threads.
+    All public operations may be called from any number of threads.
     ``embed`` and ``search`` are reads: they run against the latest
     published snapshot and coalesce into shared vectorised passes.
     ``ingest`` and ``evict`` are writes: they are applied by a single
     writer thread in arrival order and become visible atomically; both
     block until their batch's snapshot is published, so a caller's own
     subsequent search observes its write.
+
+    Failure taxonomy: :exc:`~repro.serve.DeadlineExceededError` (your
+    budget ran out — the work may or may not have happened),
+    :exc:`~repro.serve.SheddingError` (the service refused the request —
+    it definitely did not happen; retry with backoff),
+    :exc:`~repro.serve.BatcherClosedError` (the service is shut down),
+    :exc:`~repro.core.persistence.CorruptArchiveError` /
+    :exc:`~repro.index.StaleIndexError` (warm-start refused).
     """
 
     def __init__(
@@ -105,6 +155,12 @@ class GemService:
         batch_window_ms: float | None = None,
         max_batch: int | None = None,
         max_workers: int | None = None,
+        deadline_ms: float | None = None,
+        max_pending: int | None = None,
+        degrade_pending: int | None = None,
+        degrade_latency_ms: float | None = None,
+        resilience: bool = True,
+        oplog: GemOpLog | str | Path | None = None,
     ) -> None:
         embedder._check_fitted()
         if embedder.transform_is_corpus_dependent:
@@ -138,6 +194,29 @@ class GemService:
         )
         batch = cfg.serve_max_batch if max_batch is None else max_batch
         workers = cfg.serve_max_workers if max_workers is None else max_workers
+        self._deadline_ms = cfg.serve_deadline_ms if deadline_ms is None else float(deadline_ms)
+        Deadline.after_ms(self._deadline_ms)  # validate (finite, > 0) up front
+        self._deadline_s = self._deadline_ms / 1e3  # pre-validated offset
+        self._resilience = bool(resilience)
+        if self._resilience:
+            pending = cfg.serve_max_pending if max_pending is None else int(max_pending)
+            degrade = cfg.serve_degrade_pending if degrade_pending is None else int(degrade_pending)
+            latency = (
+                cfg.serve_degrade_latency_ms
+                if degrade_latency_ms is None
+                else degrade_latency_ms
+            )
+            self._admission: AdmissionController | None = AdmissionController(pending)
+            self._policy: DegradationPolicy | None = DegradationPolicy(
+                degrade_pending=min(degrade, pending),
+                shed_pending=pending,
+                degrade_latency_ms=latency,
+            )
+        else:
+            self._admission = None
+            self._policy = None
+        self._last_state = CLOSED  # last breaker state pushed to metrics
+        self._oplog = GemOpLog(oplog) if isinstance(oplog, (str, Path)) else oplog
         self._store = SnapshotStore(index)
         self.metrics = ServiceMetrics()
         self._reads = MicroBatcher(
@@ -165,6 +244,8 @@ class GemService:
         cls,
         gem_path: str | Path,
         index_path: str | Path | None = None,
+        *,
+        oplog: GemOpLog | str | Path | None = None,
         **kwargs: object,
     ) -> "GemService":
         """Warm-start a service from ``save_gem``/``save_index`` archives.
@@ -172,14 +253,39 @@ class GemService:
         The index archive carries the fingerprint of the model it was
         built from; loading it against a different model raises
         :class:`~repro.index.StaleIndexError` — a stale pairing is refused
-        at startup, not discovered per query.
+        at startup, not discovered per query. A truncated or bit-rotted
+        archive raises
+        :class:`~repro.core.persistence.CorruptArchiveError`.
+
+        When ``oplog`` is given, every intact batch in the log is replayed
+        over the restored index before the service takes traffic — writes
+        acknowledged after the archive's checkpoint survive the crash.
+        Replay is idempotent: ops the archive already contains fail their
+        usual validation (duplicate id / missing id) and are skipped, so a
+        crash *between* checkpoint and log truncation double-applies
+        nothing.
         """
         from repro.core.persistence import load_gem
         from repro.index.persistence import load_index
 
         embedder = load_gem(gem_path)
         index = load_index(index_path) if index_path is not None else None
-        return cls(embedder, index, **kwargs)  # type: ignore[arg-type]
+        service = cls(embedder, index, oplog=oplog, **kwargs)  # type: ignore[arg-type]
+        service._replay_oplog()
+        return service
+
+    def _replay_oplog(self) -> None:
+        """Apply every logged batch to the restored index (recovery)."""
+        if self._oplog is None:
+            return
+        replayed = 0
+        for ops in self._oplog.replay():
+            outcomes, n_in, n_out = self._store.apply(
+                [op for op in ops if op.kind != "checkpoint"]
+            )
+            replayed += sum(1 for outcome in outcomes if outcome is None)
+        if replayed:
+            self.metrics.record_replayed(replayed)
 
     def close(self) -> None:
         """Refuse new requests; batches already open run to completion.
@@ -194,6 +300,8 @@ class GemService:
         self._closed = True
         self._reads.close()
         self._writes.close()
+        if self._oplog is not None:
+            self._oplog.close()
 
     def __enter__(self) -> "GemService":
         return self
@@ -204,20 +312,94 @@ class GemService:
     def __len__(self) -> int:
         return len(self._store.current())
 
+    # ----------------------------------------------------------- resilience
+
+    def _request_deadline(self, deadline_ms: float | None) -> Deadline | None:
+        """The deadline for one request: per-call override, else config.
+
+        With ``resilience=False`` and no per-call value, requests carry no
+        deadline at all (the bare pre-resilience path).
+        """
+        if deadline_ms is not None:
+            return Deadline.after_ms(float(deadline_ms))
+        if self._resilience:
+            # The default was validated in __init__; skip re-validation on
+            # the per-request hot path.
+            return Deadline(time.monotonic() + self._deadline_s)
+        return None
+
+    def _admit(self) -> ContextManager[object]:
+        """Admission control: a slot context, or SheddingError fast-fail.
+
+        Sheds when the breaker is open (degradation reached its shedding
+        state) or the in-flight count has hit ``serve_max_pending``. Shed
+        attempts are observed too — falling pressure during a shed storm
+        is what drives the breaker's hysteretic recovery.
+        """
+        if self._admission is None or self._policy is None:
+            return nullcontext()
+        if self._policy.shedding:
+            self.metrics.record_shed()
+            self._observe(None)
+            raise SheddingError(
+                "service is shedding load (degradation breaker open); "
+                "retry with backoff"
+            )
+        try:
+            slot = self._admission.admit()
+        except SheddingError:
+            self.metrics.record_shed()
+            self._observe(None)
+            raise
+        return slot
+
+    def _observe(self, latency_s: float | None) -> None:
+        """Feed one pressure sample to the degradation policy.
+
+        Metrics see the breaker state only while it is (or just stopped
+        being) non-closed: the steady healthy state records nothing, so
+        the idle machinery costs no metrics-lock acquisition per request.
+        ``degraded_seconds`` stays exact — accrual is anchored at the
+        recorded transitions, not at per-request stamps.
+        """
+        if self._policy is None or self._admission is None:
+            return
+        state = self._policy.observe(self._admission.in_flight, latency_s)
+        if state != CLOSED or self._last_state != CLOSED:
+            self._last_state = state
+            self.metrics.record_degradation_state(state)
+
+    def _finish(self, op: str, t0: float, batch_size: int) -> None:
+        latency = time.monotonic() - t0
+        self._observe(latency)
+        self.metrics.record_request(op, latency, batch_size)
+
+    def _miss(self, t0: float) -> None:
+        self._observe(time.monotonic() - t0)
+        self.metrics.record_deadline_miss()
+
     # ----------------------------------------------------------------- reads
 
-    def embed(self, columns: object) -> np.ndarray:
+    def embed(self, columns: object, *, deadline_ms: float | None = None) -> np.ndarray:
         """Embedding rows for ``columns`` (micro-batched ``transform``)."""
         cols = _as_columns(columns, "columns")
         if not cols:
             return np.empty((0, self.embedder.embedding_dim))
-        t0 = time.monotonic()
-        ticket = self._reads.submit(("embed", cols))
-        result = ticket.result()
-        self.metrics.record_request("embed", time.monotonic() - t0, ticket.batch_size)
-        return result  # type: ignore[return-value]
+        deadline = self._request_deadline(deadline_ms)
+        with self._admit():
+            t0 = time.monotonic()
+            try:
+                ticket = self._reads.submit(("embed", cols), deadline)
+                result = ticket.result(timeout=_RESULT_BACKSTOP_S)
+            except DeadlineExceededError:
+                self._miss(t0)
+                raise
+            self._finish("embed", t0, ticket.batch_size)
+            return result  # type: ignore[return-value]
 
-    def search(self, columns: object, k: int) -> SearchResult:
+    def search(
+        self, columns: object, k: int, *, deadline_ms: float | None = None
+    ) -> SearchResult:
         """Top-``k`` stored neighbours of each column, best first.
 
         Queries are embedded through the frozen model and searched against
@@ -225,7 +407,10 @@ class GemService:
         consistent with exactly one snapshot (never a half-applied write
         batch). Unlike the offline §4.1.2 protocol there is no
         self-exclusion: serving queries are external columns ranked
-        against the stored corpus.
+        against the stored corpus. While the service is degraded, IVF/PQ
+        searches run with reduced ``n_probe``/re-ranking (slightly lower
+        recall instead of higher latency); healthy-state results stay
+        bit-identical to solo calls.
         """
         if not isinstance(k, (int, np.integer)) or isinstance(k, bool) or k < 1:
             raise ValueError(f"k must be a positive integer, got {k!r}")
@@ -235,47 +420,104 @@ class GemService:
             return SearchResult(
                 ids=empty.astype(object), positions=empty.astype(np.intp), scores=empty
             )
-        t0 = time.monotonic()
-        ticket = self._reads.submit(("search", cols, int(k)))
-        result = ticket.result()
-        self.metrics.record_request("search", time.monotonic() - t0, ticket.batch_size)
-        return result  # type: ignore[return-value]
+        deadline = self._request_deadline(deadline_ms)
+        with self._admit():
+            t0 = time.monotonic()
+            try:
+                ticket = self._reads.submit(("search", cols, int(k)), deadline)
+                result = ticket.result(timeout=_RESULT_BACKSTOP_S)
+            except DeadlineExceededError:
+                self._miss(t0)
+                raise
+            self._finish("search", t0, ticket.batch_size)
+            return result  # type: ignore[return-value]
 
     # ---------------------------------------------------------------- writes
 
-    def ingest(self, ids: Sequence[str], columns: object) -> None:
+    def ingest(
+        self,
+        ids: Sequence[str],
+        columns: object,
+        *,
+        deadline_ms: float | None = None,
+    ) -> None:
         """Embed ``columns`` and store them under ``ids``.
 
         Blocks until the write's snapshot is published: on return, this
-        caller's (and everyone's) next search sees the rows. Ids must not
-        already be stored — except when the same write batch evicts them
-        first (evict + re-ingest of a changed column coalesces into an
-        atomic replace).
+        caller's (and everyone's) next search sees the rows. Ids must be
+        unique within the request and must not already be stored — except
+        when the same write batch evicts them first (evict + re-ingest of
+        a changed column coalesces into an atomic replace).
+
+        The two hops (embed, then write) share one deadline: the write
+        hop gets whatever budget the embed hop left, not a fresh
+        allowance.
         """
         cols = _as_columns(columns, "columns")
         ids = [str(cid) for cid in ids]
         if len(ids) != len(cols):
             raise ValueError(f"{len(ids)} ids for {len(cols)} columns")
+        seen: set[str] = set()
+        dups = sorted({cid for cid in ids if cid in seen or seen.add(cid)})
+        if dups:
+            # Validated here, not in the applier: a duplicate would
+            # otherwise fail mid-batch with an applier-level error after
+            # the embedding work was already spent.
+            raise ValueError(f"duplicate ids in one ingest request: {dups}")
         if not ids:
             return
-        t0 = time.monotonic()
-        embed_ticket = self._reads.submit(("embed", cols))
-        rows = embed_ticket.result()
-        value_fps = [array_fingerprint(c.values) for c in cols]
-        op = WriteOp("ingest", ids, rows=rows, value_fps=value_fps)
-        ticket = self._writes.submit(op)
-        ticket.result()
-        self.metrics.record_request("ingest", time.monotonic() - t0, ticket.batch_size)
+        deadline = self._request_deadline(deadline_ms)
+        with self._admit():
+            t0 = time.monotonic()
+            try:
+                embed_ticket = self._reads.submit(("embed", cols), deadline)
+                rows = embed_ticket.result(timeout=_RESULT_BACKSTOP_S)
+                value_fps = [array_fingerprint(c.values) for c in cols]
+                op = WriteOp("ingest", ids, rows=rows, value_fps=value_fps)
+                ticket = self._writes.submit(op, deadline)
+                ticket.result(timeout=_RESULT_BACKSTOP_S)
+            except DeadlineExceededError:
+                self._miss(t0)
+                raise
+            self._finish("ingest", t0, ticket.batch_size)
 
-    def evict(self, ids: Sequence[str]) -> None:
+    def evict(self, ids: Sequence[str], *, deadline_ms: float | None = None) -> None:
         """Drop the rows stored under ``ids``; blocks until published."""
         ids = [str(cid) for cid in ids]
         if not ids:
             return
+        deadline = self._request_deadline(deadline_ms)
+        with self._admit():
+            t0 = time.monotonic()
+            try:
+                ticket = self._writes.submit(WriteOp("evict", ids), deadline)
+                ticket.result(timeout=_RESULT_BACKSTOP_S)
+            except DeadlineExceededError:
+                self._miss(t0)
+                raise
+            self._finish("evict", t0, ticket.batch_size)
+
+    def checkpoint(
+        self, path: str | Path, *, deadline_ms: float | None = None
+    ) -> None:
+        """Write the index archive at a consistent point in the op order.
+
+        Flows through the single-writer queue like any write: the archive
+        contains exactly the ops applied before it and none after. On
+        success the op log (if any) is truncated — the archive now covers
+        everything, so recovery replays only what follows. Not subject to
+        admission control: shedding the operation that *relieves* a
+        persistence backlog during overload would be self-defeating.
+        """
+        deadline = self._request_deadline(deadline_ms)
         t0 = time.monotonic()
-        ticket = self._writes.submit(WriteOp("evict", ids))
-        ticket.result()
-        self.metrics.record_request("evict", time.monotonic() - t0, ticket.batch_size)
+        try:
+            ticket = self._writes.submit(WriteOp("checkpoint", [], path=path), deadline)
+            ticket.result(timeout=_RESULT_BACKSTOP_S)
+        except DeadlineExceededError:
+            self._miss(t0)
+            raise
+        self._finish("checkpoint", t0, ticket.batch_size)
 
     # ------------------------------------------------------------- internals
 
@@ -296,6 +538,13 @@ class GemService:
         results: list[object] = [None] * len(payloads)
         # All searches of this batch run against one snapshot grab.
         snap = self._store.current()
+        overrides: dict[str, int] = {}
+        if self._policy is not None:
+            # Degradation lever: reduced probe width / no re-rank while
+            # the breaker is non-closed; empty (bit-identical) when
+            # closed. One decision per batch, so co-batched searches stay
+            # mutually consistent.
+            overrides = self._policy.search_overrides(snap.n_probe, snap.pq_rerank)
         by_k: dict[int, list[int]] = {}
         for i, payload in enumerate(payloads):
             if payload[0] == "embed":  # type: ignore[index]
@@ -305,7 +554,10 @@ class GemService:
                 by_k.setdefault(payload[2], []).append(i)  # type: ignore[index]
         for k, members in by_k.items():
             stacked = np.concatenate([rows[spans[i][0] : spans[i][1]] for i in members])
-            found = snap.search(stacked, k)
+            found = snap.search(stacked, k, **overrides)
+            if overrides:
+                for _ in members:
+                    self.metrics.record_degraded_search()
             offset = 0
             for i in members:
                 a, b = spans[i]
@@ -319,11 +571,28 @@ class GemService:
         return results
 
     def _execute_writes(self, payloads: list[object]) -> list[object]:
-        """Apply one write batch in arrival order, publish one snapshot."""
+        """Apply one write batch in arrival order, publish one snapshot.
+
+        Successful ops are appended to the op log *after* they applied
+        and published but *before* their callers are acknowledged: "the
+        service said OK" implies "the op survives a crash". A checkpoint
+        op resets the log — everything before it is in the archive.
+        """
         self.metrics.record_batch()
         ops = [p for p in payloads if isinstance(p, WriteOp)]
         outcomes, n_in, n_out = self._store.apply(ops)
         self.metrics.record_publish(n_in, n_out)
+        if self._oplog is not None:
+            to_log: list[WriteOp] = []
+            for op, outcome in zip(ops, outcomes):
+                if outcome is not None:
+                    continue  # failed ops changed nothing; nothing to replay
+                if op.kind == "checkpoint":
+                    to_log.clear()
+                    self._oplog.truncate()
+                else:
+                    to_log.append(op)
+            self._oplog.append(to_log)
         return [exc if exc is not None else True for exc in outcomes]
 
 

@@ -24,25 +24,32 @@ one.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Sequence
 
 import numpy as np
 
 from repro.index.core import GemIndex
+from repro.serve.faults import fault_point
 
 
 @dataclass
 class WriteOp:
-    """One queued write: an ``ingest`` (with rows) or an ``evict``.
+    """One queued write: an ``ingest`` (with rows), an ``evict``, or a
+    ``checkpoint``.
 
     ``rows``/``value_fps`` are filled in by the service after embedding
-    the ingested columns; ``evict`` ops carry only ids.
+    the ingested columns; ``evict`` ops carry only ids; ``checkpoint``
+    ops carry only ``path`` — they flow through the same single-writer
+    queue so the archive they write is a consistent point in the op
+    order (everything before it, nothing after it).
     """
 
-    kind: str  # "ingest" | "evict"
+    kind: str  # "ingest" | "evict" | "checkpoint"
     ids: list[str]
     rows: np.ndarray | None = None
     value_fps: list[str] | None = field(default=None)
+    path: str | Path | None = None
 
 
 class SnapshotStore:
@@ -80,6 +87,7 @@ class SnapshotStore:
         n_in = n_out = 0
         for op in ops:
             try:
+                fault_point("snapshot.apply")
                 if op.kind == "ingest":
                     assert op.rows is not None
                     self._working.add(op.ids, op.rows, value_fingerprints=op.value_fps)
@@ -87,6 +95,15 @@ class SnapshotStore:
                 elif op.kind == "evict":
                     self._working.remove(op.ids)
                     n_out += len(op.ids)
+                elif op.kind == "checkpoint":
+                    # Ordered with the writes around it: the archive holds
+                    # exactly the ops applied so far. Atomic + checksummed
+                    # via atomic_savez, so a crash mid-checkpoint leaves
+                    # the previous archive intact.
+                    from repro.index.persistence import save_index
+
+                    assert op.path is not None
+                    save_index(self._working, op.path)
                 else:
                     raise ValueError(f"unknown write op kind {op.kind!r}")
             except Exception as exc:  # noqa: BLE001 — returned to the caller
@@ -94,6 +111,7 @@ class SnapshotStore:
             else:
                 outcomes.append(None)
         self._train_if_needed(self._working)
+        fault_point("snapshot.publish")
         self._published = self._working.snapshot()
         return outcomes, n_in, n_out
 

@@ -1,0 +1,26 @@
+# gemlint-fixture: module=repro.serve.fake_queue_ok
+# gemlint-fixture: expect=GEM-R01:0
+"""Near misses: bounded waits and non-blocking lookalikes in serve."""
+import threading
+
+MAX_WAIT_S = 5.0
+
+
+class Funnel:
+    def __init__(self):
+        self.done = threading.Event()
+        self.cond = threading.Condition()
+
+    def collect(self, ticket, remaining):
+        # The sanctioned idiom: chunked waits, deadline re-checked by the
+        # enclosing loop.
+        while not self.done.wait(min(remaining, MAX_WAIT_S)):
+            remaining -= MAX_WAIT_S
+        return ticket.result(timeout=MAX_WAIT_S)
+
+    def drain(self, timeout):
+        with self.cond:
+            self.cond.wait(timeout)  # bounded even though spelled positionally
+
+    def label(self, parts):
+        return ", ".join(parts)  # str.join is not a blocking wait

@@ -1,0 +1,13 @@
+# gemlint-fixture: module=repro.experiments.fake_runner
+# gemlint-fixture: expect=GEM-R01:0
+"""Near miss: unbounded waits outside repro.serve are legitimate."""
+import threading
+
+
+def run_all(workers):
+    done = threading.Event()
+    for w in workers:
+        w.start()
+    for w in workers:
+        w.join()  # offline harness: waiting without bound is fine here
+    done.wait()

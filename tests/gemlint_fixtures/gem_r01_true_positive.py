@@ -1,0 +1,19 @@
+# gemlint-fixture: module=repro.serve.fake_queue
+# gemlint-fixture: expect=GEM-R01:3
+"""True positives: unbounded blocking waits inside the serving layer."""
+import threading
+
+
+class Funnel:
+    def __init__(self):
+        self.done = threading.Event()
+        self.cond = threading.Condition()
+
+    def collect(self, ticket):
+        self.done.wait()  # bare Event.wait: stranded if the batch wedges
+        return ticket.result()  # bare result: no deadline can release it
+
+    def drain(self):
+        with self.cond:
+            # timeout=None is the unbounded wait, spelled out.
+            self.cond.wait(timeout=None)

@@ -22,7 +22,15 @@ from repro.analysis import analyze_source, rule_registry
 FIXTURE_DIR = Path(__file__).parent / "gemlint_fixtures"
 _DIRECTIVE_RE = re.compile(r"#\s*gemlint-fixture:\s*(\w+)=(\S+)")
 
-RULE_FAMILIES = ("GEM-D01", "GEM-D02", "GEM-C01", "GEM-C02", "GEM-L01", "GEM-F01")
+RULE_FAMILIES = (
+    "GEM-D01",
+    "GEM-D02",
+    "GEM-C01",
+    "GEM-C02",
+    "GEM-L01",
+    "GEM-F01",
+    "GEM-R01",
+)
 
 
 def _fixtures() -> list[Path]:

@@ -519,7 +519,7 @@ class TestPersistence:
         config = json.loads(bytes(payload["config_json"]).decode())
         config["schema_version"] = 999
         payload["config_json"] = np.frombuffer(json.dumps(config).encode(), dtype=np.uint8)
-        np.savez(tmp_path / "bad.npz", **payload)
+        np.savez(tmp_path / "bad.npz", **_resign(payload))
         with pytest.raises(ValueError, match="schema version"):
             load_index(tmp_path / "bad.npz")
 
@@ -528,6 +528,20 @@ def _separable(rng, n=120, d=8, n_centers=4):
     """Well-separated clusters: rankings are dtype- and backend-stable."""
     centers = rng.normal(size=(n_centers, d)) * 4.0
     return centers[rng.integers(0, n_centers, n)] + rng.normal(size=(n, d)) * 0.05
+
+
+def _resign(payload):
+    """Recompute a tampered archive's content checksum.
+
+    The consistency guards under test must fire on *checksum-valid*
+    archives — a stale checksum would trip CorruptArchiveError first and
+    mask them.
+    """
+    from repro.core.persistence import archive_checksum, json_to_array
+
+    payload.pop("__checksum__", None)
+    payload["__checksum__"] = json_to_array(archive_checksum(payload))
+    return payload
 
 
 def _tamper_config(src, dst, **overrides):
@@ -540,7 +554,7 @@ def _tamper_config(src, dst, **overrides):
     payload["config_json"] = np.frombuffer(
         json.dumps(config).encode(), dtype=np.uint8
     )
-    np.savez(dst, **payload)
+    np.savez(dst, **_resign(payload))
 
 
 class TestFloat32Mode:
@@ -700,13 +714,13 @@ class TestPQBackend:
         save_index(index, tmp_path / "pq.npz")
         payload = dict(np.load(tmp_path / "pq.npz"))
         del payload["pq_codebooks"]
-        np.savez(tmp_path / "bad.npz", **payload)
+        np.savez(tmp_path / "bad.npz", **_resign(payload))
         with pytest.raises(ValueError, match="codebooks"):
             load_index(tmp_path / "bad.npz")
         # And a dtype drift between codebooks and config is refused too.
         payload = dict(np.load(tmp_path / "pq.npz"))
         payload["pq_codebooks"] = payload["pq_codebooks"].astype(np.float32)
-        np.savez(tmp_path / "bad2.npz", **payload)
+        np.savez(tmp_path / "bad2.npz", **_resign(payload))
         with pytest.raises(ValueError, match="cast"):
             load_index(tmp_path / "bad2.npz")
 
