@@ -7,16 +7,34 @@ in retrieval, lock-guarded shared state and copy-on-write snapshot buffers
 in :mod:`repro.serve`, and the core → index → serve layering. This package
 encodes those invariants as machine-checked rules:
 
-* a visitor/rule-registry **engine** (:mod:`repro.analysis.engine`) that
-  parses each file once and dispatches AST nodes to every registered rule;
-* **rules** (:mod:`repro.analysis.rules`) — the GEM-* families documented
-  in the README's rule catalog;
+Analysis runs in **two stages**:
+
+* the per-file stage — a visitor/rule-registry **engine**
+  (:mod:`repro.analysis.engine`) parses each file once and dispatches AST
+  nodes to every registered :class:`Rule` (:mod:`repro.analysis.rules`,
+  the GEM-* families in the README's rule catalog); embarrassingly
+  parallel (``--jobs N``), restrictable to changed files (``--since``);
+* the project-graph stage — :mod:`repro.analysis.graph` builds the module
+  import graph, symbol table and conservative call graph over the whole
+  project, and :mod:`repro.analysis.flow` runs the cross-module,
+  flow-sensitive :class:`ProjectRule` families on it: GEM-C03 lock-order
+  inversion, GEM-C04 blocking-call-under-lock, GEM-R02
+  deadline-propagation, GEM-R03 resource leaks. Graph findings carry a
+  cross-file witness ``trace``.
+
+Shared machinery spans both stages:
+
 * inline suppression via ``# gemlint: disable=GEM-XXX(reason)`` pragmas —
-  the reason is mandatory, a bare pragma suppresses nothing;
+  the reason is mandatory, a bare pragma suppresses nothing; pragmas for
+  graph rules are honored by the project stage;
 * a reviewed **baseline** (:mod:`repro.analysis.baseline`) for findings
   that predate a rule, each entry carrying a written justification;
 * a CLI (``python -m repro.analysis``) with ``--format github`` for CI
-  annotation, wired into the lint job as a gate.
+  annotation and ``--format sarif`` for SARIF 2.1.0 consumers, wired
+  into the lint job as a gate;
+* an opt-in runtime counterpart, **gemsan**
+  (:mod:`repro.analysis.sanitizer`): a lock-order recorder whose dynamic
+  acquisition graph is cross-checked against GEM-C03's static one.
 
 The package is deliberately stdlib-only (``ast``, ``json``, ``argparse``)
 and touches nothing at runtime: importing :mod:`repro` never imports it,
@@ -26,13 +44,18 @@ and it never imports numpy.
 from repro.analysis.baseline import Baseline, BaselineError, load_baseline, write_baseline
 from repro.analysis.engine import (
     Finding,
+    ProjectRule,
     Rule,
+    all_project_rules,
     all_rules,
     analyze_file,
     analyze_paths,
+    analyze_project,
+    analyze_project_sources,
     analyze_source,
     iter_python_files,
     module_name_for,
+    project_rule_registry,
     rule_registry,
 )
 
@@ -40,14 +63,19 @@ __all__ = [
     "Baseline",
     "BaselineError",
     "Finding",
+    "ProjectRule",
     "Rule",
+    "all_project_rules",
     "all_rules",
     "analyze_file",
     "analyze_paths",
+    "analyze_project",
+    "analyze_project_sources",
     "analyze_source",
     "iter_python_files",
     "load_baseline",
     "module_name_for",
+    "project_rule_registry",
     "rule_registry",
     "write_baseline",
 ]

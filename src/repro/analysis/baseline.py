@@ -132,10 +132,34 @@ def write_baseline(findings: Sequence[Finding], path: Path) -> int:
     return len(entries)
 
 
+def write_entries(entries: Sequence[BaselineEntry], path: Path) -> int:
+    """Rewrite a baseline from already-reviewed entries (justifications kept).
+
+    This is the ``--prune-stale`` writer: unlike :func:`write_baseline` it
+    preserves each entry's justification, so rewriting the file minus its
+    stale entries does not force a fresh review of the survivors.
+    """
+    payload = {
+        "version": _VERSION,
+        "entries": [
+            {
+                "rule": entry.rule,
+                "path": entry.path,
+                "code": entry.code,
+                "justification": entry.justification,
+            }
+            for entry in entries
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return len(entries)
+
+
 __all__ = [
     "Baseline",
     "BaselineEntry",
     "BaselineError",
     "load_baseline",
     "write_baseline",
+    "write_entries",
 ]

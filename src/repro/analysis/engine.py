@@ -1,16 +1,30 @@
-"""The gemlint engine: one AST walk per file, rules as registered visitors.
+"""The gemlint engine: per-file AST walks, then a whole-project graph pass.
 
-A :class:`Rule` declares the node types it wants (``node_types``) and
-yields :class:`Finding` objects from :meth:`Rule.visit_node`; the engine
-parses each file once and dispatches every node to every interested rule,
-so adding a rule never adds a parse or a walk.
+Analysis runs in two stages:
+
+* **per-file** — a :class:`Rule` declares the node types it wants
+  (``node_types``) and yields :class:`Finding` objects from
+  :meth:`Rule.visit_node`; the engine parses each file once and
+  dispatches every node to every interested rule, so adding a rule never
+  adds a parse or a walk. This stage is embarrassingly parallel
+  (``jobs`` in :func:`analyze_project`).
+* **project graph** — a :class:`ProjectRule` receives one
+  :class:`~repro.analysis.graph.ProjectGraph` built over *all* analyzed
+  files (import graph, symbol tables, call graph) and checks
+  cross-module, flow-sensitive contracts: lock-order inversion, blocking
+  calls under locks, deadline propagation, resource leaks. Graph
+  findings may carry a cross-file witness ``trace``. This stage always
+  runs whole-project (a changed-files subset cannot see the other half
+  of a cross-module hazard) and is serial.
 
 Suppression is explicit and justified. A finding on line *L* is suppressed
 iff line *L* carries ``# gemlint: disable=<RULE>(<reason>)`` for its rule
 id **with a non-empty reason** — a bare ``disable=GEM-D01`` suppresses
 nothing and is itself reported (:data:`PRAGMA_RULE_ID`), and a pragma that
 suppresses no finding is reported as stale (:data:`UNUSED_PRAGMA_RULE_ID`)
-so suppressions cannot outlive the code they excused.
+so suppressions cannot outlive the code they excused. Pragmas naming a
+project rule are applied by the project stage (against the finding's
+anchor line), never counted stale by the per-file stage.
 """
 
 from __future__ import annotations
@@ -19,9 +33,12 @@ import ast
 import io
 import re
 import tokenize
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Collection, Iterable, Iterator, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (graph imports engine)
+    from repro.analysis.graph import ProjectGraph
 
 #: Engine-level meta rules (reported like rule findings, baselinable).
 PRAGMA_RULE_ID = "GEM-P00"  # malformed pragma / missing reason
@@ -46,6 +63,11 @@ class Finding:
     col: int
     message: str
     code: str = ""
+    #: Optional cross-file witness trace (graph rules): each entry is one
+    #: ``path:line: note`` hop explaining *how* the violation is reached.
+    #: Not part of the baseline key — a witness path may shift with
+    #: unrelated refactors while the violation itself is unchanged.
+    trace: tuple[str, ...] = field(default=())
 
     @property
     def key(self) -> tuple[str, str, str]:
@@ -53,11 +75,17 @@ class Finding:
         return (self.rule, self.path, self.code)
 
     def render(self) -> str:
-        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+        head = f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+        if self.trace:
+            head += "".join(f"\n    trace: {hop}" for hop in self.trace)
+        return head
 
     def render_github(self) -> str:
         """GitHub Actions workflow-command annotation line."""
-        message = self.message.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+        text = self.message
+        if self.trace:
+            text += "".join(f"\ntrace: {hop}" for hop in self.trace)
+        message = text.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
         return (
             f"::error file={self.path},line={self.line},col={self.col},"
             f"title=gemlint {self.rule}::{message}"
@@ -141,6 +169,55 @@ def rule_registry() -> dict[str, Rule]:
 def all_rules() -> list[Rule]:
     """Registered rules in id order."""
     return [rule for _, rule in sorted(rule_registry().items())]
+
+
+class ProjectRule:
+    """Base class for project-graph (second stage) rules.
+
+    Subclasses set the same descriptive class attributes as :class:`Rule`
+    and implement :meth:`check`, which receives the whole-project
+    :class:`~repro.analysis.graph.ProjectGraph` once per run and yields
+    findings (typically carrying a cross-file witness ``trace``).
+    Project rules always see the whole project: the hazards they exist
+    for — a lock-order inversion, a dropped deadline — live *between*
+    files, so there is no meaningful per-file or changed-files subset.
+    """
+
+    id: str = ""
+    name: str = ""
+    invariant: str = ""
+    motivation: str = ""
+
+    def check(self, project: "ProjectGraph") -> Iterator[Finding]:
+        """Called once per run with the built project graph."""
+        return iter(())
+
+
+_PROJECT_REGISTRY: dict[str, ProjectRule] = {}
+
+
+def register_project(cls: type[ProjectRule]) -> type[ProjectRule]:
+    """Class decorator adding one instance of ``cls`` to the project registry."""
+    rule = cls()
+    if not rule.id:
+        raise ValueError(f"project rule {cls.__name__} has no id")
+    if rule.id in _PROJECT_REGISTRY or rule.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.id}")
+    _PROJECT_REGISTRY[rule.id] = rule
+    return cls
+
+
+def project_rule_registry() -> dict[str, ProjectRule]:
+    """The registered project rules, keyed by id (imported lazily)."""
+    # Importing the flow module triggers its @register_project decorators.
+    from repro.analysis import flow  # noqa: F401  (import-for-effect)
+
+    return dict(_PROJECT_REGISTRY)
+
+
+def all_project_rules() -> list[ProjectRule]:
+    """Registered project rules in id order."""
+    return [rule for _, rule in sorted(project_rule_registry().items())]
 
 
 class _Dispatcher(ast.NodeVisitor):
@@ -239,9 +316,20 @@ def _parse_pragmas(ctx: FileContext) -> tuple[list[_Pragma], list[Finding]]:
 
 
 def _apply_pragmas(
-    findings: list[Finding], pragmas: list[_Pragma], ctx: FileContext
+    findings: list[Finding],
+    pragmas: list[_Pragma],
+    ctx: FileContext,
+    *,
+    defer: Collection[str] = (),
 ) -> list[Finding]:
-    """Drop findings excused by a justified same-line pragma."""
+    """Drop findings excused by a justified same-line pragma.
+
+    Pragmas naming a rule in ``defer`` (the project-rule ids, during the
+    per-file stage) are left alone entirely: they are applied — and
+    staleness-checked — by the stage that owns those rules.
+    """
+    if defer:
+        pragmas = [p for p in pragmas if p.rule not in defer]
     by_line: dict[tuple[int, str], _Pragma] = {(p.line, p.rule): p for p in pragmas}
     kept: list[Finding] = []
     for finding in findings:
@@ -340,7 +428,7 @@ def analyze_source(
     dispatcher.visit(tree)
     findings.extend(dispatcher.findings)
     pragmas, pragma_defects = _parse_pragmas(ctx)
-    findings = _apply_pragmas(findings, pragmas, ctx)
+    findings = _apply_pragmas(findings, pragmas, ctx, defer=project_rule_registry())
     findings.extend(pragma_defects)
     findings.sort(key=lambda f: (f.line, f.col, f.rule))
     return findings
@@ -392,5 +480,149 @@ def analyze_paths(
     findings: list[Finding] = []
     for file in iter_python_files(paths):
         findings.extend(analyze_file(file, root=root, rules=rules))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Two-stage analysis: parallel per-file dispatch, then the project graph.
+
+
+def _display_path(path: Path, root: Path | None) -> str:
+    if root is not None:
+        try:
+            return path.relative_to(root).as_posix()
+        except ValueError:
+            pass
+    return path.as_posix()
+
+
+def _analysis_worker(task: tuple[str, str | None, tuple[str, ...] | None]) -> list[Finding]:
+    """Process-pool worker for the per-file stage.
+
+    Takes only picklable primitives (path, root, selected rule ids) and
+    returns plain findings; the worker re-resolves rule instances from
+    the registry so no AST or rule object ever crosses the pipe.
+    """
+    path_str, root_str, rule_ids = task
+    rules = None
+    if rule_ids is not None:
+        registry = rule_registry()
+        rules = [registry[rid] for rid in rule_ids if rid in registry]
+    root = Path(root_str) if root_str is not None else None
+    return analyze_file(Path(path_str), root=root, rules=rules)
+
+
+def _project_units(
+    paths: Sequence[Path], root: Path | None
+) -> list[tuple[str, str, str, bool]]:
+    """(source, display path, module, is_package) for every project file.
+
+    Files that do not read or parse are skipped here — the per-file stage
+    reports unreadable/unparseable files (GEM-E00); the graph stage just
+    cannot include them.
+    """
+    units: list[tuple[str, str, str, bool]] = []
+    for file in iter_python_files(paths):
+        try:
+            source = file.read_text(encoding="utf-8")
+            ast.parse(source)
+        except (OSError, SyntaxError):
+            continue
+        module, is_package = module_name_for(file)
+        units.append((source, _display_path(file, root), module, is_package))
+    return units
+
+
+def _run_project_stage(
+    units: Sequence[tuple[str, str, str, bool]],
+    project_rules: Sequence[ProjectRule] | None = None,
+    *,
+    report_pragma_defects: bool = False,
+) -> list[Finding]:
+    """Build the project graph, run project rules, apply graph pragmas."""
+    from repro.analysis.graph import build_project
+
+    active = list(project_rules) if project_rules is not None else all_project_rules()
+    project_ids = {rule.id for rule in active} | set(project_rule_registry())
+    project = build_project(units)
+    findings: list[Finding] = []
+    for rule in active:
+        findings.extend(rule.check(project))
+    for source, display, module, is_package in units:
+        ctx = FileContext(
+            path=display,
+            module=module,
+            is_package=is_package,
+            source=source,
+            # Pragma parsing is token-level; the tree is never consulted.
+            tree=ast.Module(body=[], type_ignores=[]),
+            lines=source.splitlines(),
+        )
+        pragmas, pragma_defects = _parse_pragmas(ctx)
+        graph_pragmas = [p for p in pragmas if p.rule in project_ids]
+        here = [f for f in findings if f.path == display]
+        elsewhere = [f for f in findings if f.path != display]
+        findings = elsewhere + _apply_pragmas(here, graph_pragmas, ctx)
+        if report_pragma_defects:
+            findings.extend(pragma_defects)
+    return findings
+
+
+def analyze_project(
+    paths: Sequence[Path],
+    *,
+    root: Path | None = None,
+    rules: Sequence[Rule] | None = None,
+    project_rules: Sequence[ProjectRule] | None = None,
+    jobs: int = 1,
+    file_subset: Sequence[Path] | None = None,
+) -> list[Finding]:
+    """Run both stages over ``paths``; the full-analysis entry point.
+
+    The per-file stage analyzes ``file_subset`` when given (``--since``
+    changed-files mode) and can fan out over ``jobs`` worker processes;
+    results are gathered in submission order and sorted, so output is
+    byte-identical to a serial run. The project-graph stage always runs
+    over *all* of ``paths`` serially — cross-module rules are meaningless
+    on a subset, and graph construction is one shared pass, not per-file
+    work worth sharding.
+    """
+    file_paths = list(iter_python_files(file_subset if file_subset is not None else paths))
+    findings: list[Finding] = []
+    if jobs > 1 and len(file_paths) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        rule_ids = tuple(r.id for r in rules) if rules is not None else None
+        tasks = [
+            (str(p), str(root) if root is not None else None, rule_ids)
+            for p in file_paths
+        ]
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            for batch in pool.map(_analysis_worker, tasks, chunksize=4):
+                findings.extend(batch)
+    else:
+        for file in file_paths:
+            findings.extend(analyze_file(file, root=root, rules=rules))
+    units = _project_units(paths, root)
+    findings.extend(_run_project_stage(units, project_rules))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def analyze_project_sources(
+    files: Sequence[tuple[str, str, str]],
+    *,
+    rules: Sequence[ProjectRule] | None = None,
+) -> list[Finding]:
+    """Run the project-graph stage over in-memory sources (test harness).
+
+    ``files`` is a sequence of ``(source, display_path, module)`` triples
+    forming one synthetic project. Unlike :func:`analyze_project` this
+    also reports pragma defects — there is no per-file stage here to
+    report them.
+    """
+    units = [(source, path, module, False) for source, path, module in files]
+    findings = _run_project_stage(units, rules, report_pragma_defects=True)
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings

@@ -11,6 +11,11 @@ groups one contract area:
 * :mod:`~repro.analysis.rules.layering` — GEM-L01 (import layering);
 * :mod:`~repro.analysis.rules.floats` — GEM-F01 (float equality);
 * :mod:`~repro.analysis.rules.resilience` — GEM-R01 (bounded waits).
+
+The cross-module project-graph rules — GEM-C03 (lock-order inversion),
+GEM-C04 (blocking call under lock), GEM-R02 (deadline propagation) and
+GEM-R03 (resource leaks) — live in :mod:`repro.analysis.flow`, not here:
+they consume the whole-project graph rather than one file's AST.
 """
 
 from repro.analysis.rules import concurrency, determinism, floats, layering, resilience

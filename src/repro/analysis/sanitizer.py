@@ -1,0 +1,282 @@
+"""gemsan: opt-in runtime lock-order sanitizer.
+
+GEM-C03 derives a *static* lock-acquisition graph; this module records
+the *dynamic* one. With ``GEMSAN=1`` in the environment the test
+harness (see ``tests/conftest.py``) patches ``threading.Lock`` and
+``threading.RLock`` so every lock created afterwards remembers its
+creation site (``path:lineno`` of the factory call) and every acquire
+records an edge from each lock the acquiring thread already holds.
+CPython's ``Condition``/``Semaphore``/``Event`` build on these factories
+at call time, so they are instrumented for free.
+
+The dump (``GEMSAN_OUT``, default ``gemsan-graph.json``) is then
+cross-checked against the static graph::
+
+    python -m repro.analysis.sanitizer --check gemsan-graph.json src
+
+The check maps each dynamic creation site onto a static ``with
+self.<attr>`` lock site by (path-suffix, line) and fails when a mapped
+dynamic edge is missing from GEM-C03's static edge set — i.e. the
+runtime observed an ordering the static pass could not see — or when
+the dynamic graph itself contains a cycle. Each tool is the other's
+regression oracle: gemsan validates that GEM-C03's graph is not
+fantasy, GEM-C03 covers the interleavings a single test run never hits.
+
+Reentrant re-acquisition (an ``RLock`` already in the thread's held
+stack) records no edge — it cannot deadlock against itself.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import traceback
+from pathlib import Path
+
+_REAL_LOCK = threading.Lock
+_REAL_RLOCK = threading.RLock
+
+_SKIP_FRAGMENTS = ("threading.py", "sanitizer.py")
+
+Site = tuple[str, int]
+
+
+def _creation_site() -> Site:
+    """First stack frame outside threading/this module: who made the lock."""
+    for frame in reversed(traceback.extract_stack()):
+        if not any(fragment in frame.filename for fragment in _SKIP_FRAGMENTS):
+            return (frame.filename, frame.lineno or 0)
+    return ("<unknown>", 0)
+
+
+class LockOrderRecorder:
+    """Accumulates the dynamic acquisition graph across all threads."""
+
+    def __init__(self) -> None:
+        self._meta = _REAL_LOCK()
+        self._edges: dict[tuple[Site, Site], int] = {}
+        self._sites: set[Site] = set()
+        self._held = threading.local()
+
+    def _stack(self) -> list[Site]:
+        stack = getattr(self._held, "stack", None)
+        if stack is None:
+            stack = self._held.stack = []
+        return stack
+
+    def note_created(self, site: Site) -> None:
+        with self._meta:
+            self._sites.add(site)
+
+    def note_acquired(self, site: Site) -> None:
+        stack = self._stack()
+        if site not in stack:  # reentrant re-acquire: no ordering edge
+            with self._meta:
+                for held in stack:
+                    if held != site:
+                        key = (held, site)
+                        self._edges[key] = self._edges.get(key, 0) + 1
+        stack.append(site)
+
+    def note_released(self, site: Site) -> None:
+        stack = self._stack()
+        # Remove the most recent occurrence; out-of-order releases exist
+        # (condition-variable internals) and must not corrupt the stack.
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] == site:
+                del stack[i]
+                break
+
+    def snapshot(self) -> dict[str, object]:
+        with self._meta:
+            return {
+                "sites": [
+                    {"path": path, "line": line}
+                    for path, line in sorted(self._sites)
+                ],
+                "edges": [
+                    [
+                        {"path": a[0], "line": a[1]},
+                        {"path": b[0], "line": b[1]},
+                        count,
+                    ]
+                    for (a, b), count in sorted(self._edges.items())
+                ],
+            }
+
+    def dump(self, path: str | Path) -> None:
+        Path(path).write_text(
+            json.dumps(self.snapshot(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+
+class _InstrumentedLock:
+    """Wraps a real lock, reporting acquire/release to the recorder."""
+
+    def __init__(self, recorder: LockOrderRecorder, inner: object, site: Site) -> None:
+        self._gemsan_recorder = recorder
+        self._gemsan_inner = inner
+        self._gemsan_site = site
+        recorder.note_created(site)
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        got = self._gemsan_inner.acquire(blocking, timeout)  # type: ignore[attr-defined]
+        if got:
+            self._gemsan_recorder.note_acquired(self._gemsan_site)
+        return got
+
+    def release(self) -> None:
+        self._gemsan_inner.release()  # type: ignore[attr-defined]
+        self._gemsan_recorder.note_released(self._gemsan_site)
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def locked(self) -> bool:
+        return self._gemsan_inner.locked()  # type: ignore[attr-defined]
+
+    def __getattr__(self, name: str):
+        # Condition() pokes _is_owned/_release_save/_acquire_restore on
+        # RLocks; delegate anything we do not override to the real lock.
+        return getattr(self._gemsan_inner, name)
+
+
+_active: dict[str, object] = {}
+
+
+def install(recorder: LockOrderRecorder) -> None:
+    """Patch ``threading.Lock``/``RLock`` to record into ``recorder``."""
+    if _active:
+        raise RuntimeError("gemsan already installed")
+
+    def make_lock() -> _InstrumentedLock:
+        return _InstrumentedLock(recorder, _REAL_LOCK(), _creation_site())
+
+    def make_rlock() -> _InstrumentedLock:
+        return _InstrumentedLock(recorder, _REAL_RLOCK(), _creation_site())
+
+    _active["recorder"] = recorder
+    threading.Lock = make_lock  # type: ignore[assignment]
+    threading.RLock = make_rlock  # type: ignore[assignment]
+
+
+def uninstall() -> None:
+    """Restore the real factories (locks already created keep recording)."""
+    threading.Lock = _REAL_LOCK  # type: ignore[assignment]
+    threading.RLock = _REAL_RLOCK  # type: ignore[assignment]
+    _active.clear()
+
+
+def active_recorder() -> LockOrderRecorder | None:
+    recorder = _active.get("recorder")
+    return recorder if isinstance(recorder, LockOrderRecorder) else None
+
+
+# --------------------------------------------------------------------- check
+
+
+def _map_site(
+    dynamic: Site, static_sites: dict[Site, tuple[str, str, str]]
+) -> tuple[str, str, str] | None:
+    """Join a runtime creation site onto a static lock site.
+
+    Static paths are repo-relative; runtime paths are absolute — match on
+    (path suffix, exact line). Unmapped sites (locks created by tests,
+    the stdlib, or non-``self.<attr>`` assignments) are dropped: the
+    static graph makes no claim about them.
+    """
+    dyn_path, dyn_line = dynamic
+    normalized = dyn_path.replace("\\", "/")
+    for (static_path, static_line), lock in static_sites.items():
+        if static_line == dyn_line and normalized.endswith(static_path):
+            return lock
+    return None
+
+
+def check_dump(
+    dump: dict[str, object], paths: list[Path], root: Path | None = None
+) -> list[str]:
+    """Problems found cross-checking a gemsan dump against the static graph."""
+    from repro.analysis.engine import _project_units
+    from repro.analysis.flow import build_lock_graph
+    from repro.analysis.graph import build_project
+
+    units = _project_units(paths, root)
+    project = build_project(units)
+    static_sites, static_edges = build_lock_graph(project)
+
+    problems: list[str] = []
+    mapped_edges: dict[tuple[tuple[str, str, str], tuple[str, str, str]], int] = {}
+    for entry in dump.get("edges", []):  # type: ignore[union-attr]
+        a, b = entry[0], entry[1]
+        count = int(entry[2]) if len(entry) > 2 else 1
+        lock_a = _map_site((a["path"], int(a["line"])), static_sites)
+        lock_b = _map_site((b["path"], int(b["line"])), static_sites)
+        if lock_a is None or lock_b is None or lock_a == lock_b:
+            continue
+        mapped_edges[(lock_a, lock_b)] = mapped_edges.get((lock_a, lock_b), 0) + count
+        if (lock_a, lock_b) not in static_edges:
+            problems.append(
+                "dynamic edge not in static graph: "
+                f"{'.'.join(lock_a)} -> {'.'.join(lock_b)} "
+                f"(observed {count}x at runtime; GEM-C03 cannot see this "
+                "ordering — extend the call-graph resolution or the rule)"
+            )
+    # A cycle among mapped dynamic edges means a real runtime inversion.
+    for (a, b) in sorted(mapped_edges):
+        if (b, a) in mapped_edges:
+            key = tuple(sorted(['.'.join(a), '.'.join(b)]))
+            msg = (
+                f"dynamic lock-order inversion observed: {key[0]} and "
+                f"{key[1]} acquired in both orders at runtime"
+            )
+            if msg not in problems:
+                problems.append(msg)
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.sanitizer",
+        description="Cross-check a gemsan dump against GEM-C03's static graph.",
+    )
+    parser.add_argument("--check", required=True, metavar="DUMP", help="gemsan JSON dump")
+    parser.add_argument("paths", nargs="+", help="source roots for the static graph")
+    args = parser.parse_args(argv)
+
+    dump = json.loads(Path(args.check).read_text(encoding="utf-8"))
+    roots = [Path(p) for p in args.paths]
+    files: list[Path] = []
+    for path_root in roots:
+        files.extend(sorted(path_root.rglob("*.py")) if path_root.is_dir() else [path_root])
+    root = roots[0] if len(roots) == 1 and roots[0].is_dir() else None
+    problems = check_dump(dump, files, root)
+    edges = len(dump.get("edges", []))
+    if problems:
+        for problem in problems:
+            print(problem)
+        return 1
+    print(
+        f"gemsan: {edges} dynamic edge(s), all mapped edges covered by the "
+        "static GEM-C03 graph"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
+
+
+__all__ = [
+    "LockOrderRecorder",
+    "active_recorder",
+    "check_dump",
+    "install",
+    "uninstall",
+]

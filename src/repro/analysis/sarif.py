@@ -1,0 +1,142 @@
+"""SARIF 2.1.0 output for gemlint (``--format sarif``).
+
+SARIF (Static Analysis Results Interchange Format) is the OASIS schema
+GitHub code scanning and most SAST dashboards ingest. The emitter stays
+deliberately minimal — one ``run``, the rule catalog as
+``tool.driver.rules``, one ``result`` per finding — and encodes gemlint
+specifics losslessly:
+
+* a finding's cross-file witness trace becomes the result's
+  ``codeFlows`` (one thread flow, one location per hop), so a viewer can
+  step the lock-order or blocking-call chain across modules;
+* stale baseline entries become results of the synthetic rule
+  ``GEM-B00`` anchored at the baseline file, so a SARIF-only consumer
+  still sees the gate's full verdict.
+
+The structure is validated against the SARIF 2.1.0 schema's required
+properties in ``tests/test_analysis_cli.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Sequence
+
+from repro.analysis.baseline import BaselineEntry
+from repro.analysis.engine import Finding, Rule
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+_TRACE_SITE_RE = re.compile(r"^(?P<path>[^:]+):(?P<line>\d+): (?P<text>.*)$")
+
+
+def _location(path: str, line: int, message: str | None = None) -> dict[str, object]:
+    location: dict[str, object] = {
+        "physicalLocation": {
+            "artifactLocation": {"uri": path},
+            "region": {"startLine": max(line, 1)},
+        }
+    }
+    if message is not None:
+        location["message"] = {"text": message}
+    return location
+
+
+def _code_flow(trace: Sequence[str]) -> dict[str, object]:
+    """A finding's witness trace as one SARIF thread flow."""
+    locations = []
+    for hop in trace:
+        match = _TRACE_SITE_RE.match(hop)
+        if match:
+            locations.append(
+                {
+                    "location": _location(
+                        match.group("path"), int(match.group("line")), match.group("text")
+                    )
+                }
+            )
+        else:  # section headers like "order A -> B:" carry no site
+            locations.append({"location": {"message": {"text": hop}}})
+    return {"threadFlows": [{"locations": locations}]}
+
+
+def render_sarif(
+    findings: Sequence[Finding],
+    stale: Sequence[BaselineEntry],
+    rules: Sequence[Rule],
+    baseline_path: str,
+) -> dict[str, object]:
+    """The full SARIF log object for one gemlint run."""
+    rule_meta = [
+        {
+            "id": rule.id,
+            "name": rule.name,
+            "shortDescription": {"text": rule.invariant},
+            "help": {"text": f"motivated by: {rule.motivation}"},
+        }
+        for rule in rules
+    ]
+    rule_meta.append(
+        {
+            "id": "GEM-B00",
+            "name": "stale-baseline-entry",
+            "shortDescription": {
+                "text": "every baseline entry still excuses a live finding"
+            },
+            "help": {"text": "delete stale entries or run --prune-stale"},
+        }
+    )
+    results: list[dict[str, object]] = []
+    for finding in findings:
+        result: dict[str, object] = {
+            "ruleId": finding.rule,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [_location(finding.path, finding.line)],
+        }
+        if finding.trace:
+            result["codeFlows"] = [_code_flow(finding.trace)]
+        results.append(result)
+    for entry in stale:
+        results.append(
+            {
+                "ruleId": "GEM-B00",
+                "level": "error",
+                "message": {
+                    "text": f"stale baseline entry (no matching finding): {entry.render()}"
+                },
+                "locations": [_location(baseline_path, 1)],
+            }
+        )
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "gemlint",
+                        "informationUri": "https://example.invalid/gemlint",
+                        "rules": rule_meta,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def dump_sarif(
+    findings: Sequence[Finding],
+    stale: Sequence[BaselineEntry],
+    rules: Sequence[Rule],
+    baseline_path: str,
+) -> str:
+    return json.dumps(
+        render_sarif(findings, stale, rules, baseline_path), indent=2, sort_keys=True
+    )
+
+
+__all__ = ["SARIF_SCHEMA", "SARIF_VERSION", "dump_sarif", "render_sarif"]

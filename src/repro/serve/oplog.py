@@ -93,17 +93,49 @@ class GemOpLog:
     """Append-only, checksum-framed log of applied write batches.
 
     One instance is owned by a :class:`~repro.serve.GemService` and
-    appended from its single write-applier thread; ``replay`` reads from
-    disk independently (it is how a *new* process recovers the previous
-    one's writes). All methods are thread-safe regardless.
+    appended from its single write-applier thread — ``append`` and
+    ``truncate`` assume that single-writer contract and are NOT safe to
+    call concurrently with each other. ``close`` may race the writer from
+    any thread (shutdown paths do): the handle is reference-counted, so a
+    close that lands mid-append defers until the in-flight write's fsync
+    completes. ``replay`` reads from disk independently (it is how a
+    *new* process recovers the previous one's writes).
+
+    The internal lock guards only the handle bookkeeping; the actual
+    write/flush/fsync — and the ``oplog.append`` fault hook, which a
+    fault plan may turn into an arbitrary delay — happen *outside* it
+    (gemlint GEM-C04: an fsync under a lock stalls every contender).
     """
 
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
         self._lock = threading.Lock()
         self._fh = None
+        self._writers = 0
+        self._close_pending = False
 
     # -------------------------------------------------------------- writing
+
+    def _checkout(self):
+        """Open (if needed) and pin the handle for one write."""
+        with self._lock:
+            if self._close_pending:
+                raise ValueError("oplog is closing")
+            if self._fh is None:
+                self._fh = open(self.path, "ab")
+            self._writers += 1
+            return self._fh
+
+    def _checkin(self) -> None:
+        """Unpin the handle; perform a deferred close when last out."""
+        to_close = None
+        with self._lock:
+            self._writers -= 1
+            if self._close_pending and self._writers == 0:
+                to_close, self._fh = self._fh, None
+                self._close_pending = False
+        if to_close is not None:
+            to_close.close()
 
     def append(self, ops: list[WriteOp]) -> None:
         """Durably record one applied batch (no-op for an empty batch).
@@ -116,28 +148,36 @@ class GemOpLog:
             return
         body = json.dumps({"ops": [_encode_op(op) for op in ops]}).encode("utf-8")
         frame = _LEN.pack(len(body)) + _digest(body) + body
-        with self._lock:
-            if self._fh is None:
-                self._fh = open(self.path, "ab")
+        fh = self._checkout()
+        try:
             fault_point("oplog.append")
-            self._fh.write(frame)
-            self._fh.flush()
-            os.fsync(self._fh.fileno())
+            fh.write(frame)
+            fh.flush()
+            os.fsync(fh.fileno())
+        finally:
+            self._checkin()
 
     def truncate(self) -> None:
         """Drop every record: a checkpoint made the log redundant."""
-        with self._lock:
-            if self._fh is None:
-                self._fh = open(self.path, "ab")
-            self._fh.truncate(0)
-            self._fh.flush()
-            os.fsync(self._fh.fileno())
+        fh = self._checkout()
+        try:
+            fh.truncate(0)
+            fh.flush()
+            os.fsync(fh.fileno())
+        finally:
+            self._checkin()
 
     def close(self) -> None:
+        """Close the handle; defers until any in-flight write completes."""
+        to_close = None
         with self._lock:
             if self._fh is not None:
-                self._fh.close()
-                self._fh = None
+                if self._writers:
+                    self._close_pending = True
+                else:
+                    to_close, self._fh = self._fh, None
+        if to_close is not None:
+            to_close.close()
 
     def __enter__(self) -> "GemOpLog":
         return self

@@ -1,0 +1,33 @@
+# gemlint-fixture: module=repro.fake.ordered
+# gemlint-fixture: expect=GEM-C03:0
+"""Near miss: the same pair of locks nested on two code paths — one of
+them through a call — but always in the same global order, so the
+acquisition graph is acyclic."""
+import threading
+
+
+class Ordered:
+    def __init__(self):
+        self._outer = threading.Lock()
+        self._inner = threading.RLock()
+        self.state = 0
+
+    def direct(self):
+        with self._outer:
+            with self._inner:
+                self.state += 1
+
+    def indirect(self):
+        # outer -> inner again, via a callee: same direction, no cycle.
+        with self._outer:
+            self._bump()
+
+    def _bump(self):
+        with self._inner:
+            self.state += 1
+
+    def reentrant(self):
+        # Re-acquiring a lock already held is not an ordering edge.
+        with self._inner:
+            with self._inner:
+                self.state += 1

@@ -1,0 +1,22 @@
+# gemlint-fixture: module=repro.fake.inverted
+# gemlint-fixture: expect=GEM-C03:1
+"""True positive: two methods take the same pair of locks in opposite
+orders — the classic AB/BA deadlock, one finding for the cycle."""
+import threading
+
+
+class Inverted:
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+        self.items = []
+
+    def ab(self):
+        with self._a:
+            with self._b:
+                self.items.append("ab")
+
+    def ba(self):
+        with self._b:
+            with self._a:
+                self.items.append("ba")

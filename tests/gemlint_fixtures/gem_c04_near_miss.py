@@ -1,0 +1,33 @@
+# gemlint-fixture: module=repro.fake.hoisted
+# gemlint-fixture: expect=GEM-C04:0
+"""Near misses: str/os.path ``join`` (positional arguments) under a
+lock, and genuinely blocking calls correctly hoisted outside it."""
+import os
+import threading
+
+
+class Hoisted:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._parts = []
+
+    def merged(self):
+        with self._lock:
+            # str.join takes a positional argument: not a thread join.
+            return ", ".join(self._parts)
+
+    def spill_path(self, base):
+        with self._lock:
+            return os.path.join(base, "spill.bin")
+
+    def flush(self, fh):
+        with self._lock:
+            frame = b"".join(self._parts)
+        # Blocking I/O happens after the lock is released.
+        fh.write(frame)
+        os.fsync(fh.fileno())
+
+    def wait_applied(self, ticket):
+        with self._lock:
+            self._parts.clear()
+        return ticket.result(timeout=1.0)  # outside the critical section

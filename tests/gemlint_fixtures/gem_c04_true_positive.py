@@ -1,0 +1,25 @@
+# gemlint-fixture: module=repro.fake.blockinglog
+# gemlint-fixture: expect=GEM-C04:2
+"""True positives: an fsync directly inside a lock region, and a call
+that transitively reaches ``.result()`` while the lock is held."""
+import os
+import threading
+
+
+class BlockingLog:
+    def __init__(self, fh):
+        self._lock = threading.Lock()
+        self._fh = fh
+
+    def append(self, frame):
+        with self._lock:
+            self._fh.write(frame)
+            os.fsync(self._fh.fileno())  # blocking I/O under the lock
+
+    def wait_applied(self, ticket):
+        with self._lock:
+            # Transitive: _settle blocks on another thread's progress.
+            return self._settle(ticket)
+
+    def _settle(self, ticket):
+        return ticket.result(timeout=1.0)

@@ -1,0 +1,36 @@
+# gemlint-fixture: module=repro.serve.fakeforward
+# gemlint-fixture: expect=GEM-R02:0
+"""Near misses: every deadline-accepting hop forwards a value derived
+from its own budget — positionally, by keyword, via a derived local, or
+via an attribute seeded from the constructor's deadline."""
+
+
+def by_position(query, deadline_ms):
+    return _hop(query, deadline_ms)
+
+
+def by_keyword(query, deadline_ms):
+    return _hop(query, deadline_ms=deadline_ms)
+
+
+def derived(query, deadline_ms):
+    remaining = deadline_ms - 5.0  # own budget minus this hop's cost
+    return _hop(query, remaining)
+
+
+def no_budget(query):
+    # Not in scope: this function accepts no deadline to forward.
+    return _hop(query)
+
+
+class Router:
+    def __init__(self, deadline_ms):
+        self._budget_ms = float(deadline_ms)
+
+    def route(self, query, deadline_ms=None):
+        # Forwards the constructor-derived budget attribute.
+        return _hop(query, self._budget_ms)
+
+
+def _hop(query, deadline_ms=None):
+    return query

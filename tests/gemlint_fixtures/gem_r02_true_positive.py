@@ -1,0 +1,13 @@
+# gemlint-fixture: module=repro.serve.fakehop
+# gemlint-fixture: expect=GEM-R02:1
+"""True positive: a serve-layer hop accepts a deadline but calls a
+deadline-aware callee without forwarding it — the budget is dropped."""
+
+
+def lookup(query, deadline_ms):
+    candidates = _expand(query)  # _expand accepts deadline_ms: dropped here
+    return candidates[:10]
+
+
+def _expand(query, deadline_ms=None):
+    return [query]

@@ -1,0 +1,40 @@
+# gemlint-fixture: module=repro.fake.tidy
+# gemlint-fixture: expect=GEM-R03:0
+"""Near misses: the sanctioned ownership idioms — ``with``, try/finally,
+immediate close, and handles that escape to a new owner."""
+from concurrent.futures import ThreadPoolExecutor
+
+
+def with_block(path):
+    with open(path) as fh:
+        return fh.read()
+
+
+def try_finally(path):
+    fh = open(path)
+    try:
+        return fh.read()
+    finally:
+        fh.close()
+
+
+def immediate(path):
+    fh = open(path)
+    fh.close()  # nothing between acquisition and close can raise
+    return path
+
+
+def returned(path):
+    fh = open(path)
+    return fh  # caller owns it now
+
+
+def handed_off(path, registry):
+    fh = open(path)
+    registry.append(fh)  # ownership transferred to the registry
+
+
+def context_managed(tasks):
+    with ThreadPoolExecutor(max_workers=2) as pool:
+        for task in tasks:
+            pool.submit(task)

@@ -1,0 +1,19 @@
+# gemlint-fixture: module=repro.fake.leaks
+# gemlint-fixture: expect=GEM-R03:2
+"""True positives: a file handle whose close an exception can skip, and
+an executor that is never shut down on any path."""
+from concurrent.futures import ThreadPoolExecutor
+
+
+def read_all(path):
+    fh = open(path)
+    data = fh.read()  # if this raises, the close below never runs
+    fh.close()
+    return data
+
+
+def run_all(tasks):
+    pool = ThreadPoolExecutor(max_workers=2)
+    for task in tasks:
+        pool.submit(task)
+    # no shutdown(): worker threads outlive every caller

@@ -1,0 +1,357 @@
+"""Project-graph stage tests: graph construction, cross-module rules,
+witness traces, graph-rule pragma/baseline semantics, and gemsan.
+
+The per-rule true-positive/near-miss behaviour lives in the fixture
+meta-test (``test_analysis_rules.py``); here we exercise what only the
+*project* view can show — hazards split across modules — plus the
+machinery around it.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.analysis import analyze_project_sources, project_rule_registry
+from repro.analysis.baseline import Baseline, BaselineEntry
+from repro.analysis.engine import UNUSED_PRAGMA_RULE_ID
+from repro.analysis.flow import build_lock_graph
+from repro.analysis.graph import build_project
+from repro.analysis import sanitizer
+
+INVERTED_A = '''\
+import threading
+
+from repro.fake import b as bmod
+
+
+class A:
+    def __init__(self):
+        self._a_lock = threading.Lock()
+        self.peer = bmod.B()
+
+    def grab(self):
+        with self._a_lock:
+            pass
+
+    def cross(self):
+        with self._a_lock:
+            self.peer.poke()
+'''
+
+INVERTED_B = '''\
+import threading
+
+from repro.fake import a as amod
+
+
+class B:
+    def __init__(self):
+        self._b_lock = threading.Lock()
+        self.head = amod.A()
+
+    def poke(self):
+        with self._b_lock:
+            pass
+
+    def reverse(self):
+        with self._b_lock:
+            self.head.grab()
+'''
+
+
+def _inverted_units():
+    return [
+        (INVERTED_A, "repro/fake/a.py", "repro.fake.a"),
+        (INVERTED_B, "repro/fake/b.py", "repro.fake.b"),
+    ]
+
+
+class TestProjectGraph:
+    def test_collects_modules_classes_and_lock_sites(self):
+        units = [(s, p, m, False) for s, p, m in _inverted_units()]
+        project = build_project(units)
+        assert set(project.modules) == {"repro.fake.a", "repro.fake.b"}
+        assert ("repro.fake.a", "A") in project.classes
+        assert "_a_lock" in project.classes[("repro.fake.a", "A")].lock_attrs
+        sites, _ = build_lock_graph(project)
+        assert ("repro.fake.a", "A", "_a_lock") in sites.values()
+        assert ("repro.fake.b", "B", "_b_lock") in sites.values()
+
+    def test_resolves_cross_module_attribute_calls(self):
+        units = [(s, p, m, False) for s, p, m in _inverted_units()]
+        project = build_project(units)
+        cross = project.functions[("repro.fake.a", "A.cross")]
+        callees = {callee.qual for _, callee in project.calls_in(cross)}
+        assert "B.poke" in callees
+
+    def test_static_edges_cross_module(self):
+        units = [(s, p, m, False) for s, p, m in _inverted_units()]
+        _, edges = build_lock_graph(build_project(units))
+        a = ("repro.fake.a", "A", "_a_lock")
+        b = ("repro.fake.b", "B", "_b_lock")
+        assert (a, b) in edges and (b, a) in edges
+
+
+class TestCrossModuleRules:
+    def test_lock_inversion_reported_once_with_both_witnesses(self):
+        findings = analyze_project_sources(
+            _inverted_units(), rules=[project_rule_registry()["GEM-C03"]]
+        )
+        hits = [f for f in findings if f.rule == "GEM-C03"]
+        assert len(hits) == 1
+        finding = hits[0]
+        trace = "\n".join(finding.trace)
+        # Both directions are witnessed, spanning both files.
+        assert trace.count("order ") == 2
+        assert "repro/fake/a.py" in trace and "repro/fake/b.py" in trace
+        assert "trace:" in finding.render()
+
+    def test_blocking_under_lock_cross_module_trace(self):
+        caller = (
+            "import threading\n"
+            "from repro.fake import sink\n\n\n"
+            "class Holder:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n\n"
+            "    def drain(self, ticket):\n"
+            "        with self._lock:\n"
+            "            return sink.settle(ticket)\n"
+        )
+        callee = "def settle(ticket):\n    return ticket.result(timeout=1.0)\n"
+        findings = analyze_project_sources(
+            [
+                (caller, "repro/fake/holder.py", "repro.fake.holder"),
+                (callee, "repro/fake/sink.py", "repro.fake.sink"),
+            ],
+            rules=[project_rule_registry()["GEM-C04"]],
+        )
+        hits = [f for f in findings if f.rule == "GEM-C04"]
+        assert len(hits) == 1
+        assert hits[0].path == "repro/fake/holder.py"
+        assert any("repro/fake/sink.py" in hop for hop in hits[0].trace)
+
+    def test_deadline_drop_cross_module(self):
+        gateway = (
+            "from repro.serve import fakehop\n\n\n"
+            "def route(query, deadline_ms):\n"
+            "    return fakehop.lookup(query)\n"
+        )
+        hop = "def lookup(query, deadline_ms=None):\n    return [query]\n"
+        findings = analyze_project_sources(
+            [
+                (gateway, "repro/serve/fakegateway.py", "repro.serve.fakegateway"),
+                (hop, "repro/serve/fakehop.py", "repro.serve.fakehop"),
+            ],
+            rules=[project_rule_registry()["GEM-R02"]],
+        )
+        hits = [f for f in findings if f.rule == "GEM-R02"]
+        assert len(hits) == 1
+        assert hits[0].path == "repro/serve/fakegateway.py"
+        assert any("fakehop.py" in hop_ for hop_ in hits[0].trace)
+
+
+ONE_FILE_INVERSION = '''\
+import threading
+
+
+class Toy:
+    def __init__(self):
+        self._a = threading.Lock(){pragma}
+        self._b = threading.Lock()
+
+    def ab(self):
+        with self._a:
+            with self._b:
+                pass
+
+    def ba(self):
+        with self._b:
+            with self._a:
+                pass
+'''
+
+
+class TestGraphPragmasAndBaseline:
+    def test_pragma_on_anchor_line_suppresses_graph_finding(self):
+        source = ONE_FILE_INVERSION.format(
+            pragma="  # gemlint: disable=GEM-C03(deliberate toy inversion)"
+        )
+        findings = analyze_project_sources(
+            [(source, "repro/fake/toy.py", "repro.fake.toy")],
+            rules=[project_rule_registry()["GEM-C03"]],
+        )
+        assert findings == []
+
+    def test_stale_graph_pragma_reports_p01(self):
+        source = (
+            "import threading\n\n\n"
+            "class Calm:\n"
+            "    def __init__(self):\n"
+            "        self._a = threading.Lock()"
+            "  # gemlint: disable=GEM-C03(nothing here inverts)\n"
+        )
+        findings = analyze_project_sources(
+            [(source, "repro/fake/calm.py", "repro.fake.calm")],
+            rules=[project_rule_registry()["GEM-C03"]],
+        )
+        assert [f.rule for f in findings] == [UNUSED_PRAGMA_RULE_ID]
+
+    def test_baseline_excuses_graph_finding_by_code_line(self):
+        source = ONE_FILE_INVERSION.format(pragma="")
+        findings = analyze_project_sources(
+            [(source, "repro/fake/toy.py", "repro.fake.toy")],
+            rules=[project_rule_registry()["GEM-C03"]],
+        )
+        assert len(findings) == 1
+        baseline = Baseline(
+            entries=[
+                BaselineEntry(
+                    rule=findings[0].rule,
+                    path=findings[0].path,
+                    code=findings[0].code,
+                    justification="toy inversion kept as a documented example",
+                )
+            ]
+        )
+        unmatched, stale = baseline.apply(findings)
+        assert unmatched == [] and stale == []
+
+
+class TestGemsan:
+    def _run_toy(self):
+        recorder = sanitizer.LockOrderRecorder()
+        sanitizer.install(recorder)
+        try:
+
+            class Toy:
+                def __init__(self):
+                    self._a = threading.Lock()
+                    self._b = threading.RLock()
+
+                def ab(self):
+                    with self._a:
+                        with self._b:
+                            pass
+
+                def ba(self):
+                    with self._b:
+                        with self._a:
+                            pass
+
+            toy = Toy()
+            toy.ab()
+            toy.ba()
+        finally:
+            sanitizer.uninstall()
+        return recorder
+
+    def test_detects_inverted_two_lock_toy(self):
+        recorder = self._run_toy()
+        snap = recorder.snapshot()
+        edges = {
+            ((a["path"], a["line"]), (b["path"], b["line"]))
+            for a, b, _count in snap["edges"]
+        }
+        assert len(edges) == 2
+        (edge_one, edge_two) = sorted(edges)
+        # The two edges are each other's reverse: a dynamic inversion.
+        assert edge_one == (edge_two[1], edge_two[0])
+
+    def test_uninstall_restores_real_factories(self):
+        self._run_toy()
+        assert threading.Lock is sanitizer._REAL_LOCK
+        assert threading.RLock is sanitizer._REAL_RLOCK
+
+    def test_reentrant_acquire_records_no_edge(self):
+        recorder = sanitizer.LockOrderRecorder()
+        sanitizer.install(recorder)
+        try:
+            lock = threading.RLock()
+            with lock:
+                with lock:
+                    pass
+        finally:
+            sanitizer.uninstall()
+        assert recorder.snapshot()["edges"] == []
+
+    def test_check_dump_flags_edge_static_graph_missed(self, tmp_path):
+        # Static project: two locks, never nested → no static edges.
+        toy = tmp_path / "toy.py"
+        toy.write_text(
+            "import threading\n\n\n"
+            "class Toy:\n"
+            "    def __init__(self):\n"
+            "        self._a = threading.Lock()\n"
+            "        self._b = threading.Lock()\n",
+            encoding="utf-8",
+        )
+        dump = {
+            "edges": [
+                [
+                    {"path": str(toy), "line": 6},
+                    {"path": str(toy), "line": 7},
+                    3,
+                ]
+            ]
+        }
+        problems = sanitizer.check_dump(dump, [toy], root=tmp_path)
+        assert problems and "not in static graph" in problems[0]
+
+    def test_check_dump_accepts_statically_known_edge(self, tmp_path):
+        toy = tmp_path / "toy.py"
+        toy.write_text(
+            "import threading\n\n\n"
+            "class Toy:\n"
+            "    def __init__(self):\n"
+            "        self._a = threading.Lock()\n"
+            "        self._b = threading.Lock()\n\n"
+            "    def nest(self):\n"
+            "        with self._a:\n"
+            "            with self._b:\n"
+            "                pass\n",
+            encoding="utf-8",
+        )
+        dump = {
+            "edges": [
+                [{"path": str(toy), "line": 6}, {"path": str(toy), "line": 7}, 1]
+            ]
+        }
+        assert sanitizer.check_dump(dump, [toy], root=tmp_path) == []
+
+    def test_check_dump_ignores_unmapped_sites(self, tmp_path):
+        toy = tmp_path / "toy.py"
+        toy.write_text("import threading\n", encoding="utf-8")
+        dump = {
+            "edges": [
+                [
+                    {"path": "/somewhere/else.py", "line": 10},
+                    {"path": "/somewhere/else.py", "line": 20},
+                    1,
+                ]
+            ]
+        }
+        assert sanitizer.check_dump(dump, [toy], root=tmp_path) == []
+
+
+def test_serve_layer_is_clean_under_graph_rules():
+    """The real serving layer passes every graph rule un-baselined —
+    the GEM-C04 fsync-under-lock in the WAL was fixed, not excused."""
+    from pathlib import Path
+
+    from repro.analysis import analyze_project
+
+    repo = Path(__file__).resolve().parents[1]
+    findings = analyze_project([repo / "src"], root=repo)
+    graph_ids = set(project_rule_registry())
+    serve_graph = [
+        f
+        for f in findings
+        if f.rule in graph_ids and f.path.startswith("src/repro/serve/")
+    ]
+    assert serve_graph == [], [f.render() for f in serve_graph]
+
+
+@pytest.mark.parametrize("rule_id", sorted(["GEM-C03", "GEM-C04", "GEM-R02", "GEM-R03"]))
+def test_graph_rules_registered(rule_id):
+    assert rule_id in project_rule_registry()

@@ -1,23 +1,24 @@
 """Tier-1 gate: the shipped tree must be gemlint-clean.
 
-Runs the full analyzer over ``src/`` exactly like CI does and asserts
-that every finding is excused by a reviewed baseline entry and that no
-baseline entry is stale. If this test fails, either fix the reported
-finding, add a same-line ``# gemlint: disable=<rule>(reason)`` pragma,
-or baseline it in ``gemlint-baseline.json`` with a written
+Runs the full analyzer — both the per-file stage and the project-graph
+stage (GEM-C03/C04/R02/R03) — over ``src/`` exactly like CI does and
+asserts that every finding is excused by a reviewed baseline entry and
+that no baseline entry is stale. If this test fails, either fix the
+reported finding, add a same-line ``# gemlint: disable=<rule>(reason)``
+pragma, or baseline it in ``gemlint-baseline.json`` with a written
 justification.
 """
 
 from pathlib import Path
 
-from repro.analysis import analyze_paths, load_baseline
+from repro.analysis import analyze_project, load_baseline
 
 REPO = Path(__file__).resolve().parents[1]
 BASELINE = REPO / "gemlint-baseline.json"
 
 
 def test_src_tree_has_no_unbaselined_findings():
-    findings = analyze_paths([REPO / "src"], root=REPO)
+    findings = analyze_project([REPO / "src"], root=REPO)
     baseline = load_baseline(BASELINE)
     unmatched, stale = baseline.apply(findings)
     new_findings = "\n".join(f.render() for f in unmatched)

@@ -17,7 +17,12 @@ from pathlib import Path
 
 import pytest
 
-from repro.analysis import analyze_source, rule_registry
+from repro.analysis import (
+    analyze_project_sources,
+    analyze_source,
+    project_rule_registry,
+    rule_registry,
+)
 
 FIXTURE_DIR = Path(__file__).parent / "gemlint_fixtures"
 _DIRECTIVE_RE = re.compile(r"#\s*gemlint-fixture:\s*(\w+)=(\S+)")
@@ -27,9 +32,13 @@ RULE_FAMILIES = (
     "GEM-D02",
     "GEM-C01",
     "GEM-C02",
+    "GEM-C03",
+    "GEM-C04",
     "GEM-L01",
     "GEM-F01",
     "GEM-R01",
+    "GEM-R02",
+    "GEM-R03",
 )
 
 
@@ -51,15 +60,23 @@ def test_fixture_matches_declared_expectation(fixture):
         f"{fixture.name} must declare module= and expect= directives"
     )
     rule_id, _, count = directives["expect"].partition(":")
-    rule = rule_registry()[rule_id]
-    findings = analyze_source(
-        source,
-        # A synthetic non-test path: rules with test-path exemptions
-        # (GEM-F01) must see fixtures as library code.
-        f"fixtures/{fixture.name}",
-        module=directives["module"],
-        rules=[rule],
-    )
+    project_registry = project_rule_registry()
+    if rule_id in project_registry:
+        # Graph rules analyze a (single-file) synthetic project.
+        findings = analyze_project_sources(
+            [(source, f"fixtures/{fixture.name}", directives["module"])],
+            rules=[project_registry[rule_id]],
+        )
+    else:
+        rule = rule_registry()[rule_id]
+        findings = analyze_source(
+            source,
+            # A synthetic non-test path: rules with test-path exemptions
+            # (GEM-F01) must see fixtures as library code.
+            f"fixtures/{fixture.name}",
+            module=directives["module"],
+            rules=[rule],
+        )
     hits = [f for f in findings if f.rule == rule_id]
     assert len(hits) == int(count), (
         f"{fixture.name}: expected {count} {rule_id} finding(s), got "
@@ -84,7 +101,7 @@ def test_every_rule_family_has_true_positive_and_near_miss():
 
 
 def test_registry_exposes_all_contract_families():
-    registry = rule_registry()
+    registry = {**rule_registry(), **project_rule_registry()}
     for rule_id in RULE_FAMILIES:
         assert rule_id in registry
         rule = registry[rule_id]

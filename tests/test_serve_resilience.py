@@ -578,6 +578,45 @@ class TestOpLog:
         log2.close()
         assert GemOpLog(tmp_path / "wal").replay() == []
 
+    def test_close_during_append_defers_until_fsync_completes(
+        self, tmp_path, monkeypatch
+    ):
+        """Regression for the GEM-C04 fix: append no longer fsyncs under
+        the handle lock, so a concurrent close() must not deadlock — and
+        must not yank the handle out from under the in-flight fsync
+        either. It defers until the append checks the handle back in."""
+        from repro.serve import oplog as oplog_mod
+
+        in_fsync = threading.Event()
+        release = threading.Event()
+        real_fsync = oplog_mod.os.fsync
+
+        def blocking_fsync(fd):
+            in_fsync.set()
+            assert release.wait(5.0), "test released fsync too late"
+            real_fsync(fd)
+
+        monkeypatch.setattr(oplog_mod.os, "fsync", blocking_fsync)
+        log = GemOpLog(tmp_path / "wal")
+        writer = threading.Thread(target=log.append, args=([self._ops()[0]],))
+        writer.start()
+        try:
+            assert in_fsync.wait(5.0)
+            # close() while the append is wedged inside fsync: it must
+            # return promptly (no lock is held across the fsync) ...
+            log.close()
+            # ... and must leave the in-flight append's handle alone.
+            assert log._fh is not None and not log._fh.closed
+            assert log._close_pending
+        finally:
+            release.set()
+            writer.join(5.0)
+        assert not writer.is_alive()
+        # The deferred close ran when the append finished.
+        assert log._fh is None and not log._close_pending
+        # The wedged append's record survived the racing close intact.
+        assert [len(b) for b in GemOpLog(tmp_path / "wal").replay()] == [1]
+
 
 class TestCrashRecovery:
     def _archives(self, fitted, corpus, tmp_path):
