@@ -1,8 +1,12 @@
-"""Dataset search over a directory of CSV files.
+"""Dataset search over a directory of CSV files, via the bundle CLI.
 
 The data-lake workflow the paper's introduction motivates: ingest raw CSV
-tables, keep the numeric columns, embed them with Gem, and answer "find me
-columns like this one" queries across tables — without any labels.
+tables, keep the numeric columns, embed them with Gem, and answer "find
+me columns like this one" queries across tables — without any labels.
+Here the whole pipeline is driven by ``python -m repro.bundle`` with a
+``csv:<directory>`` corpus spec: the manifest pins the lake's content
+fingerprint, so editing any CSV after fitting makes the downstream
+stages refuse to serve stale results.
 
 Run:  python examples/csv_data_lake.py
 """
@@ -12,9 +16,9 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core import GemConfig, GemEmbedder
+from repro.bundle.__main__ import main as bundle_cli
 from repro.data import ColumnCorpus, read_csv_table
-from repro.evaluation import cosine_similarity_matrix, top_k_neighbors
+from repro.serve import GemService
 
 
 def build_demo_lake(root: Path) -> None:
@@ -50,30 +54,50 @@ def build_demo_lake(root: Path) -> None:
     )
 
 
+def run_cli(*args: str) -> None:
+    """Run one `python -m repro.bundle ...` command, echoing it first."""
+    print(f"\n$ python -m repro.bundle {' '.join(args)}")
+    code = bundle_cli(list(args))
+    if code != 0:
+        raise SystemExit(f"bundle command failed with exit code {code}")
+
+
 def main() -> None:
     with tempfile.TemporaryDirectory() as tmp:
-        root = Path(tmp)
-        build_demo_lake(root)
+        lake = Path(tmp) / "lake"
+        lake.mkdir()
+        build_demo_lake(lake)
+        bundle = str(Path(tmp) / "lake.bundle")
 
-        # Ingest: every CSV becomes a table of numeric columns.
-        tables = [read_csv_table(p) for p in sorted(root.glob("*.csv"))]
+        # What's in the lake? (The CLI ingests the same way: every *.csv
+        # under the directory, numeric columns only, sorted file order.)
+        tables = [read_csv_table(p) for p in sorted(lake.glob("*.csv"))]
         corpus = ColumnCorpus.from_tables(tables, name="demo-lake")
         print(f"ingested {len(tables)} tables -> {len(corpus)} numeric columns")
         for col in corpus:
             print(f"  {col.table_id}.{col.name}  (n={len(col)})")
 
-        # Embed and search: which columns resemble employees.age?
-        gem = GemEmbedder(config=GemConfig.fast(n_components=20, random_state=0))
-        embeddings = gem.fit_transform(corpus)
-        sim = cosine_similarity_matrix(embeddings)
-        query = next(
-            i for i, c in enumerate(corpus)
-            if c.table_id == "employees" and c.name == "age"
+        # Fit + index the lake: the manifest records csv:<dir> and the
+        # lake's content fingerprint.
+        run_cli(
+            "fit", bundle,
+            "--corpus", f"csv:{lake}",
+            "--set", "n_components=20",
+            "--set", "n_init=2",
+            "--set", "random_state=0",
         )
-        print(f"\ncolumns most similar to employees.age:")
-        for j in top_k_neighbors(sim, k=3)[query]:
-            col = corpus[j]
-            print(f"  {col.table_id}.{col.name:8s} cos={sim[query, j]:.3f}")
+        run_cli("index", bundle)
+        run_cli("verify", bundle)
+
+        # Query from Python: which columns resemble employees.age?
+        query = next(
+            c for c in corpus if c.table_id == "employees" and c.name == "age"
+        )
+        print("\ncolumns most similar to employees.age:")
+        with GemService.from_bundle(bundle) as service:
+            result = service.search([query], k=4)
+            for cid, score in zip(result.ids[0], result.scores[0]):
+                print(f"  {cid:16s} cos={score:.3f}")
         print("\nathletes.age should rank above the price/stock columns.")
 
 

@@ -1,45 +1,69 @@
-"""Quickstart: embed numeric columns with Gem and find similar columns.
+"""Quickstart: operate a Gem deployment through the bundle CLI.
+
+The five-minute tour, end to end: fit an embedder on a synthetic corpus,
+build its retrieval index, smoke-test the serving layer, verify the
+bundle's integrity offline — each step the exact shell command from
+docs/cli.md, run here in-process — then warm-start the service from the
+bundle and query it from Python.
 
 Run:  python examples/quickstart.py
+Honours REPRO_SCALE (tiny/small/paper) like the experiment suite.
 """
 
-import numpy as np
+import tempfile
+from pathlib import Path
 
-from repro import GemConfig, GemEmbedder, average_precision_at_k, make_gds
-from repro.evaluation import cosine_similarity_matrix, top_k_neighbors
+from repro import make_gds
+from repro.bundle.__main__ import main as bundle_cli
+from repro.serve import GemService
+
+
+def run_cli(*args: str) -> None:
+    """Run one `python -m repro.bundle ...` command, echoing it first."""
+    print(f"\n$ python -m repro.bundle {' '.join(args)}")
+    code = bundle_cli(list(args))
+    if code != 0:
+        raise SystemExit(f"bundle command failed with exit code {code}")
 
 
 def main() -> None:
-    # 1. A corpus of labelled numeric columns (GDS-style synthetic stand-in).
-    corpus = make_gds()
-    print(f"corpus: {corpus}")
+    with tempfile.TemporaryDirectory() as tmp:
+        bundle = str(Path(tmp) / "lake.bundle")
 
-    # 2. Fit Gem: a 50-component GMM over all values + statistical features.
-    #    GemConfig.fast() trims EM restarts for interactive use; drop it for
-    #    the paper-faithful 10-restart profile.
-    gem = GemEmbedder(config=GemConfig.fast(random_state=0))
-    embeddings = gem.fit_transform(corpus)
-    print(f"embeddings: {embeddings.shape} (D+S signature per column)")
-
-    # 3. Nearest neighbours of one column = candidate same-type columns.
-    query = 0
-    sim = cosine_similarity_matrix(embeddings)
-    neighbours = top_k_neighbors(sim, k=5)[query]
-    print(f"\nquery column      : {corpus[query].name!r} ({corpus[query].fine_label})")
-    for rank, j in enumerate(neighbours, 1):
-        col = corpus[j]
-        print(
-            f"  neighbour {rank}: {col.name!r:24s} type={col.fine_label:22s} "
-            f"cos={sim[query, j]:.3f}"
+        # 1. Fit: one command pins the corpus (spec + content fingerprint)
+        #    and the full GemConfig into the bundle manifest.
+        run_cli(
+            "fit", bundle,
+            "--corpus", "synthetic:gds",
+            "--set", "n_components=20",
+            "--set", "n_init=2",
+            "--set", "random_state=0",
         )
 
-    # 4. Corpus-level quality: the paper's average precision at k.
-    precision = average_precision_at_k(embeddings, corpus.labels("coarse"))
-    print(f"\naverage precision (coarse labels): {precision:.3f}")
+        # 2. Index: builds the retrieval index from the fit artifact and
+        #    records the derivation chain (a later refit would make this
+        #    index refuse to serve as stale).
+        run_cli("index", bundle, "--backend", "exact")
 
-    # 5. Each column's most-responsible Gaussian component (Eq. 12).
-    clusters = gem.cluster(corpus)
-    print(f"distinct GMM components used as clusters: {len(np.unique(clusters))}")
+        # 3. Serve (smoke): warm-starts the service — WAL replay and all —
+        #    and runs a few self-queries through it.
+        run_cli("serve", bundle, "--smoke", "--queries", "3", "--k", "3")
+
+        # 4. Verify: re-checks every artifact checksum and fingerprint
+        #    offline; exit 0 means the bundle is internally consistent.
+        run_cli("verify", bundle)
+
+        # 5. The same bundle from Python: find neighbours of a fresh
+        #    column through the served index.
+        corpus = make_gds()
+        query = corpus[0]
+        print(f"\nquery column: {query.name!r} ({query.fine_label})")
+        with GemService.from_bundle(bundle) as service:
+            result = service.search([query], k=5)
+            for rank, (cid, score) in enumerate(
+                zip(result.ids[0], result.scores[0]), 1
+            ):
+                print(f"  neighbour {rank}: {cid:28s} cos={score:.3f}")
 
 
 if __name__ == "__main__":

@@ -30,8 +30,12 @@ Shared machinery spans both stages:
 * a reviewed **baseline** (:mod:`repro.analysis.baseline`) for findings
   that predate a rule, each entry carrying a written justification;
 * a CLI (``python -m repro.analysis``) with ``--format github`` for CI
-  annotation and ``--format sarif`` for SARIF 2.1.0 consumers, wired
-  into the lint job as a gate;
+  annotation, ``--format sarif`` for SARIF 2.1.0 consumers and
+  ``--format markdown --list-rules`` for the generated rule table in
+  ``docs/cli.md``, wired into the lint job as a gate; ``--jobs N``
+  parallelizes the per-file stage, ``--since GIT_REF`` restricts it to
+  changed files, and ``--prune-stale`` rewrites the baseline dropping
+  entries whose findings no longer exist;
 * an opt-in runtime counterpart, **gemsan**
   (:mod:`repro.analysis.sanitizer`): a lock-order recorder whose dynamic
   acquisition graph is cross-checked against GEM-C03's static one.

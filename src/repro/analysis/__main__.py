@@ -55,7 +55,15 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.analysis",
         description="gemlint: AST + project-graph checks for the repo's "
         "determinism, RNG, lock, copy-on-write, layering, deadline and "
-        "resource contracts",
+        "resource contracts. Two stages run on every invocation: the "
+        "per-file AST rules (parallelized by --jobs, restricted by "
+        "--since) and the project-graph rules (GEM-C03/C04/R02/R03), "
+        "which always analyze the whole project.",
+        epilog="exit codes: 0 clean (everything baselined/suppressed "
+        "with a reason); 1 findings or stale baseline entries; 2 "
+        "configuration errors (unreadable baseline, empty justification, "
+        "unknown rule, bad --since ref, --format markdown without "
+        "--list-rules)",
     )
     parser.add_argument(
         "paths",
@@ -65,10 +73,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "github", "sarif"),
+        choices=("text", "github", "sarif", "markdown"),
         default="text",
         help="finding output style; 'github' emits ::error workflow "
-        "commands, 'sarif' a SARIF 2.1.0 log on stdout",
+        "commands, 'sarif' a SARIF 2.1.0 log on stdout; 'markdown' is "
+        "only valid with --list-rules and renders the rule catalog as "
+        "the table embedded in docs/cli.md",
     )
     parser.add_argument(
         "--jobs",
@@ -121,7 +131,18 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _print_rules() -> None:
+def _print_rules(fmt: str = "text") -> None:
+    if fmt == "markdown":
+        # The exact table embedded between the gemlint-rules markers in
+        # docs/cli.md; tests/test_docs.py diffs the two, so regenerating
+        # the doc is `--list-rules --format markdown` + paste.
+        print("| Rule | Name | Stage | Invariant |")
+        print("| --- | --- | --- | --- |")
+        for rule in all_rules():
+            print(f"| {rule.id} | {rule.name} | per-file | {rule.invariant} |")
+        for rule in all_project_rules():
+            print(f"| {rule.id} | {rule.name} | project graph | {rule.invariant} |")
+        return
     for rule in all_rules():
         print(f"{rule.id}  {rule.name}")
         print(f"    invariant:  {rule.invariant}")
@@ -174,8 +195,15 @@ def _changed_since(ref: str, paths: Sequence[Path]) -> list[Path] | None:
 def main(argv: Sequence[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.list_rules:
-        _print_rules()
+        _print_rules(args.format)
         return 0
+    if args.format == "markdown":
+        print(
+            "gemlint: --format markdown renders the rule catalog and is "
+            "only valid with --list-rules",
+            file=sys.stderr,
+        )
+        return 2
     if args.prune_stale and args.since:
         print(
             "gemlint: --prune-stale needs a full run to know what is stale; "

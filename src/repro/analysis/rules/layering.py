@@ -10,8 +10,9 @@ The contract:
 
 * nothing outside :mod:`repro.serve` imports it — except the package
   facade ``repro/__init__.py``, whose whole job is re-exporting the
-  public surface, and ``repro.experiments``, which sits above every
-  layer;
+  public surface, and the two layers that sit above serving:
+  ``repro.experiments`` (the runners) and ``repro.bundle`` (the pipeline
+  orchestrator, which warm-starts services from bundles);
 * nothing outside :mod:`repro.experiments` imports it — runner glue must
   never become a library dependency (it seeds global profiles and builds
   corpora; importing it from library code would couple kernels to the
@@ -63,7 +64,7 @@ class ImportLayeringRule(Rule):
     #: exemption matches only the package facade itself (repro/__init__),
     #: never repro.core.* — subpackages are matched by subtree.
     _CONSTRAINTS: tuple[tuple[str, tuple[str, ...]], ...] = (
-        ("repro.serve", ("repro", "repro.serve", "repro.experiments")),
+        ("repro.serve", ("repro", "repro.serve", "repro.experiments", "repro.bundle")),
         ("repro.experiments", ("repro.experiments",)),
     )
     _EXACT_EXEMPT = {"repro"}

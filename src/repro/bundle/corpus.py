@@ -1,0 +1,121 @@
+"""Corpus specs: how a bundle names and fingerprints its training data.
+
+A bundle must be reproducible from its manifest alone, so the corpus is
+recorded as a *spec string* plus a *content fingerprint*:
+
+* ``synthetic:<name>[:<scale>[:<seed>]]`` — one of the paper's generated
+  corpora (:data:`~repro.data.corpora.CORPUS_BUILDERS`: ``gds``, ``wdc``,
+  ``sato``, ``git``) at a named scale. The spec is canonicalised at fit
+  time: a bare ``synthetic:gds`` resolves the scale (honouring
+  ``REPRO_SCALE``) and the builder's default seed into
+  ``synthetic:gds:small:7``, so the stored spec regenerates the same
+  corpus regardless of the environment it is later read in.
+* ``csv:<directory>`` — every ``*.csv`` file under the directory, read
+  via :func:`~repro.data.io.read_csv_table` in sorted filename order.
+
+The fingerprint hashes each column's identity (header, table id, labels)
+and cell values (:func:`~repro.core.cache.array_fingerprint`), so any
+drift in the underlying data — a regenerated synthetic corpus with a
+different seed, an edited CSV — is detected as staleness by downstream
+stages rather than silently changing what an index serves.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+from pathlib import Path
+
+from repro.core.cache import array_fingerprint
+from repro.data.corpora import CORPUS_BUILDERS, _resolve_scale
+from repro.data.io import read_csv_table
+from repro.data.table import ColumnCorpus
+
+
+def _builder_default_seed(name: str) -> int:
+    """The builder's default ``random_state`` (each corpus has its own)."""
+    sig = inspect.signature(CORPUS_BUILDERS[name])
+    return int(sig.parameters["random_state"].default)
+
+
+def canonicalize_corpus_spec(spec: str) -> str:
+    """Resolve a corpus spec to its canonical, environment-free form.
+
+    Synthetic specs gain their resolved scale and seed
+    (``synthetic:gds`` → ``synthetic:gds:small:7``); ``csv:`` specs gain
+    an absolute path. Raises :exc:`ValueError` on malformed specs and
+    unknown corpus names.
+    """
+    kind, _, rest = spec.partition(":")
+    if kind == "synthetic":
+        parts = rest.split(":") if rest else []
+        if not parts or not parts[0]:
+            raise ValueError(
+                f"malformed corpus spec {spec!r}: expected "
+                "synthetic:<name>[:<scale>[:<seed>]]"
+            )
+        name = parts[0]
+        if name not in CORPUS_BUILDERS:
+            raise ValueError(
+                f"unknown synthetic corpus {name!r}; available: "
+                f"{sorted(CORPUS_BUILDERS)}"
+            )
+        if len(parts) > 3:
+            raise ValueError(
+                f"malformed corpus spec {spec!r}: expected "
+                "synthetic:<name>[:<scale>[:<seed>]]"
+            )
+        scale = _resolve_scale(parts[1] if len(parts) > 1 and parts[1] else None)
+        seed = int(parts[2]) if len(parts) > 2 else _builder_default_seed(name)
+        return f"synthetic:{name}:{scale}:{seed}"
+    if kind == "csv":
+        if not rest:
+            raise ValueError(f"malformed corpus spec {spec!r}: expected csv:<directory>")
+        return f"csv:{Path(rest).resolve()}"
+    raise ValueError(
+        f"unknown corpus spec kind {kind!r} in {spec!r}; expected "
+        "'synthetic:...' or 'csv:...'"
+    )
+
+
+def load_corpus(spec: str) -> tuple[ColumnCorpus, str]:
+    """Build the corpus a spec names; returns ``(corpus, canonical_spec)``."""
+    canonical = canonicalize_corpus_spec(spec)
+    kind, _, rest = canonical.partition(":")
+    if kind == "synthetic":
+        name, scale, seed = rest.split(":")
+        corpus = CORPUS_BUILDERS[name](scale=scale, random_state=int(seed))
+        return corpus, canonical
+    directory = Path(rest)
+    if not directory.is_dir():
+        raise ValueError(f"corpus spec {canonical!r}: {directory} is not a directory")
+    paths = sorted(directory.glob("*.csv"))
+    if not paths:
+        raise ValueError(f"corpus spec {canonical!r}: no *.csv files in {directory}")
+    tables = [read_csv_table(p) for p in paths]
+    return ColumnCorpus.from_tables(tables, name=directory.name), canonical
+
+
+def corpus_fingerprint(corpus: ColumnCorpus) -> str:
+    """Content fingerprint of a corpus (identity + values of every column).
+
+    Two corpora share a fingerprint iff their columns agree in order,
+    header, table id, both label granularities and bit-identical cell
+    values — the conditions under which a fitted model and its index are
+    interchangeable.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    for col in corpus:
+        for part in (
+            col.name,
+            col.table_id or "",
+            col.fine_label or "",
+            col.coarse_label or "",
+            array_fingerprint(col.values),
+        ):
+            digest.update(part.encode("utf-8"))
+            digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+__all__ = ["canonicalize_corpus_spec", "load_corpus", "corpus_fingerprint"]

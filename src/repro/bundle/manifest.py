@@ -1,0 +1,172 @@
+"""The bundle manifest: one JSON document describing a whole pipeline.
+
+A bundle is a directory; ``manifest.json`` at its root records the schema
+version, the full :class:`~repro.core.config.GemConfig` the pipeline runs
+with, the corpus it was fitted on (canonical spec + content fingerprint)
+and one record per completed stage. Each stage record names its artifact
+file, the artifact's content checksum (:func:`~repro.core.persistence.
+file_checksum`), the model fingerprint it embeds (where applicable) and
+the checksums of the upstream artifacts it was derived from — the chain
+that lets :func:`~repro.bundle.stages.verify_bundle` distinguish *corrupt*
+(bytes changed under the manifest,
+:exc:`~repro.core.persistence.CorruptArchiveError`) from *stale* (an
+upstream stage was re-run and this one no longer matches,
+:exc:`~repro.index.StaleIndexError`).
+
+The manifest carries its own checksum (``manifest_checksum``), computed
+over the canonical sorted-keys JSON of every *other* field, so a
+hand-edited manifest is detected exactly like a bit-rotted artifact.
+
+Compatibility policy (documented in ``docs/bundle-format.md``): readers
+accept exactly the schema versions in ``READABLE_VERSIONS`` and refuse
+anything else loudly; unknown *config* keys inside an accepted version are
+tolerated with a warning (they round-trip through
+:meth:`~repro.core.config.GemConfig.from_manifest_dict`), unknown stage
+names are preserved untouched.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.core.persistence import CorruptArchiveError, atomic_write_json
+
+#: Current manifest schema version. Version 1: config / corpus / stages /
+#: manifest_checksum as described in docs/bundle-format.md.
+SCHEMA_VERSION = 1
+
+#: Schema versions this library can read.
+READABLE_VERSIONS = (1,)
+
+#: File name of the manifest inside a bundle directory.
+MANIFEST_NAME = "manifest.json"
+
+
+def manifest_path(bundle_dir: str | Path) -> Path:
+    """Path of the manifest file inside ``bundle_dir``."""
+    return Path(bundle_dir) / MANIFEST_NAME
+
+
+def manifest_checksum(manifest: dict) -> str:
+    """Self-checksum of a manifest document.
+
+    blake2b over the canonical (sorted-keys, compact-separator) JSON of
+    the manifest *without* its ``manifest_checksum`` field, so the stored
+    checksum never hashes itself.
+    """
+    body = {k: v for k, v in manifest.items() if k != "manifest_checksum"}
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.blake2b(canonical.encode("utf-8"), digest_size=16).hexdigest()
+
+
+def new_manifest(config_dict: dict, corpus_spec: str, corpus_fingerprint: str) -> dict:
+    """A fresh manifest with no completed stages."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "config": dict(config_dict),
+        "corpus": {"spec": corpus_spec, "fingerprint": corpus_fingerprint},
+        "stages": {},
+    }
+
+
+def write_manifest(bundle_dir: str | Path, manifest: dict) -> Path:
+    """Stamp the self-checksum and write the manifest atomically."""
+    manifest = dict(manifest)
+    manifest["manifest_checksum"] = manifest_checksum(manifest)
+    return atomic_write_json(manifest_path(bundle_dir), manifest)
+
+
+def read_manifest(bundle_dir: str | Path) -> dict:
+    """Read and validate ``bundle_dir``'s manifest.
+
+    Raises
+    ------
+    FileNotFoundError
+        No manifest — the directory is not a bundle (or ``fit`` never ran).
+    CorruptArchiveError
+        The file is not valid JSON, lacks its self-checksum, or the
+        self-checksum does not match the content (tampered/bit-rotted).
+    ValueError
+        Valid JSON with an intact checksum but a schema version this
+        library does not read.
+    """
+    path = manifest_path(bundle_dir)
+    if not path.is_file():
+        raise FileNotFoundError(
+            f"no {MANIFEST_NAME} in {Path(bundle_dir)} — not a bundle, or the "
+            "fit stage has not run yet"
+        )
+    with open(path, "rb") as fh:
+        raw = fh.read()
+    try:
+        manifest = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise CorruptArchiveError(f"{path} is not valid JSON: {exc}") from exc
+    if not isinstance(manifest, dict):
+        raise CorruptArchiveError(f"{path} is not a JSON object")
+    stored = manifest.get("manifest_checksum")
+    if stored is None:
+        raise CorruptArchiveError(f"{path} has no manifest_checksum field")
+    expected = manifest_checksum(manifest)
+    if stored != expected:
+        raise CorruptArchiveError(
+            f"{path} checksum mismatch: stored {stored}, content hashes to "
+            f"{expected} — the manifest was edited or corrupted"
+        )
+    version = manifest.get("schema_version")
+    if version not in READABLE_VERSIONS:
+        raise ValueError(
+            f"unsupported bundle schema version {version!r} "
+            f"(this library reads versions {READABLE_VERSIONS})"
+        )
+    return manifest
+
+
+def record_stage(
+    manifest: dict,
+    name: str,
+    *,
+    artifact: str,
+    checksum: str | None,
+    model_fingerprint: str | None = None,
+    upstream: dict[str, str] | None = None,
+    extra: dict | None = None,
+) -> dict:
+    """Return a copy of ``manifest`` with stage ``name`` (re)recorded.
+
+    ``checksum`` is the artifact's :func:`~repro.core.persistence.
+    file_checksum` (``None`` for artifacts that legitimately change after
+    recording, like the serving WAL). ``upstream`` maps upstream stage
+    names to the artifact checksums this stage was derived from.
+    Re-recording an upstream stage deliberately does *not* drop its
+    dependents: their now-mismatched upstream checksums are how the
+    stale check (:func:`~repro.bundle.stages.check_upstream_chain`)
+    refuses them until they are rebuilt.
+    """
+    manifest = dict(manifest)
+    stages = dict(manifest.get("stages", {}))
+    record: dict = {"artifact": artifact, "checksum": checksum}
+    if model_fingerprint is not None:
+        record["model_fingerprint"] = model_fingerprint
+    if upstream:
+        record["upstream"] = dict(upstream)
+    if extra:
+        record.update(extra)
+    stages[name] = record
+    manifest["stages"] = stages
+    return manifest
+
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "READABLE_VERSIONS",
+    "MANIFEST_NAME",
+    "manifest_path",
+    "manifest_checksum",
+    "new_manifest",
+    "write_manifest",
+    "read_manifest",
+    "record_stage",
+]

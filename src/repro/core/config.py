@@ -8,7 +8,9 @@ normalisation, stacked-vs-per-column fitting, value transform).
 
 from __future__ import annotations
 
+import dataclasses
 import math
+import warnings
 from dataclasses import dataclass, replace
 
 from repro.utils.rng import RandomState
@@ -349,6 +351,54 @@ class GemConfig:
             use_statistical=self.use_statistical if statistical is None else statistical,
             use_contextual=self.use_contextual if contextual is None else contextual,
         )
+
+    def to_manifest_dict(self) -> dict:
+        """This config as a JSON-serialisable dict (manifest/archive form).
+
+        The single canonical dict form shared by ``save_gem`` archives and
+        :mod:`repro.bundle` manifests: plain JSON types only, with
+        ``bic_candidates`` as a list. A ``np.random.Generator``
+        ``random_state`` cannot be serialised — it is dropped with a
+        warning and the reloaded config falls back to the default seed
+        (the same contract ``save_gem`` has always had).
+        """
+        cfg = dataclasses.asdict(self)
+        cfg["bic_candidates"] = list(cfg["bic_candidates"])
+        if cfg["random_state"] is not None and not isinstance(
+            cfg["random_state"], (int, float, str, bool)
+        ):
+            warnings.warn(
+                "random_state is a np.random.Generator and cannot be "
+                "persisted; the reloaded config will use the default seed",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            del cfg["random_state"]
+        return cfg
+
+    @classmethod
+    def from_manifest_dict(cls, cfg_dict: dict) -> "GemConfig":
+        """Rebuild a config from its :meth:`to_manifest_dict` form.
+
+        Dicts written by other library versions may carry keys this
+        version lacks (or miss ones it has); unknown keys are dropped
+        with a warning — not silently, a typo'd hand-edited key must be
+        noticed — and missing ones fall back to the dataclass defaults.
+        Field values are re-validated by ``__post_init__``, so a
+        hand-edited manifest cannot smuggle in an invalid configuration.
+        """
+        cfg_dict = dict(cfg_dict)
+        if "bic_candidates" in cfg_dict:
+            cfg_dict["bic_candidates"] = tuple(cfg_dict["bic_candidates"])
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(cfg_dict) - known)
+        if unknown:
+            warnings.warn(
+                f"ignoring unknown GemConfig keys in archive: {unknown}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        return cls(**{k: v for k, v in cfg_dict.items() if k in known})
 
     @classmethod
     def fast(cls, **overrides: object) -> "GemConfig":

@@ -142,6 +142,18 @@ class GemEmbedder:
             else None
         )
 
+    @classmethod
+    def from_config_dict(cls, cfg_dict: dict) -> "GemEmbedder":
+        """Build an unfitted embedder from a manifest-style config dict.
+
+        The dict is the shape produced by
+        :meth:`GemConfig.to_manifest_dict` (plain JSON types, unknown keys
+        tolerated with a warning); ``__post_init__`` re-validates every
+        field, so a hand-edited manifest cannot smuggle an invalid config
+        into a pipeline stage.
+        """
+        return cls(config=GemConfig.from_manifest_dict(cfg_dict))
+
     # ------------------------------------------------------------------ fit
 
     def fit(self, corpus: ColumnCorpus) -> "GemEmbedder":

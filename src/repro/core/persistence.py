@@ -17,11 +17,9 @@ starts empty on load.
 
 from __future__ import annotations
 
-import dataclasses
 import hashlib
 import json
 import os
-import warnings
 import zipfile
 import zlib
 from pathlib import Path
@@ -99,6 +97,59 @@ def _fault(site: str) -> None:
     hook = _FAULT_HOOK
     if hook is not None:
         hook(site)
+
+
+def file_checksum(path: str | Path) -> str:
+    """Content checksum of a file on disk (blake2b over its raw bytes).
+
+    The coarse sibling of :func:`archive_checksum`: where that one hashes
+    an archive's *decoded arrays* (so it survives recompression), this one
+    hashes the bytes as stored — any rewrite of the file, however
+    equivalent, changes it. That is exactly what a
+    :mod:`repro.bundle` manifest wants: a stage fingerprint that detects
+    *both* corruption and a silently re-run upstream stage.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def atomic_write_json(path: str | Path, obj: object, *, indent: int = 2) -> Path:
+    """Write a JSON document atomically (tmp file + fsync + ``os.replace``).
+
+    The JSON counterpart of :func:`atomic_savez`: a crash at any point
+    leaves either the previous document intact or the new one complete.
+    Keys are serialised sorted so the same object always produces the
+    same bytes (bundle manifests and sweep tables rely on byte-identical
+    re-serialisation). Returns the path written.
+    """
+    final = Path(path)
+    data = json.dumps(obj, indent=indent, sort_keys=True).encode("utf-8") + b"\n"
+    tmp = final.with_name(final.name + ".tmp")
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        _fault("persistence.replace")
+        os.replace(tmp, final)
+    except Exception:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise
+    try:
+        dir_fd = os.open(final.parent, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+    except OSError:
+        pass  # not supported on every platform/filesystem; rename still atomic
+    return final
 
 
 def npz_path(path: str | Path) -> Path:
@@ -281,19 +332,11 @@ def save_gem(gem: GemEmbedder, path: str | Path) -> None:
     """
     if getattr(gem, "_fitted", False) is not True:
         raise RuntimeError("cannot save an unfitted GemEmbedder; call fit() first")
-    cfg = dataclasses.asdict(gem.config)
-    cfg["bic_candidates"] = list(cfg["bic_candidates"])
-    if isinstance(cfg["random_state"], np.random.Generator):
-        # A Generator's state is not JSON-serialisable; the archive keeps
-        # the fitted arrays (which captured the draws that mattered), so
-        # the reloaded embedder falls back to the default seed.
-        warnings.warn(
-            "random_state is a np.random.Generator and cannot be "
-            "persisted; the reloaded embedder will use the default seed",
-            RuntimeWarning,
-            stacklevel=2,
-        )
-        del cfg["random_state"]
+    # A Generator random_state is not JSON-serialisable; to_manifest_dict
+    # warns and drops it — the archive keeps the fitted arrays (which
+    # captured the draws that mattered), so the reloaded embedder falls
+    # back to the default seed.
+    cfg = gem.config.to_manifest_dict()
     arrays: dict[str, np.ndarray] = {
         "config_json": json_to_array(cfg),
         "feature_mean": gem._feature_mean,
@@ -322,23 +365,13 @@ def load_gem(path: str | Path) -> GemEmbedder:
     """
     payload = read_archive(path)
     cfg_dict = json_from_array(payload["config_json"])
-    if "bic_candidates" in cfg_dict:
-        cfg_dict["bic_candidates"] = tuple(cfg_dict["bic_candidates"])
     # Archives written by other library versions may carry config keys
-    # this version lacks (or miss ones it has); unknown keys are dropped
-    # with a warning — not silently, a typo'd hand-edited key must be
-    # noticed — and missing ones fall back to the dataclass defaults, so
-    # batching knobs like batch_size/cache_signatures round-trip when
-    # present.
-    known = {f.name for f in dataclasses.fields(GemConfig)}
-    unknown = sorted(set(cfg_dict) - known)
-    if unknown:
-        warnings.warn(
-            f"ignoring unknown GemConfig keys in archive: {unknown}",
-            RuntimeWarning,
-            stacklevel=2,
-        )
-    config = GemConfig(**{k: v for k, v in cfg_dict.items() if k in known})
+    # this version lacks (or miss ones it has); from_manifest_dict drops
+    # unknown keys with a warning — not silently, a typo'd hand-edited
+    # key must be noticed — and missing ones fall back to the dataclass
+    # defaults, so batching knobs like batch_size/cache_signatures
+    # round-trip when present.
+    config = GemConfig.from_manifest_dict(cfg_dict)
     gem = GemEmbedder(config=config)
     gem._feature_mean = payload["feature_mean"]
     gem._feature_std = payload["feature_std"]
@@ -380,6 +413,8 @@ __all__ = [
     "json_from_array",
     "npz_path",
     "atomic_savez",
+    "atomic_write_json",
+    "file_checksum",
     "read_archive",
     "archive_checksum",
     "CorruptArchiveError",

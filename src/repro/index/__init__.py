@@ -17,7 +17,8 @@ the ``(n, n)`` similarity matrix:
   backend;
 * :func:`save_index` / :func:`load_index` — persistence that embeds the
   owning Gem model's fingerprint, so a stale index refuses to serve a refit
-  model (:class:`StaleIndexError`).
+  model (:class:`StaleIndexError`); :func:`read_index_manifest` exposes
+  that embedded config (fingerprint included) without loading the rows.
 
 Build one from a fitted embedder with
 :meth:`repro.core.gem.GemEmbedder.build_index`, or assemble one by hand
@@ -25,7 +26,7 @@ from any embedding rows.
 """
 
 from repro.index.core import GemIndex, SearchResult, StaleIndexError, corpus_column_ids
-from repro.index.persistence import load_index, save_index
+from repro.index.persistence import load_index, read_index_manifest, save_index
 from repro.index.pq import ProductQuantizer
 
 __all__ = [
@@ -36,4 +37,5 @@ __all__ = [
     "corpus_column_ids",
     "save_index",
     "load_index",
+    "read_index_manifest",
 ]

@@ -234,4 +234,25 @@ def load_index(path: str | Path) -> GemIndex:
     return index
 
 
-__all__ = ["save_index", "load_index"]
+def read_index_manifest(path: str | Path) -> dict:
+    """Read an index archive's embedded config without building the index.
+
+    Returns the JSON config dict ``save_index`` wrote (schema version,
+    backend knobs and — the reason this exists — ``model_fingerprint``),
+    letting bundle/stage validators check staleness against a fitted
+    embedder cheaply, before committing to a full :func:`load_index`. The
+    archive checksum is still verified (corruption is never reported as
+    staleness).
+    """
+    payload = read_archive(path)
+    config = json_from_array(payload["config_json"])
+    version = config.get("schema_version")
+    if version not in _READABLE_VERSIONS:
+        raise ValueError(
+            f"unsupported index schema version {version!r} "
+            f"(this library reads versions {_READABLE_VERSIONS})"
+        )
+    return config
+
+
+__all__ = ["save_index", "load_index", "read_index_manifest"]

@@ -274,6 +274,26 @@ class GemService:
         service._replay_oplog()
         return service
 
+    @classmethod
+    def from_bundle(cls, bundle_dir: str | Path, **kwargs: object) -> "GemService":
+        """Warm-start a service from a ``repro.bundle`` directory.
+
+        Reads the bundle manifest, validates the whole fit → index
+        derivation chain (artifact checksums, upstream fingerprints) and
+        then warm-starts exactly like :meth:`from_archives` with the
+        bundle's WAL — writes acknowledged after the last checkpoint are
+        replayed before the service takes traffic. A tampered bundle
+        raises :class:`~repro.core.persistence.CorruptArchiveError`, a
+        stale one :class:`~repro.index.StaleIndexError`. See
+        ``docs/bundle-format.md``.
+        """
+        # Imported lazily: repro.bundle composes this module at import
+        # time, so the dependency points bundle → serve; only this call
+        # reaches back.
+        from repro.bundle.stages import open_service
+
+        return open_service(bundle_dir, **kwargs)
+
     def _replay_oplog(self) -> None:
         """Apply every logged batch to the restored index (recovery)."""
         if self._oplog is None:

@@ -1,0 +1,93 @@
+"""Docs stay true: link integrity, generated tables in sync, docstrings present.
+
+These run in CI's ``docs`` job so the documentation tree cannot silently
+rot: every relative markdown link must resolve, the gemlint rule catalog
+embedded in ``docs/cli.md`` must match ``python -m repro.analysis
+--list-rules --format markdown`` exactly, and every public module under
+``src/repro/bundle`` must carry a docstring.
+"""
+
+import ast
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.__main__ import main as gemlint_main
+
+REPO = Path(__file__).resolve().parent.parent
+DOC_FILES = sorted((REPO / "docs").glob("*.md")) + [REPO / "README.md"]
+
+# [text](target) — excluding images and in-cell regex noise; fenced code
+# blocks are stripped before matching.
+_LINK = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def _relative_links(path: Path):
+    text = _FENCE.sub("", path.read_text(encoding="utf-8"))
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        yield target
+
+
+class TestMarkdownLinks:
+    @pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: p.name)
+    def test_relative_links_resolve(self, doc):
+        broken = []
+        for target in _relative_links(doc):
+            file_part = target.split("#", 1)[0]
+            if not file_part:  # pure in-page anchor
+                continue
+            if not (doc.parent / file_part).resolve().exists():
+                broken.append(target)
+        assert broken == [], f"{doc.name}: broken relative links {broken}"
+
+    def test_docs_tree_is_complete(self):
+        names = {p.name for p in (REPO / "docs").glob("*.md")}
+        assert {
+            "architecture.md",
+            "bundle-format.md",
+            "cli.md",
+            "operations.md",
+        } <= names
+
+
+class TestGeneratedRuleTable:
+    def test_cli_md_rule_table_matches_gemlint(self, capsys):
+        assert gemlint_main(["--list-rules", "--format", "markdown"]) == 0
+        generated = capsys.readouterr().out.strip()
+        text = (REPO / "docs" / "cli.md").read_text(encoding="utf-8")
+        match = re.search(
+            r"<!-- gemlint-rules:begin -->\n(.*?)\n<!-- gemlint-rules:end -->",
+            text,
+            re.DOTALL,
+        )
+        assert match, "docs/cli.md lost its gemlint-rules markers"
+        embedded = match.group(1).strip()
+        assert embedded == generated, (
+            "docs/cli.md rule table drifted from the implementation; "
+            "regenerate it with: python -m repro.analysis --list-rules "
+            "--format markdown"
+        )
+
+
+class TestBundleDocstrings:
+    @pytest.mark.parametrize(
+        "module",
+        sorted((REPO / "src" / "repro" / "bundle").glob("*.py")),
+        ids=lambda p: p.name,
+    )
+    def test_every_public_module_has_docstrings(self, module):
+        tree = ast.parse(module.read_text(encoding="utf-8"))
+        assert ast.get_docstring(tree), f"{module.name}: missing module docstring"
+        missing = [
+            node.name
+            for node in tree.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+            and not node.name.startswith("_")
+            and not ast.get_docstring(node)
+        ]
+        assert missing == [], f"{module.name}: public defs missing docstrings {missing}"
